@@ -1,0 +1,69 @@
+"""Fig 6 — load curve vs. paid rectangles: the utilization geometry.
+
+Fig 6 overlays the cumulative fiber-length curve with the rectangles a
+SIMD device pays for under (a) no segmentation, (b) uniform segments,
+(c) increasing intervals.  We compute the same geometry from measured
+lengths: useful area (under the curve), paid area (sum of rectangles),
+and the resulting utilization per strategy.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table, utilization_report
+from repro.tracking import (
+    SegmentedTracker,
+    SingleSegmentStrategy,
+    TerminationCriteria,
+    UniformStrategy,
+    paper_strategy_b,
+    seeds_from_mask,
+)
+
+#: The Fig 6 caption configuration: smaller dataset, step 0.1, thr 0.7.
+CRITERIA = TerminationCriteria(max_steps=888, min_dot=0.7, step_length=0.1)
+
+
+def test_fig6_utilization(benchmark, phantom1, fields1, capsys):
+    seeds = seeds_from_mask(phantom1.wm_mask)
+
+    def build():
+        run = SegmentedTracker().run(
+            fields1[:1], seeds, CRITERIA, paper_strategy_b()
+        )
+        return run.lengths[0]
+
+    lengths = benchmark.pedantic(build, rounds=1, iterations=1)
+    strategies = [
+        SingleSegmentStrategy(),   # Fig 6(a)
+        UniformStrategy(50),       # Fig 6(b)
+        paper_strategy_b(),        # Fig 6(c)
+    ]
+    rows = utilization_report(lengths, strategies, CRITERIA.max_steps)
+    emit(
+        capsys,
+        render_table(
+            ["Strategy", "Segments", "Useful area", "Paid area", "Utilization"],
+            [
+                [
+                    r.strategy,
+                    r.n_segments,
+                    round(r.useful_area, 0),
+                    round(r.paid_area, 0),
+                    f"{r.utilization:.3f}",
+                ]
+                for r in rows
+            ],
+            title="Fig 6 -- necessary work vs paid rectangles "
+            "(whole-device idealization)",
+        ),
+    )
+    mono, uniform, increasing = rows
+    # Fig 6's visual claim, as numbers: segmentation shrinks the paid
+    # area; increasing intervals waste less than no segmentation.
+    assert uniform.paid_area < mono.paid_area
+    assert increasing.paid_area < mono.paid_area
+    assert increasing.utilization > 2.0 * mono.utilization
+    # All strategies pay at least the necessary work.
+    for r in rows:
+        assert r.paid_area >= r.useful_area

@@ -1,0 +1,147 @@
+"""Table II — probabilistic streamlining speedup.
+
+For each dataset and (step length, angular threshold) combination the
+paper reports, run the full segmented executor with the production
+increasing-interval strategy, and print the paper's exact columns:
+longest fiber, total fiber length, kernel / reduction / transfer time,
+modeled CPU time, and the speedup.
+
+What must hold (the paper's shape): dataset 2 costs more than dataset 1
+across the board; speedups exceed 1x everywhere and grow with scale;
+CPU time dwarfs the GPU total.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis import Table2Row, render_table, table2_row
+from repro.tracking import (
+    SegmentedTracker,
+    TerminationCriteria,
+    seeds_from_mask,
+    table2_strategy,
+)
+
+#: The paper's Table II parameter grid (dataset, step, dot threshold).
+TABLE2_GRID = {
+    "dataset1": [(0.1, 0.9), (0.2, 0.8), (0.3, 0.85)],
+    "dataset2": [(0.1, 0.9), (0.2, 0.85), (0.3, 0.8)],
+}
+MAX_STEPS = 1888  # sum of the production segmentation array
+
+
+def run_combo(phantom, fields, step, thr):
+    criteria = TerminationCriteria(
+        max_steps=MAX_STEPS, min_dot=thr, step_length=step
+    )
+    seeds = seeds_from_mask(phantom.wm_mask)
+    return SegmentedTracker().run(fields, seeds, criteria, table2_strategy())
+
+
+def test_table2_report(benchmark, phantom1, phantom2, fields1, fields2, capsys):
+    """Build and render the full Table II grid; verify its shape."""
+
+    def build():
+        rows: list[Table2Row] = []
+        for name, phantom, fields in (
+            ("dataset1", phantom1, fields1),
+            ("dataset2", phantom2, fields2),
+        ):
+            for step, thr in TABLE2_GRID[name]:
+                run = run_combo(phantom, fields, step, thr)
+                rows.append(table2_row(name, step, thr, run))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = render_table(
+        Table2Row.HEADERS,
+        [r.cells() for r in rows],
+        title="Table II -- Speedup of probabilistic streamlining "
+        "(modeled device time; see EXPERIMENTS.md)",
+    )
+    emit(capsys, table)
+
+    d1 = [r for r in rows if r.dataset == "dataset1"]
+    d2 = [r for r in rows if r.dataset == "dataset2"]
+    # Dataset 2 is larger: more total work and CPU time.
+    assert min(r.total_fiber_length for r in d2) > 0
+    assert sum(r.cpu_s for r in d2) > sum(r.cpu_s for r in d1)
+    for r in rows:
+        assert r.speedup > 1.0, f"{r.dataset} {r.step_length}: no speedup"
+        assert r.cpu_s > r.kernel_s + r.reduction_s + r.transfer_s
+
+
+def test_table2_paper_scale_projection(
+    benchmark, phantom1, phantom2, fields1, fields2, capsys
+):
+    """Re-price the measured length distributions at the paper's scale.
+
+    205,082 / 402,194 seeds and 50 samples (the Table II setup): the
+    machine model is evaluated on tiled measured lengths, which puts the
+    device in the paper's occupancy regime.  Speedups must land in the
+    paper's 43-55x band's neighborhood.
+    """
+    import numpy as np
+
+    from repro.analysis import project_tracking_times, render_table
+    from repro.gpu.presets import PHENOM_X4, RADEON_5870
+
+    paper_seeds = {"dataset1": 205_082, "dataset2": 402_194}
+    paper_voxels = {"dataset1": 48 * 96 * 96, "dataset2": 60 * 102 * 102}
+    segments = table2_strategy().segments(MAX_STEPS)
+
+    def build():
+        rows = []
+        for name, phantom, fields in (
+            ("dataset1", phantom1, fields1),
+            ("dataset2", phantom2, fields2),
+        ):
+            for step, thr in TABLE2_GRID[name]:
+                run = run_combo(phantom, fields, step, thr)
+                scale_samples = 50 / run.n_samples
+                img = paper_voxels[name] * 2 * 4 * 4
+                p = project_tracking_times(
+                    run.lengths,
+                    segments,
+                    RADEON_5870,
+                    PHENOM_X4,
+                    target_threads=paper_seeds[name],
+                    image_bytes_per_sample=img,
+                )
+                rows.append(
+                    [
+                        name,
+                        step,
+                        thr,
+                        round(p.kernel_s * scale_samples, 2),
+                        round(p.reduction_s * scale_samples, 2),
+                        round(p.transfer_s * scale_samples, 2),
+                        round(p.cpu_s * scale_samples, 1),
+                        round(p.speedup, 1),
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = render_table(
+        ["Dataset", "Step", "AngThr", "Kernel(s)", "Reduce(s)", "Transfer(s)",
+         "CPU(s)", "Speedup"],
+        rows,
+        title="Table II projected to paper scale "
+        "(205k/402k seeds, 50 samples; paper speedups: 43-55x)",
+    )
+    emit(capsys, table)
+    speedups = np.array([r[-1] for r in rows])
+    assert np.all(speedups > 15), speedups
+    assert np.all(speedups < 150), speedups
+
+
+def test_bench_streamlining_wall_clock(benchmark, phantom1, fields1):
+    """Wall-clock of the lockstep executor (one dataset-1 combo)."""
+    step, thr = TABLE2_GRID["dataset1"][1]
+
+    def once():
+        return run_combo(phantom1, fields1[:3], step, thr)
+
+    run = benchmark.pedantic(once, rounds=2, iterations=1)
+    assert run.total_steps > 0

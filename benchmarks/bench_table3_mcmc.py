@@ -1,0 +1,76 @@
+"""Table III — MCMC sampling speedup.
+
+Two parts:
+
+1. **Machine-model table at paper scale** — the paper's exact voxel
+   counts (205,082 / 402,194), schedule (burn-in 500, L = 2), and the
+   calibrated device/host models.  The paper's speedups are 33.6x and
+   34.0x; the model must land in that band and, critically, be nearly
+   *identical* across the two datasets (the lockstep MCMC has no
+   divergence, so the ratio is scale-free once the device is saturated).
+
+2. **Wall-clock benchmark** of the real lockstep sampler on a phantom
+   voxel block (the functional implementation the model abstracts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analysis import Table3Row, render_table, table3_row
+from repro.gpu.presets import PHENOM_X4, RADEON_5870
+from repro.mcmc import MCMCConfig, MCMCSampler
+from repro.models import LogPosterior
+
+PAPER_MCMC = MCMCConfig(n_burnin=500, n_samples=50, sample_interval=2)
+PAPER_VOXELS = {"dataset1": 205_082, "dataset2": 402_194}
+PAPER_SPEEDUPS = {"dataset1": 33.6, "dataset2": 34.0}
+
+
+def test_table3_machine_model(benchmark, capsys):
+    """Render Table III from the calibrated machine model."""
+
+    def build():
+        return [
+            table3_row(name, n_vox, PAPER_MCMC, 9, RADEON_5870, PHENOM_X4)
+            for name, n_vox in PAPER_VOXELS.items()
+        ]
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = render_table(
+        Table3Row.HEADERS,
+        [r.cells() for r in rows],
+        title="Table III -- Speedup of diffusion parameter sampling "
+        "(machine model at paper scale; paper: 33.6x / 34.0x)",
+    )
+    emit(capsys, table)
+    for row in rows:
+        paper = PAPER_SPEEDUPS[row.dataset]
+        assert 0.5 * paper < row.speedup < 2.0 * paper, row
+    # The paper's signature: the two datasets' speedups agree closely.
+    assert abs(rows[0].speedup - rows[1].speedup) / rows[0].speedup < 0.05
+
+
+def test_bench_mcmc_lockstep_wall_clock(benchmark, phantom1, capsys):
+    """Wall-clock of the real lockstep sampler on a masked voxel block."""
+    wm = phantom1.wm_mask
+    flat = phantom1.dwi.data.reshape(-1, phantom1.dwi.data.shape[-1])
+    sel = np.flatnonzero(wm.reshape(-1))[:256]
+    post = LogPosterior(phantom1.gtab, flat[sel])
+    cfg = MCMCConfig(n_burnin=60, n_samples=10, sample_interval=2, adapt_every=20)
+
+    def run():
+        return MCMCSampler(cfg).run(post)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert res.samples.shape == (10, 256, 9)
+    updates = cfg.n_loops * 9 * 256
+    emit(
+        capsys,
+        f"lockstep MCMC: {updates} parameter updates in "
+        f"{res.wall_seconds:.2f}s wall "
+        f"({updates / res.wall_seconds / 1e3:.0f}k updates/s); "
+        f"final acceptance {res.acceptance_history[-1]:.2f}",
+    )
+    assert 0.1 < res.acceptance_history[-1] < 0.7

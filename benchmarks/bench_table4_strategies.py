@@ -1,0 +1,153 @@
+"""Table IV — comparison of segmentation strategies.
+
+The paper's central experiment: dataset 1 at step 0.1 / dot threshold 0.7
+(the Fig 6 configuration), MaxStep 888, comparing uniform strategies
+A_1...A_200, the monolithic A_MaxStep, and the increasing-interval arrays
+B and C.  Two tables are printed:
+
+* functional runs at bench scale (every strategy actually executed —
+  identical results, different modeled time);
+* the paper-scale projection (205k seeds, 50 samples) where the paper's
+  numbers live.
+
+Shape requirements (paper Table IV): totals fall then rise as k grows
+(sweet spot near A_10..A_50); A_1 is transfer-dominated; A_MaxStep is
+kernel-only-ish; B and C sit within ~25 % of the best uniform strategy
+while using an order of magnitude fewer launches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import (
+    Table4Row,
+    project_tracking_times,
+    render_table,
+    table4_row,
+)
+from repro.gpu.presets import PHENOM_X4, RADEON_5870
+from repro.tracking import (
+    SegmentedTracker,
+    SingleSegmentStrategy,
+    TerminationCriteria,
+    UniformStrategy,
+    paper_strategy_b,
+    paper_strategy_c,
+    seeds_from_mask,
+)
+
+MAX_STEPS = 888  # sum of strategy B, the Table IV budget
+CRITERIA = TerminationCriteria(max_steps=MAX_STEPS, min_dot=0.7, step_length=0.1)
+
+
+def strategies():
+    return [
+        UniformStrategy(1),
+        UniformStrategy(2),
+        UniformStrategy(5),
+        UniformStrategy(10),
+        UniformStrategy(20),
+        UniformStrategy(50),
+        UniformStrategy(100),
+        UniformStrategy(200),
+        SingleSegmentStrategy(),
+        paper_strategy_b(),
+        paper_strategy_c(),
+    ]
+
+
+@pytest.fixture(scope="module")
+def reference_run(phantom1, fields1):
+    """One functional run to obtain the measured length distribution."""
+    seeds = seeds_from_mask(phantom1.wm_mask)
+    return SegmentedTracker().run(
+        fields1, seeds, CRITERIA, paper_strategy_b()
+    )
+
+
+def test_table4_functional(benchmark, phantom1, fields1, capsys):
+    """Run every strategy for real at bench scale."""
+    seeds = seeds_from_mask(phantom1.wm_mask)
+    tracker = SegmentedTracker()
+
+    def build():
+        rows: list[Table4Row] = []
+        baseline = None
+        for strat in strategies():
+            run = tracker.run(fields1, seeds, CRITERIA, strat)
+            if baseline is None:
+                baseline = run.lengths
+            else:
+                np.testing.assert_array_equal(run.lengths, baseline)
+            rows.append(table4_row(strat.name, run))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit(
+        capsys,
+        render_table(
+            Table4Row.HEADERS,
+            [r.cells() for r in rows],
+            title="Table IV (functional, bench scale) -- identical results, "
+            "different modeled time",
+        ),
+    )
+    by_name = {r.strategy: r for r in rows}
+    # A_1 pays for transfers; the monolith pays in divergent kernels.
+    assert by_name["A_1"].transfer_s > by_name["A_1"].kernel_s
+    assert by_name["A_MaxStep"].kernel_s > by_name["A_MaxStep"].transfer_s
+    assert by_name["A_1"].total_s > by_name["A_20"].total_s
+
+
+def test_table4_paper_scale(benchmark, reference_run, capsys):
+    """Project every strategy to the paper's 205k seeds x 50 samples."""
+    img_bytes = 48 * 96 * 96 * 2 * 4 * 4
+    scale_samples = 50 / reference_run.n_samples
+
+    def build():
+        rows = []
+        for strat in strategies():
+            p = project_tracking_times(
+                reference_run.lengths,
+                strat.segments(MAX_STEPS),
+                RADEON_5870,
+                PHENOM_X4,
+                target_threads=205_082,
+                image_bytes_per_sample=img_bytes,
+            )
+            rows.append(
+                [
+                    strat.name,
+                    round(p.kernel_s * scale_samples, 2),
+                    round(p.reduction_s * scale_samples, 2),
+                    round(p.transfer_s * scale_samples, 2),
+                    round(p.total_s * scale_samples, 2),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit(
+        capsys,
+        render_table(
+            Table4Row.HEADERS,
+            rows,
+            title="Table IV projected to paper scale (205k seeds, 50 samples; "
+            "paper totals: A1=58.6 A2=33.3 A5=22.0 A10=19.0 A20=17.0 "
+            "A50=18.3 A100=26.4 A200=42.2 AMax=58.5 B=14.5 C=14.7)",
+        ),
+    )
+    totals = {r[0]: r[4] for r in rows}
+    uniform_keys = ["A_1", "A_2", "A_5", "A_10", "A_20", "A_50", "A_100", "A_200"]
+    uniform = [totals[k] for k in uniform_keys]
+    # U-shape: the minimum is interior, not at either end.
+    best_idx = int(np.argmin(uniform))
+    assert 1 <= best_idx <= 6, uniform
+    assert totals["A_1"] > 1.8 * min(uniform)
+    assert totals["A_MaxStep"] > 1.8 * min(uniform)
+    # Increasing-interval strategies land near the sweet spot.
+    assert totals["B"] < 1.4 * min(uniform)
+    assert totals["C"] < 1.4 * min(uniform)

@@ -1,0 +1,116 @@
+"""Deterministic vs. probabilistic tracking at a fiber crossing.
+
+The paper's introduction motivates the probabilistic multi-fiber
+framework with exactly this failure mode: a single-tensor deterministic
+tracker cannot represent two fiber populations in one voxel, so at a
+crossing the tensor turns planar, FA collapses, and tracking either stops
+or veers.  The multi-fiber pipeline carries both populations and passes
+straight through.
+
+Run:  python examples/crossing_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import deterministic_tractography
+from repro.data import crossing_pair, make_gradient_table, rasterize_bundles, synthesize_dwi
+from repro.mcmc import MCMCConfig
+from repro.pipeline import BedpostConfig, bedpost
+from repro.tracking import (
+    SegmentedTracker,
+    TerminationCriteria,
+    paper_strategy_b,
+)
+
+
+def main() -> None:
+    # Two bundles crossing at 60 degrees: oblique crossings are where
+    # the single-tensor model fails hardest -- the fitted principal
+    # direction becomes a weighted average of the two populations, so the
+    # deterministic tracker veers off both bundles.
+    shape = (30, 30, 8)
+    center = np.array([15.0, 15.0, 4.0])
+    b1, b2 = crossing_pair(center, half_length=13.0, angle=np.deg2rad(60),
+                           radius=2.0, weight=0.45)
+    truth = rasterize_bundles(shape, [b1, b2], mask=np.ones(shape, bool))
+    # b = 2000 s/mm^2: crossing resolution needs stronger diffusion
+    # weighting than the tensor-era b = 1000 (Behrens 2007 makes the
+    # same point about when the second fiber "can be gained").
+    gtab = make_gradient_table(n_directions=48, bvalue=2000.0, n_b0=4)
+    dwi = synthesize_dwi(truth, gtab, snr=40.0, seed=0)
+
+    # Seed on bundle 1 (the x-aligned tract), left of the crossing, and
+    # launch toward the crossing (+x).  Seed-direction signs are
+    # otherwise arbitrary, so production pipelines track both senses.
+    seeds = np.array([[4.0, 15.0, 4.0]])
+    toward = np.array([[1.0, 0.0, 0.0]])
+
+    # --- deterministic baseline -----------------------------------------
+    from repro.baselines.deterministic import tensor_field
+    from repro.tracking import BatchTracker
+
+    det_field, _ = tensor_field(dwi, gtab, truth.mask)
+    det_crit = TerminationCriteria(max_steps=400, min_dot=0.8,
+                                   step_length=0.3, f_threshold=0.25)
+
+    from repro.tracking import track_streamline
+
+    det_line = track_streamline(det_field, seeds[0], toward[0], det_crit)
+    det_dev = float(np.abs(det_line.points[:, 1] - 15.0).max())
+    print(f"deterministic: {det_line.n_steps} steps, end "
+          f"(x={det_line.end[0]:.1f}, y={det_line.end[1]:.1f}); "
+          f"max |y - 15| deviation from bundle 1: {det_dev:.1f} voxels")
+
+    # --- probabilistic multi-fiber pipeline ------------------------------
+    bp = bedpost(
+        dwi, gtab, truth.f[..., 0] > 0,
+        BedpostConfig(mcmc=MCMCConfig(n_burnin=400, n_samples=8,
+                                      sample_interval=2)),
+    )
+    run = SegmentedTracker().run(
+        bp.fields, seeds,
+        TerminationCriteria(max_steps=400, min_dot=0.8, step_length=0.3),
+        paper_strategy_b(),
+        headings=toward,
+    )
+    lengths = sorted(int(x) for x in run.lengths[:, 0])
+    print(f"probabilistic: per-sample lengths {lengths}")
+
+    # How far along x do probabilistic streamlines reach?  Re-track with
+    # kept paths for the geometric answer.
+
+    class _Paths:
+        streamlines = [
+            [track_streamline(
+                f, seeds[0], toward[0],
+                TerminationCriteria(max_steps=400, min_dot=0.8, step_length=0.3),
+            )]
+            for f in bp.fields
+        ]
+
+    cpu = _Paths()
+    max_x = max(s[0].points[:, 0].max() for s in cpu.streamlines)
+    frac_through = float(np.mean(
+        [s[0].points[:, 0].max() > 17.0 for s in cpu.streamlines]
+    ))
+    prob_dev = float(np.mean(
+        [np.abs(s[0].points[:, 1] - 15.0).max() for s in cpu.streamlines]
+    ))
+    print(f"probabilistic: deepest reach x={max_x:.1f}; "
+          f"{frac_through * 100:.0f}% of samples cross beyond x=17; "
+          f"mean max |y - 15| deviation: {prob_dev:.1f} voxels")
+
+    if frac_through > 0.5 and prob_dev < det_dev:
+        print("\n=> the deterministic tracker veers onto the averaged "
+              "tensor direction at the crossing; the multi-fiber "
+              "probabilistic tracker maintains the streamline's "
+              "orientation and passes through (paper sections I, III-B2).")
+    else:
+        print("\n(note: outcome depends on noise draw; see tests for the "
+              "statistically robust version)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Inspecting the MCMC sampler (paper Fig 2 and § IV-A).
+
+Runs the Metropolis-Hastings sampler on a handful of voxels, shows the
+acceptance-rate trajectory entering the paper's 25-50 % band under the
+windowed adaptation, and reports quantitative convergence diagnostics
+(effective sample size, Geweke z, split-R-hat across independently
+seeded chains) for the physically meaningful parameters.
+
+Run:  python examples/mcmc_diagnostics.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.data import make_gradient_table
+from repro.mcmc import (
+    MCMCConfig,
+    MCMCSampler,
+    effective_sample_size,
+    geweke_zscore,
+    split_rhat,
+)
+from repro.models import LogPosterior, MultiFiberModel
+
+
+def synthetic_voxels(gtab, n=6, seed=0):
+    """Voxels with a known single dominant fiber along +x."""
+    rng = np.random.default_rng(seed)
+    model = MultiFiberModel(2)
+    mu = model.predict(
+        gtab,
+        s0=np.full(n, 1000.0),
+        d=np.full(n, 1e-3),
+        f=np.tile([0.55, 0.0], (n, 1)),
+        theta=np.tile([np.pi / 2, 1.0], (n, 1)),
+        phi=np.tile([0.0, 1.0], (n, 1)),
+    )
+    return mu + rng.normal(scale=20.0, size=mu.shape)
+
+
+def main() -> None:
+    gtab = make_gradient_table(n_directions=32, n_b0=4)
+    data = synthetic_voxels(gtab)
+    post = LogPosterior(gtab, data)
+    cfg = MCMCConfig(n_burnin=800, n_samples=150, sample_interval=4,
+                     adapt_every=40, seed=0)
+    res = MCMCSampler(cfg).run(post)
+
+    print("acceptance-rate trajectory (one value per adaptation window, "
+          "target band 25-50%):")
+    bars = "".join(
+        "#" if 0.25 <= a <= 0.5 else "." for a in res.acceptance_history
+    )
+    print("  " + " ".join(f"{a:.2f}" for a in res.acceptance_history[:12]) + " ...")
+    print(f"  in-band windows: [{bars}]")
+
+    # Physically meaningful, label-invariant summaries: the two stick
+    # compartments can swap indices between samples ("label switching"),
+    # so per-slot chains like f1 alone are not identified -- diagnose the
+    # total stick fraction, diffusivity, and noise level instead.
+    lay = post.layout
+    f_total = res.samples[:, 0, lay.f].sum(axis=1)
+    chains = {
+        "f1+f2": f_total,
+        "d": res.samples[:, 0, lay.d],
+        "sigma": res.samples[:, 0, lay.sigma],
+    }
+    rows = []
+    for name, chain in chains.items():
+        rows.append([
+            name,
+            round(float(chain.mean()), 4),
+            round(effective_sample_size(chain), 1),
+            round(geweke_zscore(chain), 2),
+        ])
+    print()
+    print(render_table(
+        ["Parameter", "Posterior mean", "ESS", "Geweke z"],
+        rows,
+        title=f"Diagnostics for voxel 0 ({res.samples.shape[0]} samples, "
+        f"thinning L={cfg.sample_interval})",
+    ))
+
+    # Multi-chain agreement on the label-invariant statistic.
+    multi = [f_total]
+    for seed in (1, 2, 3):
+        cfg_s = MCMCConfig(n_burnin=800, n_samples=150, sample_interval=4,
+                           adapt_every=40, seed=seed)
+        r = MCMCSampler(cfg_s).run(post)
+        multi.append(r.samples[:, 0, lay.f].sum(axis=1))
+    rhat = split_rhat(np.array(multi))
+    print(f"\nsplit-R-hat of f1+f2 across 4 independently seeded chains: "
+          f"{rhat:.3f} (convergence: < ~1.1)")
+
+    # The true total stick fraction was 0.55; report recovery.
+    recovered = res.samples[:, :, lay.f].sum(axis=2).mean()
+    print(f"recovered total stick fraction = {recovered:.3f} (true 0.55)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""Tuning the segmentation strategy (paper § IV-B, Tables IV).
+
+Shows the library as a *tool*: track once to measure the fiber-length
+distribution, inspect its exponential fit, then compare segmentation
+strategies — the paper's A_k family, its hand-picked B/C arrays, and an
+auto-generated geometric ladder — on the machine model at any target
+scale, and pick a winner.
+
+Run:  python examples/segmentation_tuning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    project_tracking_times,
+    render_table,
+    utilization_report,
+)
+from repro.data import dataset1
+from repro.gpu.presets import PHENOM_X4, RADEON_5870
+from repro.models.fields import FiberField
+from repro.tracking import (
+    IncreasingStrategy,
+    SegmentedTracker,
+    SingleSegmentStrategy,
+    TerminationCriteria,
+    UniformStrategy,
+    fit_exponential,
+    increasing_intervals,
+    paper_strategy_b,
+    paper_strategy_c,
+    seeds_from_mask,
+)
+
+MAX_STEPS = 888
+TARGET_THREADS = 205_082  # tune for the paper's dataset-1 seed count
+
+
+def noisy_fields(phantom, n, scale=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    truth = phantom.truth
+    out = []
+    for _ in range(n):
+        has = truth.f > 0
+        noise = rng.normal(scale=scale, size=truth.directions.shape)
+        d = truth.directions + noise * has[..., None]
+        d /= np.maximum(np.linalg.norm(d, axis=-1, keepdims=True), 1e-12)
+        out.append(FiberField(f=truth.f.copy(), directions=d * has[..., None],
+                              mask=truth.mask))
+    return out
+
+
+def main() -> None:
+    phantom = dataset1(scale=0.3, snr=40.0)
+    seeds = seeds_from_mask(phantom.wm_mask)
+    fields = noisy_fields(phantom, 6)
+    criteria = TerminationCriteria(max_steps=MAX_STEPS, min_dot=0.8, step_length=0.2)
+
+    # 1. Measure the length distribution once.
+    run = SegmentedTracker().run(fields, seeds, criteria, paper_strategy_b())
+    fit = fit_exponential(run.lengths.ravel(), truncate_at=float(MAX_STEPS))
+    print(f"measured {run.lengths.size} fibers: mean {fit.mean:.1f} steps, "
+          f"rate {fit.rate:.4f}, semi-log R^2 {fit.r_squared:.2f}")
+
+    # 2. Fig 6 view: how much hardware each strategy family wastes.
+    strategies = [
+        SingleSegmentStrategy(),
+        UniformStrategy(1),
+        UniformStrategy(10),
+        UniformStrategy(50),
+        paper_strategy_b(),
+        paper_strategy_c(),
+        IncreasingStrategy(
+            increasing_intervals(MAX_STEPS, first=1, ratio=2.0), name="gen(r=2)"
+        ),
+        IncreasingStrategy(
+            increasing_intervals(MAX_STEPS, first=2, ratio=3.0), name="gen(r=3)"
+        ),
+    ]
+    util = utilization_report(run.lengths[0], strategies, MAX_STEPS)
+    print()
+    print(render_table(
+        ["Strategy", "Segments", "Utilization"],
+        [[u.strategy, u.n_segments, f"{u.utilization:.3f}"] for u in util],
+        title="SIMD utilization per strategy (Fig 6 geometry)",
+    ))
+
+    # 3. Machine-model totals at the paper's scale; pick the winner.
+    rows = []
+    for strat in strategies:
+        p = project_tracking_times(
+            run.lengths, strat.segments(MAX_STEPS), RADEON_5870, PHENOM_X4,
+            target_threads=TARGET_THREADS,
+            image_bytes_per_sample=48 * 96 * 96 * 2 * 4 * 4,
+        )
+        rows.append([strat.name, len(strat.segments(MAX_STEPS)),
+                     round(p.kernel_s, 2), round(p.transfer_s, 2),
+                     round(p.total_s, 2), round(p.speedup, 1)])
+    rows.sort(key=lambda r: r[4])
+    print()
+    print(render_table(
+        ["Strategy", "Segments", "Kernel(s)", "Transfer(s)", "Total(s)", "Speedup"],
+        rows,
+        title=f"Projected cost at {TARGET_THREADS} seeds (best first)",
+    ))
+    print(f"\nrecommended strategy: {rows[0][0]}")
+
+
+if __name__ == "__main__":
+    main()

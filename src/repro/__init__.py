@@ -1,0 +1,36 @@
+"""repro — a reproduction of *Probabilistic Brain Fiber Tractography on
+GPUs* (Xu et al., IPDPS Workshops / HiCOMB 2012).
+
+The library implements Behrens-style Bayesian probabilistic tractography
+end to end — multi-fiber diffusion modeling, per-voxel Metropolis-Hastings
+sampling with on-device-style Tausworthe RNG, and probabilistic
+streamlining with the paper's load-balancing segmentation strategies —
+against a calibrated SIMD/wavefront GPU execution-model simulator that
+reproduces the paper's kernel/reduction/transfer time decomposition.
+
+Quickstart::
+
+    from repro.data import dataset1
+    from repro.pipeline import run_workflow
+
+    phantom = dataset1(scale=0.25)
+    result = run_workflow(phantom)
+    print(result.report())
+
+Subpackages
+-----------
+- :mod:`repro.data` — synthetic DWI phantoms (dataset replicas)
+- :mod:`repro.models` — diffusion models (Table I, Eq. 1) and posterior
+- :mod:`repro.mcmc` — Metropolis-Hastings engine (Fig 2)
+- :mod:`repro.rng` — combined Tausworthe + Box-Muller device RNG
+- :mod:`repro.gpu` — SIMD/wavefront execution-model simulator
+- :mod:`repro.tracking` — probabilistic streamlining + segmentation
+- :mod:`repro.baselines` — deterministic / scalar-CPU / point-estimate
+- :mod:`repro.pipeline` — bedpost / tracto / full workflow drivers
+- :mod:`repro.analysis` — table & figure assembly
+- :mod:`repro.io` — NIfTI-1, gradient tables, TrackVis
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,58 @@
+"""Result assembly and reporting for the paper's tables and figures."""
+
+from repro.analysis.report import format_seconds, render_table
+from repro.analysis.speedup import (
+    Table2Row,
+    Table3Row,
+    Table4Row,
+    table2_row,
+    table3_row,
+    table4_row,
+)
+from repro.analysis.utilization import (
+    StrategyUtilization,
+    strategy_utilization,
+    utilization_report,
+)
+from repro.analysis.histograms import (
+    ascii_histogram,
+    load_profile,
+    neighbor_variation,
+    sorted_profile,
+)
+from repro.analysis.projection import (
+    ProjectedTimes,
+    project_tracking_times,
+    segment_executed,
+)
+from repro.analysis.compare import RunComparison, compare_lengths, dice_overlap
+from repro.analysis.gantt import render_gantt
+from repro.analysis.sweeps import SweepPoint, criteria_sweep, strategy_sweep
+
+__all__ = [
+    "render_table",
+    "format_seconds",
+    "Table2Row",
+    "Table3Row",
+    "Table4Row",
+    "table2_row",
+    "table3_row",
+    "table4_row",
+    "StrategyUtilization",
+    "strategy_utilization",
+    "utilization_report",
+    "ascii_histogram",
+    "load_profile",
+    "sorted_profile",
+    "neighbor_variation",
+    "ProjectedTimes",
+    "project_tracking_times",
+    "segment_executed",
+    "RunComparison",
+    "compare_lengths",
+    "dice_overlap",
+    "render_gantt",
+    "SweepPoint",
+    "criteria_sweep",
+    "strategy_sweep",
+]

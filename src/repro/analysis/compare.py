@@ -1,0 +1,88 @@
+"""Quantitative comparison of tracking results.
+
+The paper's Fig 12 claim — "CPU and GPU results are substantially the
+same" — is a visual one; this module quantifies agreement between any two
+runs (implementations, strategies, interpolation modes, MCMC vs.
+point-estimate samples): length agreement, stop-reason agreement, and
+Dice overlap of the visited-voxel sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RunComparison", "compare_lengths", "dice_overlap"]
+
+
+@dataclass(frozen=True)
+class RunComparison:
+    """Agreement statistics between two runs over identical seeds."""
+
+    n_streamlines: int
+    identical_lengths: float     # fraction with exactly equal step counts
+    length_correlation: float    # Pearson r of step counts
+    mean_abs_diff: float         # mean |length difference| (steps)
+    identical_reasons: float     # fraction with equal stop reasons
+
+    @property
+    def substantially_same(self) -> bool:
+        """The Fig 12 judgement, quantified."""
+        return self.identical_lengths > 0.95 and self.identical_reasons > 0.95
+
+
+def compare_lengths(
+    lengths_a: np.ndarray,
+    lengths_b: np.ndarray,
+    reasons_a: np.ndarray | None = None,
+    reasons_b: np.ndarray | None = None,
+) -> RunComparison:
+    """Compare two runs' per-streamline lengths (and optionally reasons)."""
+    a = np.asarray(lengths_a, dtype=np.float64).ravel()
+    b = np.asarray(lengths_b, dtype=np.float64).ravel()
+    if a.shape != b.shape or a.size == 0:
+        raise ConfigurationError(
+            f"length arrays must match and be non-empty, got {a.shape}, {b.shape}"
+        )
+    identical = float(np.mean(a == b))
+    if np.std(a) > 0 and np.std(b) > 0:
+        corr = float(np.corrcoef(a, b)[0, 1])
+    else:
+        corr = 1.0 if identical == 1.0 else 0.0
+    mad = float(np.mean(np.abs(a - b)))
+    if reasons_a is not None and reasons_b is not None:
+        ra = np.asarray(reasons_a).ravel()
+        rb = np.asarray(reasons_b).ravel()
+        if ra.shape != a.shape or rb.shape != b.shape:
+            raise ConfigurationError("reason arrays must match length arrays")
+        same_reasons = float(np.mean(ra == rb))
+    else:
+        same_reasons = float("nan")
+    return RunComparison(
+        n_streamlines=a.size,
+        identical_lengths=identical,
+        length_correlation=corr,
+        mean_abs_diff=mad,
+        identical_reasons=same_reasons,
+    )
+
+
+def dice_overlap(volume_a: np.ndarray, volume_b: np.ndarray, threshold: float = 0.0) -> float:
+    """Dice coefficient of two density/probability maps above ``threshold``.
+
+    ``2 |A ∩ B| / (|A| + |B|)`` over the binarized volumes; 1.0 for
+    identical support, and defined as 1.0 when both are empty.
+    """
+    a = np.asarray(volume_a) > threshold
+    b = np.asarray(volume_b) > threshold
+    if a.shape != b.shape:
+        raise ConfigurationError(
+            f"volumes must have equal shapes, got {a.shape}, {b.shape}"
+        )
+    total = int(a.sum()) + int(b.sum())
+    if total == 0:
+        return 1.0
+    return 2.0 * int((a & b).sum()) / total

@@ -1,0 +1,55 @@
+"""Text-mode schedule rendering (Figs 3, 7, 8 as ASCII Gantt charts).
+
+Each resource (device / bus / host) gets a row; events are drawn as
+character runs positioned by the same schedules the timeline computes.
+Useful for eyeballing where a strategy's time goes without leaving the
+terminal (the Chrome-trace exporter covers the interactive case).
+"""
+
+from __future__ import annotations
+
+from repro.errors import DeviceError
+from repro.gpu.timeline import Timeline, _RESOURCES
+from repro.gpu.trace_export import timeline_to_trace_events
+
+__all__ = ["render_gantt"]
+
+_GLYPH = {"kernel": "K", "transfer": "=", "reduction": "r"}
+_ROWS = ["device", "bus", "host"]
+_TID_TO_ROW = {0: "device", 1: "bus", 2: "host"}
+
+
+def render_gantt(
+    timeline: Timeline, width: int = 78, schedule: str = "overlapped"
+) -> str:
+    """Render the schedule as fixed-width rows, one per resource.
+
+    Characters: ``K`` kernel, ``=`` transfer, ``r`` reduction, ``.``
+    idle.  Events shorter than one column still paint one character, so
+    very fine schedules (e.g. ``A_1``) read as dense stripes.
+    """
+    if width < 10:
+        raise DeviceError(f"width must be >= 10, got {width}")
+    events = timeline_to_trace_events(timeline, schedule=schedule)
+    if not events:
+        return "(empty timeline)"
+    end_us = max(e["ts"] + e["dur"] for e in events)
+    if end_us <= 0:
+        return "(zero-duration timeline)"
+    scale = width / end_us
+
+    rows = {r: ["."] * width for r in _ROWS}
+    for e in events:
+        row = rows[_TID_TO_ROW[e["tid"]]]
+        start = int(e["ts"] * scale)
+        stop = max(start + 1, int((e["ts"] + e["dur"]) * scale))
+        glyph = _GLYPH[e["args"]["kind"]]
+        for i in range(start, min(stop, width)):
+            row[i] = glyph
+
+    total_s = end_us / 1e6
+    lines = [f"{schedule} schedule, {total_s:.4f}s end-to-end "
+             f"(K=kernel, ==transfer, r=reduction)"]
+    for r in _ROWS:
+        lines.append(f"{r:>6} |{''.join(rows[r])}|")
+    return "\n".join(lines)

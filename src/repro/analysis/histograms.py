@@ -1,0 +1,71 @@
+"""Fig 4 reproduction helpers and text-mode histograms.
+
+Fig 4 plots per-thread loads (a) in launch order, (b) sorted, and (c)
+with one sample's sorted order applied to *another* sample — showing that
+although the global trend transfers, neighbor-to-neighbor variance stays
+high, which is why sorting does not fix SIMD imbalance (§ IV-B "Sorting
+the Load").  :func:`neighbor_variation` quantifies that variance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["load_profile", "sorted_profile", "neighbor_variation", "ascii_histogram"]
+
+
+def load_profile(lengths: np.ndarray) -> np.ndarray:
+    """Fig 4(a): per-thread loads in launch order (a validated copy)."""
+    x = np.asarray(lengths, dtype=np.float64).ravel()
+    if x.size == 0:
+        raise ConfigurationError("no loads")
+    return x.copy()
+
+
+def sorted_profile(lengths: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Fig 4(b): loads sorted ascending, plus the sorting permutation."""
+    x = load_profile(lengths)
+    order = np.argsort(x, kind="stable")
+    return x[order], order
+
+
+def neighbor_variation(lengths: np.ndarray) -> float:
+    """Mean |difference| between consecutive threads' loads.
+
+    The quantity SIMD cares about: large neighbor variation means a
+    wavefront's slowest lane far exceeds its mean lane.  Sorting a
+    sample by *its own* loads sends this to ~0; applying that order to a
+    different sample leaves it high (the Fig 4(c) observation).
+    """
+    x = load_profile(lengths)
+    if x.size < 2:
+        return 0.0
+    return float(np.mean(np.abs(np.diff(x))))
+
+
+def ascii_histogram(
+    values: np.ndarray,
+    bins: int = 20,
+    width: int = 50,
+    log: bool = False,
+) -> str:
+    """A text histogram (the bench harness's "plot").
+
+    With ``log=True`` bar lengths are proportional to ``log(count + 1)``
+    — the Fig 5(c) semi-log view.
+    """
+    x = np.asarray(values, dtype=np.float64).ravel()
+    if x.size == 0:
+        raise ConfigurationError("no values to histogram")
+    if bins < 1 or width < 1:
+        raise ConfigurationError("bins and width must be >= 1")
+    hist, edges = np.histogram(x, bins=bins)
+    display = np.log1p(hist) if log else hist.astype(np.float64)
+    peak = display.max() if display.max() > 0 else 1.0
+    lines = []
+    for i, count in enumerate(hist):
+        bar = "#" * int(round(display[i] / peak * width))
+        lines.append(f"{edges[i]:10.1f}..{edges[i + 1]:<10.1f} |{bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Paper-scale projection of tracking times from measured lengths.
+
+The benches run phantoms a few hundredths the paper's size, so the raw
+machine-model times sit in a different occupancy regime than the paper's
+205k-402k seeds.  Since the machine model is a deterministic function of
+the per-thread step counts, we can *re-price* a measured length
+distribution at any thread count: tile the measured lengths to the target
+seed count, reconstruct each segment's per-thread executed iterations,
+and charge the same kernel/transfer/reduction models.  This is what the
+paper-scale columns in the Table II/IV benches report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpu.device import DeviceSpec, HostSpec
+from repro.gpu.simulator import kernel_time, reduction_time, transfer_time
+from repro.gpu.workload import (
+    BYTES_DOWN_PER_THREAD,
+    BYTES_UP_PER_THREAD,
+    segment_executed,
+)
+
+__all__ = ["ProjectedTimes", "project_tracking_times", "segment_executed"]
+
+
+@dataclass(frozen=True)
+class ProjectedTimes:
+    """Machine-model totals for a (possibly re-scaled) run."""
+
+    n_threads: int
+    n_samples: int
+    kernel_s: float
+    reduction_s: float
+    transfer_s: float
+    cpu_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.kernel_s + self.reduction_s + self.transfer_s
+
+    @property
+    def speedup(self) -> float:
+        return self.cpu_s / self.total_s if self.total_s > 0 else float("inf")
+
+
+def project_tracking_times(
+    lengths: np.ndarray,
+    segments: list[int],
+    device: DeviceSpec,
+    host: HostSpec,
+    target_threads: int | None = None,
+    image_bytes_per_sample: int = 0,
+) -> ProjectedTimes:
+    """Re-price measured lengths at a target seed count.
+
+    Parameters
+    ----------
+    lengths:
+        ``(n_samples, n_seeds)`` measured step counts.
+    segments:
+        The segmentation array used.
+    target_threads:
+        Seed count to project to (default: the measured count).  Lengths
+        are tiled (and truncated) to reach it, preserving the empirical
+        distribution and launch-order mixing.
+    image_bytes_per_sample:
+        Per-sample field upload (0 to ignore).
+    """
+    lengths = np.atleast_2d(np.asarray(lengths, dtype=np.int64))
+    n_samples, n_seeds = lengths.shape
+    if n_seeds == 0:
+        raise ConfigurationError("no seeds")
+    target = target_threads if target_threads is not None else n_seeds
+    if target < 1:
+        raise ConfigurationError(f"target_threads must be >= 1, got {target}")
+
+    kernel_s = reduction_s = transfer_s = 0.0
+    reps = -(-target // n_seeds)
+    for s in range(n_samples):
+        row = np.tile(lengths[s], reps)[:target]
+        if image_bytes_per_sample:
+            transfer_s += transfer_time(image_bytes_per_sample, device)
+        for execd in segment_executed(row, segments):
+            n_thr = execd.size
+            transfer_s += transfer_time(n_thr * BYTES_DOWN_PER_THREAD, device)
+            kernel_s += kernel_time(execd, device)
+            transfer_s += transfer_time(n_thr * BYTES_UP_PER_THREAD, device)
+            reduction_s += reduction_time(n_thr, host)
+    total_steps = float(lengths.sum()) * (target / n_seeds)
+    return ProjectedTimes(
+        n_threads=target,
+        n_samples=n_samples,
+        kernel_s=kernel_s,
+        reduction_s=reduction_s,
+        transfer_s=transfer_s,
+        cpu_s=total_steps * host.seconds_per_iteration,
+    )

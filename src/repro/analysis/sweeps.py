@@ -1,0 +1,131 @@
+"""Parameter-sweep harnesses.
+
+The paper's evaluation is a pair of grids — Table II sweeps (step length,
+angular threshold) per dataset, Table IV sweeps segmentation strategies.
+These helpers generalize both into reusable APIs: run a tracking
+configuration grid over fixed sample volumes and collect the full result
+set, so users can reproduce the tables on their own data or explore new
+regions of the space with a few lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpu.device import DeviceSpec, HostSpec
+from repro.gpu.presets import PHENOM_X4, RADEON_5870
+from repro.models.fields import FiberField
+from repro.tracking.criteria import TerminationCriteria
+from repro.tracking.executor import SegmentedTracker, TrackingRunResult
+from repro.tracking.segmentation import SegmentationStrategy
+
+__all__ = ["SweepPoint", "criteria_sweep", "strategy_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid cell's configuration and result."""
+
+    label: str
+    step_length: float
+    min_dot: float
+    strategy: str
+    result: TrackingRunResult
+
+    def summary_cells(self) -> list[object]:
+        """Row cells for :func:`repro.analysis.report.render_table`."""
+        r = self.result
+        return [
+            self.label,
+            self.step_length,
+            self.min_dot,
+            self.strategy,
+            r.total_steps,
+            round(r.gpu_total_seconds, 4),
+            round(r.speedup, 1),
+        ]
+
+    HEADERS = [
+        "Label", "Step", "MinDot", "Strategy", "TotalSteps", "GPU(s)", "Speedup",
+    ]
+
+
+def criteria_sweep(
+    fields: list[FiberField],
+    seeds: np.ndarray,
+    grid: list[tuple[float, float]],
+    strategy: SegmentationStrategy,
+    max_steps: int = 1888,
+    device: DeviceSpec = RADEON_5870,
+    host: HostSpec = PHENOM_X4,
+    label: str = "",
+) -> list[SweepPoint]:
+    """The Table II grid: run every ``(step_length, min_dot)`` pair.
+
+    Results share seeds, fields and strategy, so differences are purely
+    the termination criteria's.
+    """
+    if not grid:
+        raise ConfigurationError("grid must contain at least one point")
+    tracker = SegmentedTracker(device=device, host=host)
+    points = []
+    for step, min_dot in grid:
+        criteria = TerminationCriteria(
+            max_steps=max_steps, min_dot=min_dot, step_length=step
+        )
+        run = tracker.run(fields, seeds, criteria, strategy)
+        points.append(
+            SweepPoint(
+                label=label,
+                step_length=step,
+                min_dot=min_dot,
+                strategy=strategy.name,
+                result=run,
+            )
+        )
+    return points
+
+
+def strategy_sweep(
+    fields: list[FiberField],
+    seeds: np.ndarray,
+    strategies: list[SegmentationStrategy],
+    criteria: TerminationCriteria,
+    device: DeviceSpec = RADEON_5870,
+    host: HostSpec = PHENOM_X4,
+    label: str = "",
+    check_equivalence: bool = True,
+) -> list[SweepPoint]:
+    """The Table IV grid: run every strategy under fixed criteria.
+
+    With ``check_equivalence`` (default) the functional outputs of every
+    strategy are asserted identical — the correctness invariant that
+    makes Table IV purely a *performance* comparison.
+    """
+    if not strategies:
+        raise ConfigurationError("need at least one strategy")
+    tracker = SegmentedTracker(device=device, host=host)
+    points = []
+    reference = None
+    for strat in strategies:
+        run = tracker.run(fields, seeds, criteria, strat)
+        if check_equivalence:
+            if reference is None:
+                reference = run.lengths
+            elif not np.array_equal(run.lengths, reference):
+                raise ConfigurationError(
+                    f"strategy {strat.name!r} changed functional results"
+                )
+        points.append(
+            SweepPoint(
+                label=label,
+                step_length=criteria.step_length,
+                min_dot=criteria.min_dot,
+                strategy=strat.name,
+                result=run,
+            )
+        )
+    return points

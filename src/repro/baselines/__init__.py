@@ -1,0 +1,25 @@
+"""Baselines the paper compares against or builds upon.
+
+* :mod:`~repro.baselines.deterministic` — classic tensor-line
+  ("streamline in fluid dynamics") tractography, the approach whose
+  noise-sensitivity and crossing-blindness motivates the probabilistic
+  framework (paper § I);
+* :mod:`~repro.baselines.cpu_reference` — the scalar per-seed CPU
+  implementation of probabilistic streamlining (the paper's comparison
+  target for the speedup columns);
+* :mod:`~repro.baselines.point_estimate` — a Friman/McGraw-style
+  empirical-Bayes alternative that replaces MCMC with a per-voxel point
+  estimate plus analytic angular dispersion (paper § II related work).
+"""
+
+from repro.baselines.deterministic import DeterministicResult, deterministic_tractography
+from repro.baselines.cpu_reference import CpuTrackingResult, cpu_probabilistic_tracking
+from repro.baselines.point_estimate import PointEstimateModel
+
+__all__ = [
+    "DeterministicResult",
+    "deterministic_tractography",
+    "CpuTrackingResult",
+    "cpu_probabilistic_tracking",
+    "PointEstimateModel",
+]

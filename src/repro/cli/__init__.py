@@ -1,0 +1,21 @@
+"""Command-line entry points.
+
+Three commands mirror the workflow a downstream user runs:
+
+* ``repro-phantom`` — generate a synthetic acquisition (DWI NIfTI +
+  bvals/bvecs + mask) from a dataset replica;
+* ``repro-bedpost`` — stage 1: fit the multi-fiber model by MCMC and
+  save the posterior sample volumes;
+* ``repro-track`` — stage 2: probabilistic streamlining over saved
+  samples, writing streamlines (TrackVis), a track-density NIfTI, and a
+  timing report.
+
+Each module exposes ``main(argv)`` so the commands are scriptable and
+testable without a subprocess.
+"""
+
+from repro.cli.phantom_cmd import main as phantom_main
+from repro.cli.bedpost_cmd import main as bedpost_main
+from repro.cli.track_cmd import main as track_main
+
+__all__ = ["phantom_main", "bedpost_main", "track_main"]

@@ -1,0 +1,104 @@
+"""``repro-bedpost`` — stage 1: per-voxel MCMC over the multi-fiber model.
+
+Reads a DWI acquisition (``dwi.nii.gz`` + ``bvals``/``bvecs`` + a mask),
+runs the Metropolis-Hastings sampler, and writes:
+
+* ``samples.npz`` — the raw posterior samples + layout metadata (the
+  compact equivalent of Fig 1's "six 4-D volumes", consumed by
+  ``repro-track``);
+* ``mean_f1.nii.gz`` / ``mean_f2.nii.gz`` — posterior-mean volume
+  fractions (quick-look quality maps);
+* a timing report with the Table III machine-model speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.io import Volume, read_bvals_bvecs, read_nifti, write_nifti
+from repro.mcmc import MCMCConfig
+from repro.pipeline import BedpostConfig, bedpost
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-bedpost",
+        description="Fit the Bayesian multi-fiber model by MCMC (stage 1).",
+    )
+    p.add_argument("data_dir", type=Path,
+                   help="directory holding dwi.nii.gz, bvals, bvecs")
+    p.add_argument("--mask", type=Path, default=None,
+                   help="mask NIfTI (default: <data_dir>/wm_mask.nii.gz)")
+    p.add_argument("--output-dir", type=Path, default=None,
+                   help="output directory (default: <data_dir>/bedpost)")
+    p.add_argument("--burnin", type=int, default=500, help="burn-in loops")
+    p.add_argument("--samples", type=int, default=50, help="posterior samples")
+    p.add_argument("--interval", type=int, default=2, help="thinning L")
+    p.add_argument("--fibers", type=int, default=2, help="stick compartments N")
+    p.add_argument("--ard", action="store_true",
+                   help="ARD prior on secondary fibers")
+    p.add_argument("--noise-model", choices=["gaussian", "rician"],
+                   default="gaussian")
+    p.add_argument("--seed", type=int, default=0, help="chain RNG seed")
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    data_dir = args.data_dir
+    dwi = read_nifti(data_dir / "dwi.nii.gz")
+    gtab = read_bvals_bvecs(data_dir / "bvals", data_dir / "bvecs")
+    mask_path = args.mask or (data_dir / "wm_mask.nii.gz")
+    mask = read_nifti(mask_path).data.astype(bool)
+    if mask.ndim == 4:
+        mask = mask[..., 0]
+
+    cfg = BedpostConfig(
+        mcmc=MCMCConfig(
+            n_burnin=args.burnin,
+            n_samples=args.samples,
+            sample_interval=args.interval,
+            seed=args.seed,
+        ),
+        n_fibers=args.fibers,
+        ard=args.ard,
+        noise_model=args.noise_model,
+    )
+    result = bedpost(dwi, gtab, mask, cfg)
+
+    out = args.output_dir or (data_dir / "bedpost")
+    out.mkdir(parents=True, exist_ok=True)
+    from repro.io.samples import save_samples
+
+    save_samples(
+        out / "samples.npz",
+        result.samples,
+        mask,
+        result.layout,
+        cfg.f_threshold,
+        dwi.affine,
+    )
+    mean = result.samples.mean(axis=0)
+    lay = result.layout
+    for j in range(cfg.n_fibers):
+        vol = np.zeros(dwi.shape3, dtype=np.float32)
+        vol.reshape(-1)[mask.reshape(-1)] = mean[:, 3 + j]
+        write_nifti(out / f"mean_f{j + 1}.nii.gz", Volume(vol, dwi.affine))
+
+    print(
+        f"fit {result.n_voxels} voxels, {args.samples} samples "
+        f"({result.wall_seconds:.1f}s wall); modeled GPU "
+        f"{result.gpu_seconds:.1f}s vs CPU {result.cpu_seconds:.1f}s "
+        f"({result.speedup:.1f}x); wrote {out / 'samples.npz'}"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Acquisition-scheme construction.
+
+Real scanners use gradient direction sets optimized by electrostatic
+repulsion; the Fibonacci sphere lattice is a deterministic set with very
+similar uniformity, so schemes built here are representative of the tables
+shipped with datasets like the paper's CABI downloads (single shell,
+b ~ 1000 s/mm^2, a handful of b=0 volumes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.io.gradients import GradientTable
+from repro.utils.geometry import fibonacci_sphere
+
+__all__ = ["make_gradient_table"]
+
+
+def make_gradient_table(
+    n_directions: int = 32,
+    bvalue: float = 1000.0,
+    n_b0: int = 4,
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> GradientTable:
+    """A single-shell scheme: ``n_b0`` b=0 volumes + ``n_directions`` DWIs.
+
+    Parameters
+    ----------
+    n_directions:
+        Number of diffusion-weighted directions (>= 6 for tensor fitting).
+    bvalue:
+        Shell b-value in s/mm^2.
+    n_b0:
+        Number of b=0 volumes, prepended.
+    jitter:
+        Optional angular jitter (radians RMS) applied to the lattice, to
+        model scanner-table imprecision; directions are renormalized.
+    seed:
+        RNG seed for the jitter.
+    """
+    if n_directions < 1:
+        raise ConfigurationError(f"n_directions must be >= 1, got {n_directions}")
+    if n_b0 < 0:
+        raise ConfigurationError(f"n_b0 must be >= 0, got {n_b0}")
+    if bvalue <= 0:
+        raise ConfigurationError(f"bvalue must be positive, got {bvalue}")
+    dirs = fibonacci_sphere(n_directions)
+    if jitter > 0:
+        rng = np.random.default_rng(seed)
+        dirs = dirs + rng.normal(scale=jitter, size=dirs.shape)
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+    bvals = np.concatenate([np.zeros(n_b0), np.full(n_directions, bvalue)])
+    bvecs = np.concatenate([np.zeros((n_b0, 3)), dirs])
+    return GradientTable(bvals, bvecs)

@@ -1,0 +1,85 @@
+"""Loading a saved acquisition directory back into the pipeline.
+
+The inverse of what ``repro-phantom`` writes (and the layout real
+preprocessed datasets commonly use): ``dwi.nii.gz`` + ``bvals`` +
+``bvecs`` + optional masks.  Returns the same pieces
+:func:`repro.pipeline.bedpost.bedpost` consumes, so users can run the
+pipeline on data from disk identically to in-memory phantoms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.io import GradientTable, Volume, read_bvals_bvecs, read_nifti
+
+__all__ = ["Acquisition", "load_acquisition"]
+
+
+@dataclass
+class Acquisition:
+    """A loaded DWI session: data + scheme + masks."""
+
+    dwi: Volume
+    gtab: GradientTable
+    mask: np.ndarray
+    wm_mask: np.ndarray | None = None
+
+    @property
+    def n_valid(self) -> int:
+        """Masked-in voxel count."""
+        return int(self.mask.sum())
+
+
+def load_acquisition(directory: str | Path) -> Acquisition:
+    """Load ``dwi.nii.gz``/``dwi.nii`` + ``bvals``/``bvecs`` (+ masks).
+
+    ``mask.nii.gz`` defaults to all-ones when absent; ``wm_mask.nii.gz``
+    is optional and returned as None when absent.  The DWI volume must be
+    4-D with one trailing frame per gradient-table entry.
+    """
+    directory = Path(directory)
+    dwi_path = None
+    for name in ("dwi.nii.gz", "dwi.nii"):
+        if (directory / name).exists():
+            dwi_path = directory / name
+            break
+    if dwi_path is None:
+        raise DataError(f"no dwi.nii[.gz] in {directory}")
+    for name in ("bvals", "bvecs"):
+        if not (directory / name).exists():
+            raise DataError(f"missing {name} in {directory}")
+
+    dwi = read_nifti(dwi_path)
+    if dwi.data.ndim != 4:
+        raise DataError(f"dwi must be 4-D, got ndim={dwi.data.ndim}")
+    gtab = read_bvals_bvecs(directory / "bvals", directory / "bvecs")
+    if dwi.data.shape[-1] != len(gtab):
+        raise DataError(
+            f"dwi has {dwi.data.shape[-1]} frames but the gradient table "
+            f"has {len(gtab)} entries"
+        )
+
+    def read_mask(name: str) -> np.ndarray | None:
+        path = directory / name
+        if not path.exists():
+            return None
+        m = read_nifti(path).data
+        if m.ndim == 4:
+            m = m[..., 0]
+        if m.shape != dwi.shape3:
+            raise DataError(
+                f"{name} shape {m.shape} does not match grid {dwi.shape3}"
+            )
+        return m.astype(bool)
+
+    mask = read_mask("mask.nii.gz")
+    if mask is None:
+        mask = np.ones(dwi.shape3, dtype=bool)
+    return Acquisition(
+        dwi=dwi, gtab=gtab, mask=mask, wm_mask=read_mask("wm_mask.nii.gz")
+    )

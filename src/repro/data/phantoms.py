@@ -1,0 +1,248 @@
+"""Rasterizing bundles into ground-truth fields and synthesizing DWI data.
+
+The pipeline under test consumes exactly what a scanner session provides
+(Fig 1): a 4-D DWI volume, b-values, gradient directions, and a mask of
+valid voxels.  :func:`rasterize_bundles` paints parametric bundles into a
+ground-truth :class:`~repro.models.fields.FiberField` (up to two fiber
+populations per voxel, like the paper's ``N = 2`` model);
+:func:`synthesize_dwi` pushes that field through the Eq. 1 forward model
+and adds Rician noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+import numpy as np
+
+from repro.data.bundles import Bundle
+from repro.data.noise import add_gaussian_noise, add_rician_noise, sigma_for_snr
+from repro.errors import ConfigurationError, DataError
+from repro.io.gradients import GradientTable
+from repro.io.volume import Volume
+from repro.models.fields import FiberField
+from repro.models.multi_fiber import MultiFiberModel
+
+__all__ = ["Phantom", "rasterize_bundles", "synthesize_dwi", "ellipsoid_mask"]
+
+#: Bundles closer in angle than this (radians) merge into one population.
+MERGE_ANGLE = np.deg2rad(25.0)
+#: Total stick fraction cap; the rest stays isotropic ("ball").
+MAX_TOTAL_F = 0.9
+
+
+def ellipsoid_mask(shape3: tuple[int, int, int], margin: float = 0.05) -> np.ndarray:
+    """A brain-like ellipsoid inscribed in the grid (the "valid voxel" mask)."""
+    nx, ny, nz = shape3
+    x, y, z = np.meshgrid(
+        np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij"
+    )
+    cx, cy, cz = (nx - 1) / 2.0, (ny - 1) / 2.0, (nz - 1) / 2.0
+    rx, ry, rz = (1 - margin) * nx / 2.0, (1 - margin) * ny / 2.0, (1 - margin) * nz / 2.0
+    return ((x - cx) / rx) ** 2 + ((y - cy) / ry) ** 2 + ((z - cz) / rz) ** 2 <= 1.0
+
+
+def _paint_bundle(
+    shape3: tuple[int, int, int], bundle: Bundle
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rasterize one bundle; returns ``(hit_mask, unit_direction_volume)``.
+
+    Tangents are sign-aligned along the centerline before accumulation so
+    that antipodal flips do not cancel (fiber directions are axial).
+    """
+    nx, ny, nz = shape3
+    spacing = float(np.min(bundle.radius)) / 2.0
+    dense = bundle.resample(max(spacing, 0.25))
+    pts, rads, tans = dense.points, dense.radius, dense.tangents
+
+    # Sign-align consecutive tangents once, globally along the curve.
+    flips = np.ones(len(tans))
+    dots = np.sum(tans[1:] * tans[:-1], axis=1)
+    flips[1:] = np.cumprod(np.where(dots < 0, -1.0, 1.0))
+    tans = tans * flips[:, None]
+
+    acc = np.zeros(shape3 + (3,), dtype=np.float64)
+    hit = np.zeros(shape3, dtype=bool)
+    for p, r, t in zip(pts, rads, tans):
+        lo = np.maximum(np.floor(p - r).astype(int), 0)
+        hi = np.minimum(np.ceil(p + r).astype(int) + 1, [nx, ny, nz])
+        if np.any(lo >= hi):
+            continue
+        gx, gy, gz = np.meshgrid(
+            np.arange(lo[0], hi[0]),
+            np.arange(lo[1], hi[1]),
+            np.arange(lo[2], hi[2]),
+            indexing="ij",
+        )
+        d2 = (gx - p[0]) ** 2 + (gy - p[1]) ** 2 + (gz - p[2]) ** 2
+        inside = d2 <= r * r
+        if not inside.any():
+            continue
+        sub = (slice(lo[0], hi[0]), slice(lo[1], hi[1]), slice(lo[2], hi[2]))
+        acc[sub][inside] += t
+        hit[sub] |= inside
+
+    norm = np.linalg.norm(acc, axis=-1)
+    ok = hit & (norm > 1e-9)
+    dirs = np.zeros_like(acc)
+    dirs[ok] = acc[ok] / norm[ok, None]
+    return ok, dirs
+
+
+def rasterize_bundles(
+    shape3: tuple[int, int, int],
+    bundles: list[Bundle],
+    mask: np.ndarray | None = None,
+    max_fibers: int = 2,
+) -> FiberField:
+    """Paint bundles into a ground-truth fiber field.
+
+    Overlapping bundles whose directions differ by less than
+    ``MERGE_ANGLE`` merge into one population; otherwise they occupy
+    separate populations, up to ``max_fibers`` (extra bundles merge into
+    the angularly closest population).  Total stick fraction is capped at
+    ``MAX_TOTAL_F``.
+    """
+    if len(shape3) != 3 or any(s < 1 for s in shape3):
+        raise DataError(f"bad grid shape {shape3}")
+    if not bundles:
+        raise DataError("need at least one bundle")
+    if mask is None:
+        mask = ellipsoid_mask(shape3)
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != tuple(shape3):
+        raise DataError(f"mask shape {mask.shape} != grid {shape3}")
+
+    f = np.zeros(shape3 + (max_fibers,), dtype=np.float64)
+    dirs = np.zeros(shape3 + (max_fibers, 3), dtype=np.float64)
+    cos_merge = np.cos(MERGE_ANGLE)
+
+    for bundle in bundles:
+        hit, bdir = _paint_bundle(shape3, bundle)
+        hit &= mask
+        idx = np.argwhere(hit)
+        w = bundle.weight
+        for i, j, k in idx:
+            d = bdir[i, j, k]
+            placed = False
+            for slot in range(max_fibers):
+                if f[i, j, k, slot] == 0.0:
+                    f[i, j, k, slot] = w
+                    dirs[i, j, k, slot] = d
+                    placed = True
+                    break
+                if abs(np.dot(dirs[i, j, k, slot], d)) >= cos_merge:
+                    # Same population: keep the stronger weight, blend dirs.
+                    old = dirs[i, j, k, slot]
+                    sign = 1.0 if np.dot(old, d) >= 0 else -1.0
+                    blend = old * f[i, j, k, slot] + sign * d * w
+                    dirs[i, j, k, slot] = blend / np.linalg.norm(blend)
+                    f[i, j, k, slot] = max(f[i, j, k, slot], w)
+                    placed = True
+                    break
+            if not placed:
+                # All slots busy with distinct directions: merge into the
+                # angularly closest one.
+                dots = np.abs(dirs[i, j, k] @ d)
+                slot = int(np.argmax(dots))
+                f[i, j, k, slot] = max(f[i, j, k, slot], w)
+
+    # Cap total fraction, preserving ratios.
+    total = f.sum(axis=-1)
+    over = total > MAX_TOTAL_F
+    if over.any():
+        scale = np.ones_like(total)
+        scale[over] = MAX_TOTAL_F / total[over]
+        f *= scale[..., None]
+
+    # Order populations by descending fraction (f1 >= f2).
+    order = np.argsort(-f, axis=-1)
+    f = np.take_along_axis(f, order, axis=-1)
+    dirs = np.take_along_axis(dirs, order[..., None], axis=-2)
+    return FiberField(f=f, directions=dirs, mask=mask)
+
+
+def synthesize_dwi(
+    field: FiberField,
+    gtab: GradientTable,
+    s0: float = 1000.0,
+    d: float = 1.0e-3,
+    snr: float = 30.0,
+    noise: str = "rician",
+    seed: int = 0,
+    voxel_sizes: tuple[float, float, float] = (2.0, 2.0, 2.0),
+) -> Volume:
+    """Predict the DWI signal from a fiber field and add noise.
+
+    Voxels inside the mask use the Eq. 1 forward model (isotropic where no
+    fiber was painted); voxels outside the mask are zero signal plus noise
+    (air).  ``snr`` is defined on the b=0 white-matter signal ``s0``;
+    ``snr = inf`` (or <= 0 disallowed, use ``np.inf``) means noiseless.
+    """
+    if noise not in ("rician", "gaussian", "none"):
+        raise ConfigurationError(f"unknown noise model {noise!r}")
+    nx, ny, nz = field.shape3
+    n_meas = len(gtab)
+    data = np.zeros((nx, ny, nz, n_meas), dtype=np.float64)
+
+    flat_mask = field.mask.reshape(-1)
+    f_flat = field.f.reshape(-1, field.n_fibers)[flat_mask]
+    dirs_flat = field.directions.reshape(-1, field.n_fibers, 3)[flat_mask]
+    model = MultiFiberModel(n_fibers=field.n_fibers)
+    mu = model.predict_dirs(
+        gtab,
+        s0=np.full(f_flat.shape[0], s0),
+        d=np.full(f_flat.shape[0], d),
+        f=f_flat,
+        dirs=dirs_flat,
+    )
+    data.reshape(-1, n_meas)[flat_mask] = mu
+
+    if noise != "none" and np.isfinite(snr):
+        sigma = sigma_for_snr(s0, snr)
+        rng = np.random.default_rng(seed)
+        if noise == "rician":
+            data = add_rician_noise(data, sigma, rng)
+        else:
+            data = add_gaussian_noise(data, sigma, rng)
+    return Volume.from_voxel_sizes(data, voxel_sizes)
+
+
+@dataclass
+class Phantom:
+    """A complete synthetic acquisition: data + scheme + ground truth.
+
+    Attributes
+    ----------
+    dwi:
+        4-D :class:`Volume` of noisy measurements.
+    gtab:
+        The acquisition scheme.
+    truth:
+        Ground-truth :class:`FiberField` the data was generated from.
+    bundles:
+        The parametric bundles, for geometric validation of tracking.
+    name:
+        Dataset label used in reports.
+    """
+
+    dwi: Volume
+    gtab: GradientTable
+    truth: FiberField
+    bundles: list[Bundle] = dc_field(default_factory=list)
+    name: str = "phantom"
+
+    @property
+    def mask(self) -> np.ndarray:
+        """Valid-voxel mask (the paper's "white matter voxels" analogue)."""
+        return self.truth.mask
+
+    @property
+    def wm_mask(self) -> np.ndarray:
+        """Voxels with at least one painted fiber (seeding region)."""
+        return self.truth.mask & (self.truth.f[..., 0] > 0)
+
+    @property
+    def n_valid(self) -> int:
+        """Number of masked-in voxels (Table III's "# of Voxels")."""
+        return int(self.mask.sum())

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without catching
+unrelated bugs::
+
+    try:
+        run_workflow(cfg)
+    except ReproError as exc:
+        log.error("tractography failed: %s", exc)
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "DataError",
+    "ModelError",
+    "SamplerError",
+    "TrackingError",
+    "DeviceError",
+    "IOFormatError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration value is missing, inconsistent, or out of range."""
+
+
+class DataError(ReproError, ValueError):
+    """Input data (DWI volume, gradient table, mask, seeds) is malformed."""
+
+
+class ModelError(ReproError, ValueError):
+    """A diffusion model was given invalid parameters or inconsistent shapes."""
+
+
+class SamplerError(ReproError, RuntimeError):
+    """The MCMC sampler reached an invalid state (e.g. non-finite posterior)."""
+
+
+class TrackingError(ReproError, RuntimeError):
+    """The streamline tracker reached an invalid state."""
+
+
+class DeviceError(ReproError, RuntimeError):
+    """The simulated GPU device was used incorrectly (bad launch, OOM, ...)."""
+
+
+class IOFormatError(ReproError, ValueError):
+    """A file being read or written does not conform to its format."""

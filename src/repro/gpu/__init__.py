@@ -1,0 +1,72 @@
+"""A SIMD/wavefront GPU *execution-model* simulator.
+
+No physical GPU is available in this environment, so the paper's device is
+replaced by an analytic machine model (see DESIGN.md § 2).  The model
+captures exactly the effects the paper's evaluation measures:
+
+* **SIMD divergence** — threads execute in wavefronts (warps) of 32/64;
+  a wavefront's runtime is its *slowest* lane's iteration count (§ IV-B:
+  "their running time is that of the slowest thread");
+* **occupancy** — wavefronts are dispatched in order over a fixed number
+  of concurrent hardware slots, so dwindling thread counts in late
+  tracking segments under-utilize the device;
+* **kernel launch overhead** — a fixed cost per launch;
+* **PCIe transfers** — fixed per-transfer latency plus bytes/bandwidth
+  (the cost that sinks the per-step reduction strategy of Mittmann 2008);
+* **host reduction** — per-item compaction cost on the CPU.
+
+All times are *modeled seconds*, deterministic functions of the measured
+per-thread work; they are kept strictly separate from wall-clock
+measurements (see DESIGN.md "timing semantics").
+"""
+
+from repro.gpu.device import DeviceSpec, HostSpec
+from repro.gpu.presets import PHENOM_X4, RADEON_5870, RADEON_5870_MEMORY_BYTES
+from repro.gpu.memory import DeviceBuffer, DeviceMemory, Image3D
+from repro.gpu.simulator import (
+    KernelLaunch,
+    kernel_time,
+    reduction_time,
+    transfer_time,
+    wavefront_times,
+)
+from repro.gpu.occupancy import (
+    n_wavefronts,
+    utilization,
+    wasted_lane_iterations,
+)
+from repro.gpu.timeline import Event, Timeline
+from repro.gpu.multigpu import (
+    MultiGpuTimes,
+    multi_gpu_tracking_times,
+    partition_seeds,
+    scaling_curve,
+)
+from repro.gpu.trace_export import timeline_to_trace_events, write_chrome_trace
+
+__all__ = [
+    "DeviceSpec",
+    "HostSpec",
+    "RADEON_5870",
+    "PHENOM_X4",
+    "RADEON_5870_MEMORY_BYTES",
+    "DeviceBuffer",
+    "DeviceMemory",
+    "Image3D",
+    "KernelLaunch",
+    "kernel_time",
+    "reduction_time",
+    "transfer_time",
+    "wavefront_times",
+    "n_wavefronts",
+    "utilization",
+    "wasted_lane_iterations",
+    "Event",
+    "Timeline",
+    "MultiGpuTimes",
+    "multi_gpu_tracking_times",
+    "partition_seeds",
+    "scaling_curve",
+    "timeline_to_trace_events",
+    "write_chrome_trace",
+]

@@ -1,0 +1,119 @@
+"""Device and host machine-model specifications.
+
+Constants are *calibrated*, not measured: they are chosen so that, fed the
+paper's workload sizes, the model lands in the ballpark of the paper's
+Tables II-IV (see EXPERIMENTS.md for the calibration notes).  Every
+result that matters is a *ratio* or an *ordering*, which the model
+produces structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DeviceSpec", "HostSpec"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """An analytic GPU model.
+
+    Parameters
+    ----------
+    name:
+        Label used in reports.
+    wavefront_size:
+        SIMD width: threads per wavefront (AMD: 64, NVIDIA: 32).
+    n_slots:
+        Concurrent wavefront execution slots (compute units, folding in
+        latency-hiding multiplicity).
+    seconds_per_wavefront_iteration:
+        Modeled time for one wavefront to advance every lane by one
+        tracking iteration (interpolation + step + criteria).
+    kernel_launch_overhead_s:
+        Fixed cost per kernel launch (driver + dispatch).
+    transfer_latency_s:
+        Fixed cost per host<->device transfer (each direction) — the
+        synchronous-readback cost that dominates fine-grained strategies.
+    transfer_bandwidth_bps:
+        PCIe payload bandwidth, bytes/second.
+    memory_bytes:
+        Device global memory capacity (for allocation accounting).
+    seconds_per_wavefront_mcmc_update:
+        Modeled time for one wavefront to perform one MH parameter update
+        per lane (likelihood evaluation dominated; used by the Table III
+        model).
+    """
+
+    name: str
+    wavefront_size: int
+    n_slots: int
+    seconds_per_wavefront_iteration: float
+    kernel_launch_overhead_s: float
+    transfer_latency_s: float
+    transfer_bandwidth_bps: float
+    memory_bytes: int
+    seconds_per_wavefront_mcmc_update: float = 5e-5
+
+    def __post_init__(self) -> None:
+        if self.wavefront_size < 1:
+            raise ConfigurationError(
+                f"wavefront_size must be >= 1, got {self.wavefront_size}"
+            )
+        if self.n_slots < 1:
+            raise ConfigurationError(f"n_slots must be >= 1, got {self.n_slots}")
+        for field in (
+            "seconds_per_wavefront_iteration",
+            "kernel_launch_overhead_s",
+            "transfer_latency_s",
+            "transfer_bandwidth_bps",
+            "seconds_per_wavefront_mcmc_update",
+        ):
+            if getattr(self, field) <= 0:
+                raise ConfigurationError(f"{field} must be positive")
+        if self.memory_bytes <= 0:
+            raise ConfigurationError("memory_bytes must be positive")
+
+    @property
+    def peak_thread_iterations_per_second(self) -> float:
+        """Raw throughput: lanes that advance per second at full occupancy."""
+        return (
+            self.wavefront_size * self.n_slots
+            / self.seconds_per_wavefront_iteration
+        )
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """An analytic CPU model (the paper's reference implementation).
+
+    Parameters
+    ----------
+    seconds_per_iteration:
+        Modeled time for the scalar CPU tracker to advance one streamline
+        by one step.
+    seconds_per_mcmc_loop_parameter:
+        Modeled time for one MH parameter update of one voxel.
+    reduction_seconds_per_item:
+        Host-side compaction cost per thread result between segments.
+    reduction_base_s:
+        Fixed host cost per reduction pass.
+    """
+
+    name: str
+    seconds_per_iteration: float
+    seconds_per_mcmc_loop_parameter: float
+    reduction_seconds_per_item: float
+    reduction_base_s: float
+
+    def __post_init__(self) -> None:
+        for field in (
+            "seconds_per_iteration",
+            "seconds_per_mcmc_loop_parameter",
+            "reduction_seconds_per_item",
+            "reduction_base_s",
+        ):
+            if getattr(self, field) <= 0:
+                raise ConfigurationError(f"{field} must be positive")

@@ -1,0 +1,132 @@
+"""Multi-GPU scaling model (paper § VI).
+
+The paper argues its framework "has considerable scalability, since the
+communication of parallel threads is negligible.  Little adaptation is
+needed to extend the current implementation to the multi-GPU version,
+and proportional performance gains can be expected."  This module makes
+that claim checkable: seeds are partitioned across ``n_devices`` copies
+of the device model; kernels run in parallel, but the PCIe bus and the
+host reduction thread are *shared* and serialize — so the model predicts
+where proportionality holds (kernel-bound strategies) and where it
+saturates (transfer-bound ones like A_1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpu.workload import (
+    BYTES_DOWN_PER_THREAD,
+    BYTES_UP_PER_THREAD,
+    segment_executed,
+)
+from repro.gpu.device import DeviceSpec, HostSpec
+from repro.gpu.simulator import kernel_time, reduction_time, transfer_time
+
+__all__ = ["MultiGpuTimes", "partition_seeds", "multi_gpu_tracking_times", "scaling_curve"]
+
+
+def partition_seeds(n_seeds: int, n_devices: int) -> list[slice]:
+    """Contiguous, near-equal seed ranges, one per device."""
+    if n_seeds < 1:
+        raise ConfigurationError(f"n_seeds must be >= 1, got {n_seeds}")
+    if n_devices < 1:
+        raise ConfigurationError(f"n_devices must be >= 1, got {n_devices}")
+    base, extra = divmod(n_seeds, n_devices)
+    out = []
+    start = 0
+    for d in range(n_devices):
+        size = base + (1 if d < extra else 0)
+        out.append(slice(start, start + size))
+        start += size
+    return out
+
+
+@dataclass(frozen=True)
+class MultiGpuTimes:
+    """Modeled times for one device count."""
+
+    n_devices: int
+    kernel_s: float       # max over devices (parallel execution)
+    transfer_s: float     # shared-bus serial total
+    reduction_s: float    # single-host serial total
+    cpu_s: float          # the scalar-CPU reference for the same work
+
+    @property
+    def total_s(self) -> float:
+        return self.kernel_s + self.transfer_s + self.reduction_s
+
+    @property
+    def speedup(self) -> float:
+        return self.cpu_s / self.total_s if self.total_s > 0 else float("inf")
+
+
+def multi_gpu_tracking_times(
+    lengths: np.ndarray,
+    segments: list[int],
+    device: DeviceSpec,
+    host: HostSpec,
+    n_devices: int,
+    image_bytes_per_sample: int = 0,
+) -> MultiGpuTimes:
+    """Model the tracking stage split across ``n_devices``.
+
+    ``lengths`` is ``(n_samples, n_seeds)`` measured step counts; each
+    device receives a contiguous seed range for every sample.  Per
+    segment, each device's kernel runs concurrently with the others'
+    (time = max); every device's seed payload crosses the one PCIe bus
+    and is compacted by the one host thread (times = sum).  Sample
+    volumes are broadcast: each device uploads its own copy.
+    """
+    lengths = np.atleast_2d(np.asarray(lengths, dtype=np.int64))
+    n_samples, n_seeds = lengths.shape
+    parts = partition_seeds(n_seeds, n_devices)
+
+    kernel_s = transfer_s = reduction_s = 0.0
+    for s in range(n_samples):
+        if image_bytes_per_sample:
+            transfer_s += n_devices * transfer_time(image_bytes_per_sample, device)
+        per_dev = [segment_executed(lengths[s, p], segments) for p in parts]
+        n_segments = max((len(x) for x in per_dev), default=0)
+        for i in range(n_segments):
+            seg_kernel = 0.0
+            for dev in per_dev:
+                if i >= len(dev):
+                    continue
+                execd = dev[i]
+                transfer_s += transfer_time(
+                    execd.size * BYTES_DOWN_PER_THREAD, device
+                )
+                seg_kernel = max(seg_kernel, kernel_time(execd, device))
+                transfer_s += transfer_time(
+                    execd.size * BYTES_UP_PER_THREAD, device
+                )
+                reduction_s += reduction_time(execd.size, host)
+            kernel_s += seg_kernel
+    return MultiGpuTimes(
+        n_devices=n_devices,
+        kernel_s=kernel_s,
+        transfer_s=transfer_s,
+        reduction_s=reduction_s,
+        cpu_s=float(lengths.sum()) * host.seconds_per_iteration,
+    )
+
+
+def scaling_curve(
+    lengths: np.ndarray,
+    segments: list[int],
+    device: DeviceSpec,
+    host: HostSpec,
+    device_counts: list[int],
+    image_bytes_per_sample: int = 0,
+) -> list[MultiGpuTimes]:
+    """Modeled times across a list of device counts (the § VI claim)."""
+    return [
+        multi_gpu_tracking_times(
+            lengths, segments, device, host, n, image_bytes_per_sample
+        )
+        for n in device_counts
+    ]

@@ -1,0 +1,95 @@
+"""SIMD utilization accounting (the quantities behind Fig 6).
+
+Fig 6 draws the cumulative fiber-length distribution and reads off two
+areas: the area under the curve is the *necessary* work, and the enclosing
+rectangle(s) — one per segment — are what SIMD lockstep actually pays.
+These helpers compute the same geometry from measured per-thread step
+counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.gpu.simulator import wavefront_times
+
+__all__ = ["n_wavefronts", "utilization", "wasted_lane_iterations", "rectangle_area"]
+
+
+def n_wavefronts(n_threads: int, wavefront_size: int) -> int:
+    """Wavefronts needed for ``n_threads`` (ceil division)."""
+    if n_threads < 0:
+        raise DeviceError(f"n_threads must be >= 0, got {n_threads}")
+    if wavefront_size < 1:
+        raise DeviceError(f"wavefront_size must be >= 1, got {wavefront_size}")
+    return -(-n_threads // wavefront_size)
+
+
+def wasted_lane_iterations(
+    thread_iterations: np.ndarray, wavefront_size: int
+) -> float:
+    """Idle lane-iterations: lanes stalled while wavefront peers finish.
+
+    For each wavefront, every lane pays the wavefront's max iteration
+    count; waste is that total minus the useful (executed) iterations.
+    Padding lanes of the final partial wavefront count as waste — they
+    occupy hardware.
+    """
+    iters = np.asarray(thread_iterations, dtype=np.float64)
+    waves = wavefront_times(iters, wavefront_size)
+    paid = float(waves.sum() * wavefront_size)
+    useful = float(iters.sum())
+    return paid - useful
+
+
+def utilization(thread_iterations: np.ndarray, wavefront_size: int) -> float:
+    """Useful / paid lane-iterations, in [0, 1]; 1.0 for an empty launch."""
+    iters = np.asarray(thread_iterations, dtype=np.float64)
+    if iters.size == 0:
+        return 1.0
+    waves = wavefront_times(iters, wavefront_size)
+    paid = float(waves.sum() * wavefront_size)
+    if paid == 0.0:
+        return 1.0
+    return float(iters.sum()) / paid
+
+
+def rectangle_area(
+    fiber_lengths: np.ndarray, segmentation: list[int] | np.ndarray
+) -> tuple[float, float, list[tuple[int, int]]]:
+    """Fig 6 geometry for a segmentation array.
+
+    Treats the whole device as one SIMD group (the figure's idealization):
+    segment ``i`` runs ``NumIteration[i]`` iterations with however many
+    threads are still active at its start, paying
+    ``active * NumIteration[i]`` lane-iterations (clipped to the work
+    remaining for the final segment reached by each fiber).
+
+    Returns
+    -------
+    (useful, paid, rectangles):
+        ``useful`` is the total fiber length (area under the cumulative
+        curve), ``paid`` the sum of rectangle areas, and ``rectangles``
+        the ``(active_threads, iterations)`` list, one per segment.
+    """
+    lengths = np.asarray(fiber_lengths, dtype=np.float64)
+    if lengths.ndim != 1 or np.any(lengths < 0):
+        raise DeviceError("fiber_lengths must be a 1-D non-negative array")
+    seg = np.asarray(segmentation, dtype=np.int64)
+    if seg.ndim != 1 or np.any(seg < 0):
+        raise DeviceError("segmentation must be 1-D with non-negative entries")
+    useful = float(lengths.sum())
+    paid = 0.0
+    rects: list[tuple[int, int]] = []
+    start = 0.0
+    for iters in seg:
+        if iters == 0:
+            continue
+        active = int(np.count_nonzero(lengths > start))
+        if active == 0:
+            break
+        paid += active * float(iters)
+        rects.append((active, int(iters)))
+        start += float(iters)
+    return useful, paid, rects

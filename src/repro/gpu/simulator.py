@@ -1,0 +1,128 @@
+"""Core timing model: kernels, transfers, reductions.
+
+The central quantity is the vector of *per-thread executed iteration
+counts* for a kernel launch — produced by the functional tracker, which
+records how many steps each streamline actually advanced inside the
+segment.  From it the model computes:
+
+* per-wavefront time: the max lane count in each consecutive group of
+  ``wavefront_size`` threads (SIMD lockstep — the slowest lane gates the
+  wavefront, § IV-B);
+* kernel makespan: wavefronts dispatched in order onto ``n_slots``
+  concurrent slots (greedy earliest-available-slot, which for in-order
+  dispatch equals round-robin when times are similar).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.gpu.device import DeviceSpec, HostSpec
+
+__all__ = ["wavefront_times", "kernel_time", "transfer_time", "reduction_time", "KernelLaunch"]
+
+
+def wavefront_times(thread_iterations: np.ndarray, wavefront_size: int) -> np.ndarray:
+    """Per-wavefront iteration counts: max over each lane group.
+
+    ``thread_iterations[i]`` is the number of iterations thread ``i``
+    executed.  Threads are grouped in launch order (the hardware's
+    consecutive-ID grouping); the final partial wavefront is padded with
+    idle lanes.
+    """
+    iters = np.asarray(thread_iterations, dtype=np.float64)
+    if iters.ndim != 1:
+        raise DeviceError(f"thread_iterations must be 1-D, got {iters.shape}")
+    if iters.size == 0:
+        return np.zeros(0)
+    if np.any(iters < 0):
+        raise DeviceError("thread iteration counts must be >= 0")
+    n = iters.shape[0]
+    n_waves = -(-n // wavefront_size)
+    padded = np.zeros(n_waves * wavefront_size)
+    padded[:n] = iters
+    return padded.reshape(n_waves, wavefront_size).max(axis=1)
+
+
+def _makespan(wave_times: np.ndarray, n_slots: int) -> float:
+    """In-order dispatch of wavefronts onto ``n_slots`` concurrent slots.
+
+    Greedy: each wavefront starts on the earliest-free slot.  Exact for
+    the in-order dispatch GPUs use; cost O(W log S).
+    """
+    if wave_times.size == 0:
+        return 0.0
+    if wave_times.size <= n_slots:
+        return float(wave_times.max())
+    slots = [0.0] * n_slots
+    heapq.heapify(slots)
+    for t in wave_times:
+        earliest = heapq.heappop(slots)
+        heapq.heappush(slots, earliest + float(t))
+    return max(slots)
+
+
+def kernel_time(
+    thread_iterations: np.ndarray,
+    spec: DeviceSpec,
+    per_iteration_s: float | None = None,
+) -> float:
+    """Modeled duration of one kernel launch.
+
+    Parameters
+    ----------
+    thread_iterations:
+        Executed iteration count per thread, in launch order.
+    spec:
+        Device model.
+    per_iteration_s:
+        Cost of one wavefront iteration; defaults to the spec's tracking
+        iteration cost (pass the MCMC cost for sampling kernels).
+
+    Returns
+    -------
+    float
+        ``launch_overhead + makespan(wavefronts over slots)`` seconds.
+        An empty launch still pays the launch overhead.
+    """
+    if per_iteration_s is None:
+        per_iteration_s = spec.seconds_per_wavefront_iteration
+    waves = wavefront_times(thread_iterations, spec.wavefront_size)
+    return spec.kernel_launch_overhead_s + _makespan(
+        waves * per_iteration_s, spec.n_slots
+    )
+
+
+def transfer_time(n_bytes: int | float, spec: DeviceSpec) -> float:
+    """One host<->device transfer: fixed latency + bytes / bandwidth."""
+    if n_bytes < 0:
+        raise DeviceError(f"n_bytes must be >= 0, got {n_bytes}")
+    return spec.transfer_latency_s + float(n_bytes) / spec.transfer_bandwidth_bps
+
+
+def reduction_time(n_items: int, host: HostSpec) -> float:
+    """One host-side compaction pass over ``n_items`` thread results."""
+    if n_items < 0:
+        raise DeviceError(f"n_items must be >= 0, got {n_items}")
+    return host.reduction_base_s + n_items * host.reduction_seconds_per_item
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """Record of one simulated launch (for timelines and reports)."""
+
+    label: str
+    n_threads: int
+    max_iterations: int
+    executed_iterations: int
+    seconds: float
+
+    @property
+    def useful_fraction(self) -> float:
+        """Executed lane-iterations over the launch's iteration budget."""
+        budget = self.n_threads * max(self.max_iterations, 1)
+        return self.executed_iterations / budget if budget else 0.0

@@ -1,0 +1,110 @@
+"""Event timeline for the modeled execution (Figs 3, 7, 8).
+
+The executor appends typed events (kernel / transfer / reduction); the
+timeline accumulates per-kind totals — the columns of Tables II and IV —
+and supports the *overlap* schedule of Fig 8, where the host's reduction
+of sample ``k`` runs concurrently with the device's kernel for sample
+``k+1``: events are placed on two resources (host, device) and the
+critical-path end time is computed instead of the serial sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+
+__all__ = ["Event", "Timeline"]
+
+#: Event kinds and the resource each occupies in overlap mode.
+_RESOURCES = {
+    "kernel": "device",
+    "transfer": "bus",
+    "reduction": "host",
+}
+
+
+@dataclass(frozen=True)
+class Event:
+    """One modeled action."""
+
+    kind: str
+    label: str
+    seconds: float
+    stream: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _RESOURCES:
+            raise DeviceError(
+                f"unknown event kind {self.kind!r}; expected one of {sorted(_RESOURCES)}"
+            )
+        if self.seconds < 0:
+            raise DeviceError(f"event duration must be >= 0, got {self.seconds}")
+
+
+class Timeline:
+    """An ordered event log with serial and overlapped schedules."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def add(self, kind: str, label: str, seconds: float, stream: int = 0) -> Event:
+        """Append an event and return it."""
+        ev = Event(kind=kind, label=label, seconds=seconds, stream=stream)
+        self.events.append(ev)
+        return ev
+
+    def total(self, kind: str | None = None) -> float:
+        """Serial total duration, optionally restricted to one kind."""
+        if kind is not None and kind not in _RESOURCES:
+            raise DeviceError(f"unknown event kind {kind!r}")
+        return sum(e.seconds for e in self.events if kind is None or e.kind == kind)
+
+    def totals(self) -> dict[str, float]:
+        """Per-kind serial totals: the Table II/IV column set."""
+        out = {k: 0.0 for k in _RESOURCES}
+        for e in self.events:
+            out[e.kind] += e.seconds
+        return out
+
+    def serial_end(self) -> float:
+        """End time when every event runs back-to-back (Figs 3, 7)."""
+        return self.total()
+
+    def overlapped_end(self) -> float:
+        """End time under the Fig 8 schedule.
+
+        Events are processed in log order.  Events in the *same stream*
+        are strictly ordered (a segment's reduction cannot start before
+        its kernel finished); events in different streams may overlap,
+        but each *resource* (device / bus / host) serializes.  This is a
+        list-scheduling model: each event starts at
+        ``max(resource_free, stream_free)``.
+        """
+        resource_free: dict[str, float] = {r: 0.0 for r in set(_RESOURCES.values())}
+        stream_free: dict[int, float] = {}
+        end = 0.0
+        for e in self.events:
+            res = _RESOURCES[e.kind]
+            start = max(resource_free[res], stream_free.get(e.stream, 0.0))
+            finish = start + e.seconds
+            resource_free[res] = finish
+            stream_free[e.stream] = finish
+            end = max(end, finish)
+        return end
+
+    def overlap_saving(self) -> float:
+        """Seconds saved by the overlapped schedule vs. the serial one."""
+        return self.serial_end() - self.overlapped_end()
+
+    def merge(self, other: "Timeline") -> None:
+        """Append another timeline's events (in order)."""
+        self.events.extend(other.events)
+
+    def summary(self) -> str:
+        """Fixed-width per-kind totals plus both schedule end times."""
+        t = self.totals()
+        lines = [f"{k:<10} {v:10.4f} s" for k, v in sorted(t.items())]
+        lines.append(f"{'serial':<10} {self.serial_end():10.4f} s")
+        lines.append(f"{'overlap':<10} {self.overlapped_end():10.4f} s")
+        return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Per-segment workload decomposition from fiber lengths.
+
+Low-level helpers shared by the paper-scale projection
+(:mod:`repro.analysis.projection`) and the multi-GPU model
+(:mod:`repro.gpu.multigpu`): given each streamline's total step count and
+a segmentation array, reconstruct the per-thread executed iterations of
+every kernel launch — the machine model's input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BYTES_DOWN_PER_THREAD", "BYTES_UP_PER_THREAD", "segment_executed"]
+
+#: Per-thread payload bytes (see BatchState.payload_bytes_*).
+BYTES_DOWN_PER_THREAD = 28
+BYTES_UP_PER_THREAD = 32
+
+
+def segment_executed(
+    lengths: np.ndarray, segments: list[int]
+) -> list[np.ndarray]:
+    """Per-segment executed-iteration arrays for threads active at entry.
+
+    A thread with total length ``L`` executes
+    ``clip(L - offset_i, 0, d_i)`` useful iterations in segment ``i`` and
+    is present (transferred, reduced, occupying a lane) while
+    ``L > offset_i`` — with every thread present in segment 0, matching
+    the executor (a thread's terminal decision iteration keeps it in the
+    launch that kills it).
+    """
+    lengths = np.asarray(lengths, dtype=np.int64).ravel()
+    if np.any(lengths < 0):
+        raise ConfigurationError("lengths must be >= 0")
+    out = []
+    offset = 0
+    for d in segments:
+        if d <= 0:
+            raise ConfigurationError(f"segment durations must be positive, got {d}")
+        active = lengths > offset if offset else np.ones(lengths.size, bool)
+        if not active.any():
+            break
+        execd = np.clip(lengths[active] - offset, 0, d)
+        # The stopping thread still executes its decision iteration.
+        stopping = (lengths[active] - offset) < d
+        execd = execd + stopping
+        out.append(np.minimum(execd, d))
+        offset += d
+    return out

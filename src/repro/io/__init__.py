@@ -1,0 +1,23 @@
+"""Imaging I/O: volumes with affines, NIfTI-1, FSL gradient tables, TrackVis.
+
+``nibabel`` is not a dependency; the NIfTI-1 reader/writer here implements
+the subset of the format the pipeline needs (single-file ``.nii`` /
+``.nii.gz``, scalar dtypes, sform affine), which is also what the CABI
+datasets the paper uses ship as.
+"""
+
+from repro.io.volume import Volume
+from repro.io.nifti import read_nifti, write_nifti
+from repro.io.gradients import GradientTable, read_bvals_bvecs, write_bvals_bvecs
+from repro.io.trk import read_trk, write_trk
+
+__all__ = [
+    "Volume",
+    "read_nifti",
+    "write_nifti",
+    "GradientTable",
+    "read_bvals_bvecs",
+    "write_bvals_bvecs",
+    "read_trk",
+    "write_trk",
+]

@@ -1,0 +1,114 @@
+"""Diffusion gradient tables (b-values and gradient directions).
+
+The MCMC stage's inputs (Fig 1 of the paper) are the 4-D DWI volume plus "a
+vector of b-values and a vector of gradient directions".  This module holds
+them as a :class:`GradientTable` and reads/writes the FSL text convention
+(``bvals``: one row of values; ``bvecs``: three rows of x/y/z components).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.utils.geometry import normalize
+
+__all__ = ["GradientTable", "read_bvals_bvecs", "write_bvals_bvecs"]
+
+#: b-values at or below this (s/mm^2) are treated as b=0 ("b0") images.
+B0_THRESHOLD = 50.0
+
+
+@dataclass(frozen=True)
+class GradientTable:
+    """An immutable acquisition scheme.
+
+    Parameters
+    ----------
+    bvals:
+        ``(n,)`` b-values in s/mm^2.
+    bvecs:
+        ``(n, 3)`` gradient directions.  Rows for b=0 measurements may be
+        zero; all others must be unit vectors.
+    """
+
+    bvals: np.ndarray
+    bvecs: np.ndarray
+
+    def __post_init__(self) -> None:
+        bvals = np.asarray(self.bvals, dtype=np.float64)
+        bvecs = np.asarray(self.bvecs, dtype=np.float64)
+        if bvals.ndim != 1:
+            raise DataError(f"bvals must be 1-D, got shape {bvals.shape}")
+        if bvecs.shape != (bvals.shape[0], 3):
+            raise DataError(
+                f"bvecs must have shape ({bvals.shape[0]}, 3), got {bvecs.shape}"
+            )
+        if np.any(bvals < 0) or not np.all(np.isfinite(bvals)):
+            raise DataError("bvals must be finite and non-negative")
+        if not np.all(np.isfinite(bvecs)):
+            raise DataError("bvecs must be finite")
+        dw = bvals > B0_THRESHOLD
+        norms = np.linalg.norm(bvecs[dw], axis=1)
+        if dw.any() and not np.allclose(norms, 1.0, atol=1e-3):
+            # Tolerate slightly denormalized tables (common in the wild).
+            bvecs = bvecs.copy()
+            if np.any(norms < 1e-6):
+                raise DataError("diffusion-weighted bvecs must be non-zero")
+            bvecs[dw] = normalize(bvecs[dw])
+        object.__setattr__(self, "bvals", bvals)
+        object.__setattr__(self, "bvecs", bvecs)
+        self.bvals.setflags(write=False)
+        self.bvecs.setflags(write=False)
+
+    def __len__(self) -> int:
+        return self.bvals.shape[0]
+
+    @property
+    def b0_mask(self) -> np.ndarray:
+        """Boolean mask of b=0 (non-diffusion-weighted) measurements."""
+        return self.bvals <= B0_THRESHOLD
+
+    @property
+    def n_b0(self) -> int:
+        """Number of b=0 measurements."""
+        return int(self.b0_mask.sum())
+
+    @property
+    def n_dwi(self) -> int:
+        """Number of diffusion-weighted measurements."""
+        return len(self) - self.n_b0
+
+    def subset(self, index: np.ndarray) -> "GradientTable":
+        """A new table containing only the indexed measurements."""
+        return GradientTable(self.bvals[index], self.bvecs[index])
+
+
+def read_bvals_bvecs(bvals_path: str | Path, bvecs_path: str | Path) -> GradientTable:
+    """Read FSL-convention ``bvals``/``bvecs`` text files.
+
+    ``bvecs`` may be 3 rows x n columns (FSL) or n rows x 3 columns; the
+    orientation is inferred from the shape.
+    """
+    bvals = np.loadtxt(bvals_path, ndmin=1, dtype=np.float64).ravel()
+    bvecs = np.loadtxt(bvecs_path, ndmin=2, dtype=np.float64)
+    if bvecs.shape[0] == 3 and bvecs.shape[1] != 3:
+        bvecs = bvecs.T
+    elif bvecs.shape[1] != 3:
+        raise DataError(f"bvecs file has unusable shape {bvecs.shape}")
+    if bvecs.shape[0] != bvals.shape[0]:
+        raise DataError(
+            f"bvals ({bvals.shape[0]}) and bvecs ({bvecs.shape[0]}) disagree"
+        )
+    return GradientTable(bvals, bvecs)
+
+
+def write_bvals_bvecs(
+    table: GradientTable, bvals_path: str | Path, bvecs_path: str | Path
+) -> None:
+    """Write a table in the FSL convention (bvecs as 3 rows)."""
+    np.savetxt(bvals_path, table.bvals[None, :], fmt="%.6g")
+    np.savetxt(bvecs_path, table.bvecs.T, fmt="%.8g")

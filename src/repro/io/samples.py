@@ -1,0 +1,110 @@
+"""Persisting posterior samples between pipeline stages.
+
+``repro-bedpost`` and ``repro-track`` exchange stage-1 output through a
+single ``samples.npz``; these functions define that contract in one
+place: the raw ``(n_samples, n_voxels, n_params)`` array, the fitted
+mask, the parameter layout, the fraction threshold, and the affine —
+everything needed to reconstruct the per-sample
+:class:`~repro.models.fields.FiberField` volumes the tracker consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import IOFormatError
+from repro.models.fields import FiberField
+from repro.models.posterior import ParameterLayout
+
+__all__ = ["SampleArchive", "load_samples", "save_samples"]
+
+_REQUIRED = ("samples", "mask", "n_fibers", "f_threshold", "affine")
+
+
+@dataclass
+class SampleArchive:
+    """The contents of a ``samples.npz``."""
+
+    samples: np.ndarray
+    mask: np.ndarray
+    layout: ParameterLayout
+    f_threshold: float
+    affine: np.ndarray
+
+    @property
+    def n_samples(self) -> int:
+        return self.samples.shape[0]
+
+    @property
+    def n_voxels(self) -> int:
+        return self.samples.shape[1]
+
+    def to_fields(self) -> list[FiberField]:
+        """Reconstruct the per-sample fiber fields."""
+        from repro.mcmc.sampler import MCMCResult
+
+        result = MCMCResult(
+            samples=self.samples,
+            n_loops=0,
+            n_voxels=self.n_voxels,
+            n_params=self.samples.shape[2],
+        )
+        return result.to_fiber_fields(
+            self.mask, self.layout, f_threshold=self.f_threshold
+        )
+
+
+def save_samples(
+    path: str | Path,
+    samples: np.ndarray,
+    mask: np.ndarray,
+    layout: ParameterLayout,
+    f_threshold: float,
+    affine: np.ndarray,
+) -> None:
+    """Write a ``samples.npz`` (float32 samples to halve the footprint)."""
+    samples = np.asarray(samples)
+    mask = np.asarray(mask, dtype=bool)
+    if samples.ndim != 3:
+        raise IOFormatError(
+            f"samples must be (n_samples, n_voxels, n_params), got {samples.shape}"
+        )
+    if samples.shape[1] != int(mask.sum()):
+        raise IOFormatError(
+            f"samples cover {samples.shape[1]} voxels but the mask selects "
+            f"{int(mask.sum())}"
+        )
+    if samples.shape[2] != layout.n_params:
+        raise IOFormatError(
+            f"samples have {samples.shape[2]} parameters, layout expects "
+            f"{layout.n_params}"
+        )
+    np.savez_compressed(
+        path,
+        samples=samples.astype(np.float32),
+        mask=mask,
+        n_fibers=np.int64(layout.n_fibers),
+        f_threshold=np.float64(f_threshold),
+        affine=np.asarray(affine, dtype=np.float64),
+    )
+
+
+def load_samples(path: str | Path) -> SampleArchive:
+    """Read a ``samples.npz`` written by :func:`save_samples`."""
+    path = Path(path)
+    if not path.exists():
+        raise IOFormatError(f"{path} does not exist")
+    blob = np.load(path)
+    missing = [k for k in _REQUIRED if k not in blob]
+    if missing:
+        raise IOFormatError(f"{path}: missing keys {missing}")
+    return SampleArchive(
+        samples=blob["samples"].astype(np.float64),
+        mask=blob["mask"].astype(bool),
+        layout=ParameterLayout(int(blob["n_fibers"])),
+        f_threshold=float(blob["f_threshold"]),
+        affine=blob["affine"],
+    )

@@ -1,0 +1,122 @@
+"""TrackVis ``.trk`` streamline file I/O.
+
+The tracking stage's primary output (Fig 1) is a set of fiber paths;
+TrackVis is the de-facto interchange format for those.  We implement
+version-2 single-file read/write with no per-point scalars or per-track
+properties, storing points in the format's native "voxel-mm" convention
+(continuous voxel coordinate times voxel size).
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import IOFormatError
+
+__all__ = ["read_trk", "write_trk"]
+
+_HDR_SIZE = 1000
+
+
+def write_trk(
+    path: str | Path,
+    streamlines: Sequence[np.ndarray],
+    voxel_sizes: tuple[float, float, float] = (1.0, 1.0, 1.0),
+    dims: tuple[int, int, int] = (0, 0, 0),
+    affine: np.ndarray | None = None,
+) -> None:
+    """Write streamlines (each ``(n_i, 3)`` float array, voxel coords).
+
+    Points are converted to voxel-mm (multiplied by ``voxel_sizes``) as the
+    format requires.
+    """
+    path = Path(path)
+    vs = np.asarray(voxel_sizes, dtype=np.float32)
+    if vs.shape != (3,) or np.any(vs <= 0):
+        raise IOFormatError(f"voxel_sizes must be 3 positive floats, got {voxel_sizes}")
+
+    hdr = bytearray(_HDR_SIZE)
+    hdr[0:6] = b"TRACK\x00"
+    struct.pack_into("<3h", hdr, 6, *(int(d) for d in dims))
+    struct.pack_into("<3f", hdr, 12, *vs)
+    struct.pack_into("<3f", hdr, 24, 0.0, 0.0, 0.0)  # origin (unused by spec)
+    struct.pack_into("<h", hdr, 36, 0)  # n_scalars
+    struct.pack_into("<h", hdr, 238, 0)  # n_properties
+    vox_to_ras = np.eye(4, dtype=np.float32) if affine is None else np.asarray(
+        affine, dtype=np.float32
+    )
+    struct.pack_into("<16f", hdr, 440, *vox_to_ras.ravel())
+    hdr[948:952] = b"RAS\x00"  # voxel_order
+    struct.pack_into("<i", hdr, 988, len(streamlines))  # n_count
+    struct.pack_into("<i", hdr, 992, 2)  # version
+    struct.pack_into("<i", hdr, 996, _HDR_SIZE)  # hdr_size
+
+    with open(path, "wb") as fh:
+        fh.write(bytes(hdr))
+        for line in streamlines:
+            pts = np.asarray(line, dtype=np.float64)
+            if pts.ndim != 2 or pts.shape[1] != 3:
+                raise IOFormatError(
+                    f"each streamline must be (n, 3), got {pts.shape}"
+                )
+            fh.write(struct.pack("<i", pts.shape[0]))
+            fh.write((pts * vs).astype("<f4").tobytes())
+
+
+def read_trk(path: str | Path) -> tuple[list[np.ndarray], dict]:
+    """Read a ``.trk`` file; returns ``(streamlines, header_dict)``.
+
+    Streamline points are converted back to continuous voxel coordinates
+    (divided by the stored voxel sizes).
+    """
+    path = Path(path)
+    with open(path, "rb") as fh:
+        hdr = fh.read(_HDR_SIZE)
+        if len(hdr) < _HDR_SIZE:
+            raise IOFormatError(f"{path}: truncated trk header")
+        if hdr[0:5] != b"TRACK":
+            raise IOFormatError(f"{path}: bad trk magic {hdr[0:5]!r}")
+        hdr_size = struct.unpack_from("<i", hdr, 996)[0]
+        if hdr_size != _HDR_SIZE:
+            raise IOFormatError(f"{path}: unexpected hdr_size {hdr_size}")
+        n_scalars = struct.unpack_from("<h", hdr, 36)[0]
+        n_properties = struct.unpack_from("<h", hdr, 238)[0]
+        voxel_sizes = np.array(struct.unpack_from("<3f", hdr, 12), dtype=np.float64)
+        safe_vs = np.where(voxel_sizes > 0, voxel_sizes, 1.0)
+        dims = struct.unpack_from("<3h", hdr, 6)
+        n_count = struct.unpack_from("<i", hdr, 988)[0]
+
+        streamlines: list[np.ndarray] = []
+        while True:
+            head = fh.read(4)
+            if not head:
+                break
+            (n_pts,) = struct.unpack("<i", head)
+            if n_pts < 0:
+                raise IOFormatError(f"{path}: negative point count {n_pts}")
+            row = 3 + n_scalars
+            need = n_pts * row * 4 + n_properties * 4
+            blob = fh.read(need)
+            if len(blob) < need:
+                raise IOFormatError(f"{path}: truncated streamline record")
+            pts = np.frombuffer(blob[: n_pts * row * 4], dtype="<f4").reshape(
+                n_pts, row
+            )[:, :3]
+            streamlines.append(pts.astype(np.float64) / safe_vs)
+
+    if n_count not in (0, len(streamlines)):
+        raise IOFormatError(
+            f"{path}: header n_count={n_count} but read {len(streamlines)} tracks"
+        )
+    meta = {
+        "dims": tuple(int(d) for d in dims),
+        "voxel_sizes": tuple(float(v) for v in voxel_sizes),
+        "n_count": len(streamlines),
+        "n_scalars": n_scalars,
+        "n_properties": n_properties,
+    }
+    return streamlines, meta

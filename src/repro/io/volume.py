@@ -1,0 +1,134 @@
+"""The :class:`Volume` container: an N-D image plus a voxel-to-world affine.
+
+All spatial data in the pipeline — the 4-D DWI signal, the brain mask, the
+per-voxel posterior sample fields — travels as a :class:`Volume`.  Tracking
+is performed in *voxel* coordinates (continuous indices into the grid, the
+coordinate system GPU 3-D images use); the affine is applied only when
+exporting streamlines to world space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DataError
+
+__all__ = ["Volume"]
+
+
+@dataclass
+class Volume:
+    """An image grid with a voxel-to-world affine transform.
+
+    Parameters
+    ----------
+    data:
+        Array of at least 3 dimensions; the first three are spatial
+        (x, y, z index order), any further axes are per-voxel payload
+        (diffusion measurements, posterior samples, ...).
+    affine:
+        ``(4, 4)`` homogeneous transform mapping voxel indices to world
+        (scanner) millimetre coordinates.  Defaults to identity.
+    """
+
+    data: np.ndarray
+    affine: np.ndarray = field(default_factory=lambda: np.eye(4))
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data)
+        if self.data.ndim < 3:
+            raise DataError(
+                f"Volume data must have >= 3 dimensions, got ndim={self.data.ndim}"
+            )
+        self.affine = np.asarray(self.affine, dtype=np.float64)
+        if self.affine.shape != (4, 4):
+            raise DataError(f"affine must be 4x4, got {self.affine.shape}")
+        if not np.all(np.isfinite(self.affine)):
+            raise DataError("affine contains non-finite values")
+        if not np.allclose(self.affine[3], [0.0, 0.0, 0.0, 1.0]):
+            raise DataError("affine bottom row must be [0, 0, 0, 1]")
+
+    # -- geometry ---------------------------------------------------------
+
+    @property
+    def shape3(self) -> tuple[int, int, int]:
+        """The spatial grid shape ``(nx, ny, nz)``."""
+        return tuple(self.data.shape[:3])  # type: ignore[return-value]
+
+    @property
+    def n_voxels(self) -> int:
+        """Number of grid voxels (product of the spatial shape)."""
+        nx, ny, nz = self.shape3
+        return nx * ny * nz
+
+    @property
+    def voxel_sizes(self) -> np.ndarray:
+        """Voxel edge lengths in world units (column norms of the affine)."""
+        return np.linalg.norm(self.affine[:3, :3], axis=0)
+
+    def voxel_to_world(self, points: np.ndarray) -> np.ndarray:
+        """Map continuous voxel coordinates ``(..., 3)`` to world space."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.shape[-1] != 3:
+            raise DataError(f"points must end in dimension 3, got {pts.shape}")
+        return pts @ self.affine[:3, :3].T + self.affine[:3, 3]
+
+    def world_to_voxel(self, points: np.ndarray) -> np.ndarray:
+        """Map world coordinates ``(..., 3)`` to continuous voxel space."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.shape[-1] != 3:
+            raise DataError(f"points must end in dimension 3, got {pts.shape}")
+        inv = np.linalg.inv(self.affine[:3, :3])
+        return (pts - self.affine[:3, 3]) @ inv.T
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask: do voxel-space points fall inside the grid?
+
+        A point is inside while it can be rounded to a valid index, i.e.
+        each coordinate lies in ``[-0.5, dim - 0.5)``.
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        dims = np.asarray(self.shape3, dtype=np.float64)
+        return np.all((pts >= -0.5) & (pts < dims - 0.5), axis=-1)
+
+    # -- indexing helpers -------------------------------------------------
+
+    def flat_index(self, ijk: np.ndarray) -> np.ndarray:
+        """Row-major flat voxel index for integer coordinates ``(..., 3)``."""
+        ijk = np.asarray(ijk)
+        nx, ny, nz = self.shape3
+        i, j, k = ijk[..., 0], ijk[..., 1], ijk[..., 2]
+        if np.any((i < 0) | (i >= nx) | (j < 0) | (j >= ny) | (k < 0) | (k >= nz)):
+            raise DataError("integer voxel coordinates out of bounds")
+        return (i * ny + j) * nz + k
+
+    def unravel_index(self, flat: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`flat_index`."""
+        nx, ny, nz = self.shape3
+        flat = np.asarray(flat)
+        if np.any((flat < 0) | (flat >= nx * ny * nz)):
+            raise DataError("flat voxel index out of bounds")
+        i, rem = np.divmod(flat, ny * nz)
+        j, k = np.divmod(rem, nz)
+        return np.stack([i, j, k], axis=-1)
+
+    # -- convenience ------------------------------------------------------
+
+    def with_data(self, data: np.ndarray) -> "Volume":
+        """A new :class:`Volume` sharing this affine with different data."""
+        return Volume(data=data, affine=self.affine.copy())
+
+    def astype(self, dtype: type) -> "Volume":
+        """A new :class:`Volume` with data cast to ``dtype``."""
+        return Volume(data=self.data.astype(dtype), affine=self.affine.copy())
+
+    @classmethod
+    def from_voxel_sizes(
+        cls, data: np.ndarray, voxel_sizes: tuple[float, float, float]
+    ) -> "Volume":
+        """Construct with a diagonal affine from millimetre voxel sizes."""
+        affine = np.eye(4)
+        affine[0, 0], affine[1, 1], affine[2, 2] = voxel_sizes
+        return cls(data=data, affine=affine)

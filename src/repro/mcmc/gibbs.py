@@ -1,0 +1,108 @@
+"""A Gibbs sampler on a conjugate model — why the paper rejects Gibbs.
+
+The paper (§ II, § III-A2) chooses Metropolis-Hastings because the
+multi-fiber posterior has no closed-form full conditionals.  To document
+what Gibbs *requires* — and to give the test suite an exactly solvable
+MCMC problem — this module implements the textbook Gibbs sampler for
+Bayesian linear regression with conjugate priors:
+
+.. math::
+
+    y = X\\beta + \\epsilon,\\quad \\epsilon \\sim N(0, \\sigma^2 I),\\quad
+    \\beta \\sim N(0, \\tau^2 I),\\quad \\sigma^2 \\sim \\mathrm{InvGamma}(a_0, b_0)
+
+Both full conditionals are standard distributions, so each Gibbs scan
+samples them exactly — precisely the structure the fiber model lacks
+(``theta``/``phi`` enter through ``exp(-b d (r.v)^2)``, conjugate to
+nothing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SamplerError
+
+__all__ = ["GibbsLinearModel"]
+
+
+class GibbsLinearModel:
+    """Gibbs sampler for conjugate Bayesian linear regression.
+
+    Parameters
+    ----------
+    X:
+        ``(n, p)`` design matrix.
+    y:
+        ``(n,)`` responses.
+    tau2:
+        Prior variance of the coefficients.
+    a0, b0:
+        Inverse-gamma shape/scale of the noise-variance prior.
+    """
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        tau2: float = 100.0,
+        a0: float = 2.0,
+        b0: float = 1.0,
+    ) -> None:
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+            raise ConfigurationError(
+                f"incompatible shapes X{X.shape}, y{y.shape}"
+            )
+        if tau2 <= 0 or a0 <= 0 or b0 <= 0:
+            raise ConfigurationError("hyperparameters must be positive")
+        self.X, self.y = X, y
+        self.tau2, self.a0, self.b0 = tau2, a0, b0
+        self._XtX = X.T @ X
+        self._Xty = X.T @ y
+
+    def sample(
+        self, n_samples: int, n_burnin: int = 100, seed: int = 0
+    ) -> dict[str, np.ndarray]:
+        """Run the Gibbs chain; returns ``{"beta": (S, p), "sigma2": (S,)}``."""
+        if n_samples < 1:
+            raise ConfigurationError(f"n_samples must be >= 1, got {n_samples}")
+        rng = np.random.default_rng(seed)
+        n, p = self.X.shape
+        beta = np.zeros(p)
+        sigma2 = 1.0
+        betas = np.empty((n_samples, p))
+        sigma2s = np.empty(n_samples)
+        for it in range(n_burnin + n_samples):
+            # beta | sigma2, y  ~  N(m, V)
+            prec = self._XtX / sigma2 + np.eye(p) / self.tau2
+            V = np.linalg.inv(prec)
+            m = V @ (self._Xty / sigma2)
+            try:
+                L = np.linalg.cholesky(V)
+            except np.linalg.LinAlgError as exc:  # pragma: no cover
+                raise SamplerError("posterior covariance not SPD") from exc
+            beta = m + L @ rng.normal(size=p)
+            # sigma2 | beta, y  ~  InvGamma(a0 + n/2, b0 + SSE/2)
+            resid = self.y - self.X @ beta
+            a = self.a0 + 0.5 * n
+            b = self.b0 + 0.5 * float(resid @ resid)
+            sigma2 = b / rng.gamma(a)
+            if it >= n_burnin:
+                betas[it - n_burnin] = beta
+                sigma2s[it - n_burnin] = sigma2
+        return {"beta": betas, "sigma2": sigma2s}
+
+    def exact_beta_posterior(
+        self, sigma2: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Closed-form ``beta | sigma2`` posterior ``(mean, covariance)``.
+
+        This is what makes Gibbs possible here — and what the fiber model
+        does not admit.
+        """
+        p = self.X.shape[1]
+        prec = self._XtX / sigma2 + np.eye(p) / self.tau2
+        V = np.linalg.inv(prec)
+        return V @ (self._Xty / sigma2), V

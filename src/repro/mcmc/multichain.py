@@ -1,0 +1,107 @@
+"""Multi-chain sampling: independent chains, pooled diagnostics.
+
+The paper runs one chain per voxel; production practice runs several
+independently seeded chains to *verify* convergence with
+:func:`~repro.mcmc.diagnostics.split_rhat` before pooling samples.  This
+driver runs ``n_chains`` lockstep samplers (each still one-chain-per-
+voxel internally), computes per-voxel R-hat for the physically meaningful
+label-invariant statistics, and pools the samples of converged voxels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mcmc.diagnostics import split_rhat
+from repro.mcmc.sampler import MCMCConfig, MCMCResult, MCMCSampler
+from repro.models.posterior import LogPosterior
+
+__all__ = ["MultiChainResult", "run_chains"]
+
+
+@dataclass
+class MultiChainResult:
+    """Pooled output of several independently seeded chains.
+
+    Attributes
+    ----------
+    chains:
+        The per-chain :class:`MCMCResult` objects.
+    rhat:
+        ``{statistic_name: (n_voxels,) R-hat values}``.
+    pooled_samples:
+        ``(n_chains * n_samples, n_voxels, n_params)`` concatenated
+        samples.
+    """
+
+    chains: list[MCMCResult]
+    rhat: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def n_chains(self) -> int:
+        return len(self.chains)
+
+    @property
+    def pooled_samples(self) -> np.ndarray:
+        return np.concatenate([c.samples for c in self.chains], axis=0)
+
+    def converged(self, threshold: float = 1.1) -> np.ndarray:
+        """Per-voxel bool: every monitored statistic's R-hat below
+        ``threshold``."""
+        if not self.rhat:
+            raise ConfigurationError("no R-hat statistics were computed")
+        ok = None
+        for values in self.rhat.values():
+            good = values < threshold
+            ok = good if ok is None else (ok & good)
+        return ok
+
+
+def run_chains(
+    posterior: LogPosterior,
+    config: MCMCConfig,
+    n_chains: int = 4,
+    jitter: float = 0.05,
+) -> MultiChainResult:
+    """Run independent chains and compute per-voxel convergence.
+
+    Each chain gets a distinct RNG seed (``config.seed + chain``) and a
+    jittered initialization, so agreement between chains is evidence of
+    convergence rather than shared starting bias.  Monitored statistics
+    are label-invariant: total stick fraction ``sum f``, diffusivity
+    ``d``, and noise ``sigma``.
+    """
+    if n_chains < 2:
+        raise ConfigurationError(f"need >= 2 chains for R-hat, got {n_chains}")
+    chains: list[MCMCResult] = []
+    for c in range(n_chains):
+        cfg = MCMCConfig(
+            n_burnin=config.n_burnin,
+            n_samples=config.n_samples,
+            sample_interval=config.sample_interval,
+            adapt_every=config.adapt_every,
+            seed=config.seed + c,
+        )
+        init = posterior.initial_params(jitter=jitter if c else 0.0, seed=cfg.seed)
+        chains.append(MCMCSampler(cfg).run(posterior, initial=init))
+
+    lay = posterior.layout
+    stats = {
+        "f_total": lambda s: s[:, :, lay.f].sum(axis=2),
+        "d": lambda s: s[:, :, lay.d],
+        "sigma": lambda s: s[:, :, lay.sigma],
+    }
+    n_vox = posterior.n_voxels
+    rhat: dict[str, np.ndarray] = {}
+    for name, extract in stats.items():
+        values = np.empty(n_vox)
+        per_chain = [extract(c.samples) for c in chains]  # (S, V) each
+        for v in range(n_vox):
+            values[v] = split_rhat(
+                np.stack([pc[:, v] for pc in per_chain], axis=0)
+            )
+        rhat[name] = values
+    return MultiChainResult(chains=chains, rhat=rhat)

@@ -1,0 +1,319 @@
+"""The MCMC driver (paper Fig 2) in lockstep (GPU) and scalar (CPU) modes.
+
+Workflow per Fig 2: each *loop* sweeps the MH step over all
+``NumParameters`` parameters; every ``K`` loops the proposal widths adapt
+from the windowed acceptance rates; after ``NumBurnIn`` loops, every
+``L``-th loop records a sample, until ``NumSamples`` are taken, giving
+``NumLoops = NumBurnIn + NumSamples * L`` total loops.
+
+The two execution modes run the *identical* algorithm on identical
+per-voxel random streams and produce bit-identical chains; only the loop
+structure differs (all-voxels-per-instruction vs. all-instructions-per-
+voxel).  That equivalence is the paper's implicit CPU-result == GPU-result
+check, and it is asserted in the test suite.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SamplerError
+from repro.mcmc.metropolis import mh_parameter_update
+from repro.mcmc.proposals import AdaptiveProposals
+from repro.models.fields import FiberField
+from repro.models.posterior import LogPosterior
+from repro.rng.streams import seed_streams
+from repro.rng.tausworthe import HybridTaus
+from repro.utils.geometry import spherical_to_cartesian
+
+__all__ = ["MCMCConfig", "MCMCResult", "MCMCSampler"]
+
+
+@dataclass(frozen=True)
+class MCMCConfig:
+    """Sampler schedule (paper defaults: burn-in 500, L = 2, K ~ 40)."""
+
+    n_burnin: int = 500
+    n_samples: int = 50
+    sample_interval: int = 2
+    adapt_every: int = 40
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_burnin < 0:
+            raise ConfigurationError(f"n_burnin must be >= 0, got {self.n_burnin}")
+        if self.n_samples < 1:
+            raise ConfigurationError(f"n_samples must be >= 1, got {self.n_samples}")
+        if self.sample_interval < 1:
+            raise ConfigurationError(
+                f"sample_interval must be >= 1, got {self.sample_interval}"
+            )
+        if self.adapt_every < 1:
+            raise ConfigurationError(
+                f"adapt_every must be >= 1, got {self.adapt_every}"
+            )
+
+    @property
+    def n_loops(self) -> int:
+        """Total loops: ``NumBurnIn + NumSamples * L``."""
+        return self.n_burnin + self.n_samples * self.sample_interval
+
+
+@dataclass
+class MCMCResult:
+    """Output of one sampler run.
+
+    Attributes
+    ----------
+    samples:
+        ``(n_samples, n_voxels, n_params)`` recorded states.
+    acceptance_history:
+        Per adaptation window, the mean acceptance rate over voxels and
+        parameters (Fig 2's feedback signal).
+    n_loops:
+        Loops executed (for the machine-model speedup accounting).
+    n_voxels, n_params:
+        Problem dimensions.
+    wall_seconds:
+        Host wall-clock the run took.
+    checkpoint:
+        Set when the run paused early (``stop_after_loop``): resume by
+        passing it back to :meth:`MCMCSampler.run`.
+    """
+
+    samples: np.ndarray
+    acceptance_history: list[float] = field(default_factory=list)
+    n_loops: int = 0
+    n_voxels: int = 0
+    n_params: int = 0
+    wall_seconds: float = 0.0
+    checkpoint: "object | None" = None
+
+    def mean(self) -> np.ndarray:
+        """Posterior mean state per voxel, ``(n_voxels, n_params)``."""
+        return self.samples.mean(axis=0)
+
+    def to_fiber_fields(
+        self,
+        mask: np.ndarray,
+        layout,
+        f_threshold: float = 0.05,
+    ) -> list[FiberField]:
+        """Convert samples into per-sample :class:`FiberField` volumes.
+
+        This realizes Fig 1's "six 4-D volumes" handoff: sample ``s``
+        becomes one field with fractions/directions scattered into the
+        grid at the masked voxel positions.  Fibers with fraction below
+        ``f_threshold`` are zeroed (FSL applies the same cutoff so noise
+        fibers do not divert streamlines).
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if int(mask.sum()) != self.n_voxels:
+            raise SamplerError(
+                f"mask selects {int(mask.sum())} voxels, result has {self.n_voxels}"
+            )
+        n_fib = layout.n_fibers
+        fields = []
+        flat_idx = np.flatnonzero(mask.reshape(-1))
+        shape3 = mask.shape
+        for s in range(self.samples.shape[0]):
+            p = self.samples[s]
+            f = p[:, layout.f].copy()
+            theta = p[:, layout.theta]
+            phi = p[:, layout.phi]
+            dirs = spherical_to_cartesian(theta, phi)
+            f[f < f_threshold] = 0.0
+            # Clip tiny negative / super-unit pathologies defensively.
+            f = np.clip(f, 0.0, 1.0)
+            over = f.sum(axis=1) > 1.0
+            if over.any():
+                f[over] /= f[over].sum(axis=1, keepdims=True)
+            fvol = np.zeros(shape3 + (n_fib,))
+            dvol = np.zeros(shape3 + (n_fib, 3))
+            fvol.reshape(-1, n_fib)[flat_idx] = f
+            dvol.reshape(-1, n_fib, 3)[flat_idx] = dirs
+            fields.append(FiberField(f=fvol, directions=dvol, mask=mask))
+        return fields
+
+
+class MCMCSampler:
+    """Runs the Fig 2 schedule against a :class:`LogPosterior`."""
+
+    def __init__(self, config: MCMCConfig | None = None) -> None:
+        self.config = config if config is not None else MCMCConfig()
+
+    # -- lockstep ("GPU") execution --------------------------------------
+
+    def run(
+        self,
+        posterior: LogPosterior,
+        initial: np.ndarray | None = None,
+        rng: HybridTaus | None = None,
+        checkpoint: "SamplerCheckpoint | None" = None,
+        stop_after_loop: int | None = None,
+    ) -> MCMCResult:
+        """Sample all voxels in lockstep (the one-thread-per-voxel port).
+
+        Parameters
+        ----------
+        checkpoint:
+            Resume from a :class:`~repro.mcmc.checkpoint.SamplerCheckpoint`
+            (``initial`` and ``rng`` must then be None).  The resumed run
+            is bit-identical to an uninterrupted one.
+        stop_after_loop:
+            Pause after this many loops: the returned (partial) result
+            carries a ``checkpoint`` for the continuation.
+        """
+        from repro.mcmc.checkpoint import SamplerCheckpoint
+
+        cfg = self.config
+        if checkpoint is not None:
+            if initial is not None or rng is not None:
+                raise SamplerError(
+                    "pass either a checkpoint or initial/rng, not both"
+                )
+            params = checkpoint.params.copy()
+            n_vox, n_par = params.shape
+            rng = HybridTaus(checkpoint.rng_state)
+            lp = checkpoint.log_posterior.copy()
+            proposals = AdaptiveProposals(checkpoint.proposal_sigma)
+            proposals._accepted[:] = checkpoint.window_accepted
+            proposals._rejected[:] = checkpoint.window_rejected
+            start_loop = checkpoint.loop
+            taken = checkpoint.taken
+            acceptance_history = list(checkpoint.acceptance_history)
+            samples = np.empty((cfg.n_samples, n_vox, n_par))
+            samples[:taken] = checkpoint.samples
+        else:
+            params = (
+                posterior.initial_params() if initial is None else np.array(initial)
+            ).astype(np.float64)
+            n_vox, n_par = params.shape
+            if n_vox != posterior.n_voxels:
+                raise SamplerError(
+                    f"initial has {n_vox} voxels, posterior has {posterior.n_voxels}"
+                )
+            if rng is None:
+                rng = seed_streams(n_vox, seed=cfg.seed)
+            elif rng.n_threads != n_vox:
+                raise SamplerError(
+                    f"rng has {rng.n_threads} lanes, need {n_vox} (one per voxel)"
+                )
+            lp = posterior(params)
+            if np.all(np.isneginf(lp)):
+                raise SamplerError("initial state has zero posterior everywhere")
+            proposals = AdaptiveProposals(
+                AdaptiveProposals.default_initial_sigma(params)
+            )
+            start_loop = 0
+            taken = 0
+            acceptance_history = []
+            samples = np.empty((cfg.n_samples, n_vox, n_par))
+
+        end_loop = cfg.n_loops
+        if stop_after_loop is not None:
+            if not start_loop <= stop_after_loop <= cfg.n_loops:
+                raise SamplerError(
+                    f"stop_after_loop={stop_after_loop} outside "
+                    f"[{start_loop}, {cfg.n_loops}]"
+                )
+            end_loop = stop_after_loop
+
+        t0 = time.perf_counter()
+        for loop in range(start_loop + 1, end_loop + 1):
+            for p_idx in range(n_par):
+                accepted, lp = mh_parameter_update(
+                    posterior, params, lp, p_idx, proposals.sigma[:, p_idx], rng
+                )
+                proposals.record(p_idx, accepted)
+            if loop % cfg.adapt_every == 0:
+                rates = proposals.adapt()
+                acceptance_history.append(float(rates.mean()))
+            if loop > cfg.n_burnin:
+                since = loop - cfg.n_burnin
+                if since % cfg.sample_interval == 0 and taken < cfg.n_samples:
+                    samples[taken] = params
+                    taken += 1
+
+        out_checkpoint = None
+        if end_loop < cfg.n_loops:
+            out_checkpoint = SamplerCheckpoint(
+                params=params.copy(),
+                log_posterior=lp.copy(),
+                rng_state=rng.state,
+                proposal_sigma=proposals.sigma.copy(),
+                window_accepted=proposals._accepted.copy(),
+                window_rejected=proposals._rejected.copy(),
+                loop=end_loop,
+                taken=taken,
+                samples=samples[:taken].copy(),
+                acceptance_history=list(acceptance_history),
+            )
+        elif taken != cfg.n_samples:  # pragma: no cover - schedule invariant
+            raise SamplerError(f"recorded {taken}/{cfg.n_samples} samples")
+        return MCMCResult(
+            samples=samples[:taken],
+            acceptance_history=acceptance_history,
+            n_loops=end_loop,
+            n_voxels=n_vox,
+            n_params=n_par,
+            wall_seconds=time.perf_counter() - t0,
+            checkpoint=out_checkpoint,
+        )
+
+    # -- scalar ("CPU") execution -----------------------------------------
+
+    def run_scalar(
+        self,
+        posterior: LogPosterior,
+        initial: np.ndarray | None = None,
+        rng: HybridTaus | None = None,
+    ) -> MCMCResult:
+        """Sample voxel-by-voxel (the CPU reference implementation).
+
+        Uses the same per-voxel random streams as :meth:`run`, so the two
+        modes produce identical chains — the correctness check for the
+        lockstep port.
+        """
+        cfg = self.config
+        params0 = (
+            posterior.initial_params() if initial is None else np.array(initial)
+        ).astype(np.float64)
+        n_vox, n_par = params0.shape
+        if rng is None:
+            rng = seed_streams(n_vox, seed=cfg.seed)
+        state = rng.state  # (n_vox, 4) — slice one lane per voxel
+
+        samples = np.empty((cfg.n_samples, n_vox, n_par))
+        acc_totals: list[np.ndarray] = []
+        t0 = time.perf_counter()
+        from repro.rng.tausworthe import HybridTaus as _HT
+
+        for v in range(n_vox):
+            sub_post = LogPosterior(
+                posterior.gtab,
+                posterior.data[v : v + 1],
+                priors=posterior.priors,
+                n_fibers=posterior.layout.n_fibers,
+                noise_model=posterior.noise_model,
+            )
+            sub_rng = _HT(state[v : v + 1])
+            sub = MCMCSampler(cfg).run(
+                sub_post, initial=params0[v : v + 1], rng=sub_rng
+            )
+            samples[:, v, :] = sub.samples[:, 0, :]
+            acc_totals.append(np.asarray(sub.acceptance_history))
+        history = (
+            list(np.mean(acc_totals, axis=0)) if acc_totals and acc_totals[0].size else []
+        )
+        return MCMCResult(
+            samples=samples,
+            acceptance_history=[float(h) for h in history],
+            n_loops=cfg.n_loops,
+            n_voxels=n_vox,
+            n_params=n_par,
+            wall_seconds=time.perf_counter() - t0,
+        )

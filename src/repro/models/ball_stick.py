@@ -1,0 +1,42 @@
+"""The compartment ("ball-and-stick", single partial volume) model.
+
+Table I, row 3::
+
+    mu_i = S0 * [ (1 - f) * exp(-b_i d) + f * exp(-b_i d (r_i . v)^2) ]
+
+An isotropic "ball" with diffusivity ``d`` plus one perfectly anisotropic
+"stick" along ``v`` occupying volume fraction ``f``.  The multi-fiber model
+(Eq. 1) generalizes this; ``BallStickModel`` is its ``N = 1`` case kept as
+a separately tested, separately usable class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.io.gradients import GradientTable
+from repro.models.base import DiffusionModel
+from repro.utils.geometry import spherical_to_cartesian
+
+__all__ = ["BallStickModel"]
+
+
+class BallStickModel(DiffusionModel):
+    """Single-fiber compartment model."""
+
+    param_names = ("s0", "d", "f", "theta", "phi")
+
+    def predict(self, gtab: GradientTable, **params: np.ndarray) -> np.ndarray:
+        """Signal from ``s0, d, f, theta, phi`` (each ``(n,)``)."""
+        s0 = np.atleast_1d(np.asarray(params["s0"], dtype=np.float64))
+        d = np.atleast_1d(np.asarray(params["d"], dtype=np.float64))
+        f = np.atleast_1d(np.asarray(params["f"], dtype=np.float64))
+        theta = np.atleast_1d(np.asarray(params["theta"], dtype=np.float64))
+        phi = np.atleast_1d(np.asarray(params["phi"], dtype=np.float64))
+        v = spherical_to_cartesian(theta, phi)
+        dot2 = (gtab.bvecs @ v.T).T ** 2
+        b = gtab.bvals[None, :]
+        bd = b * d[:, None]
+        ball = np.exp(-bd)
+        stick = np.exp(-bd * dot2)
+        return s0[:, None] * ((1.0 - f[:, None]) * ball + f[:, None] * stick)

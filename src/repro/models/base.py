@@ -1,0 +1,36 @@
+"""Abstract interface shared by all diffusion signal models."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.io.gradients import GradientTable
+
+__all__ = ["DiffusionModel"]
+
+
+class DiffusionModel(ABC):
+    """A parametric forward model of the diffusion-weighted MR signal.
+
+    Subclasses implement :meth:`predict`, mapping per-voxel parameters to
+    predicted measurement vectors ``mu`` of shape ``(n_voxels, n_meas)``.
+    Parameters are passed as keyword arrays whose leading dimension is the
+    voxel axis; scalars broadcast.
+    """
+
+    #: Human-readable parameter names in canonical order.
+    param_names: tuple[str, ...] = ()
+
+    @abstractmethod
+    def predict(self, gtab: GradientTable, **params: np.ndarray) -> np.ndarray:
+        """Predicted signal ``mu`` with shape ``(n_voxels, len(gtab))``."""
+
+    @property
+    def n_params(self) -> int:
+        """Number of scalar parameters per voxel."""
+        return len(self.param_names)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(params={list(self.param_names)})"

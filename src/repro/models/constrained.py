@@ -1,0 +1,39 @@
+"""The constrained model (Table I, row 2).
+
+``mu_i = S0 * exp(-alpha * b_i) * exp(-beta * b_i * (r_i . v)^2)``
+
+A single-fiber model where ``alpha`` is the isotropic diffusivity floor and
+``beta`` the additional diffusivity along the fiber axis ``v``.  Included
+for completeness of Table I; the pipeline's sampling model is
+:class:`~repro.models.multi_fiber.MultiFiberModel`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.io.gradients import GradientTable
+from repro.models.base import DiffusionModel
+from repro.utils.geometry import spherical_to_cartesian
+
+__all__ = ["ConstrainedModel"]
+
+
+class ConstrainedModel(DiffusionModel):
+    """Single-direction constrained exponential model."""
+
+    param_names = ("s0", "alpha", "beta", "theta", "phi")
+
+    def predict(self, gtab: GradientTable, **params: np.ndarray) -> np.ndarray:
+        """Signal from ``s0, alpha, beta, theta, phi`` (each ``(n,)``)."""
+        s0 = np.atleast_1d(np.asarray(params["s0"], dtype=np.float64))
+        alpha = np.atleast_1d(np.asarray(params["alpha"], dtype=np.float64))
+        beta = np.atleast_1d(np.asarray(params["beta"], dtype=np.float64))
+        theta = np.atleast_1d(np.asarray(params["theta"], dtype=np.float64))
+        phi = np.atleast_1d(np.asarray(params["phi"], dtype=np.float64))
+        v = spherical_to_cartesian(theta, phi)  # (n, 3)
+        dot2 = (gtab.bvecs @ v.T).T ** 2  # (n, n_meas)
+        b = gtab.bvals[None, :]
+        return s0[:, None] * np.exp(-alpha[:, None] * b) * np.exp(
+            -beta[:, None] * b * dot2
+        )

@@ -1,0 +1,77 @@
+"""The :class:`FiberField`: a realized per-voxel fiber configuration.
+
+This structure is the bridge between the two pipeline stages (Fig 1): the
+MCMC stage emits one ``FiberField`` per posterior *sample* (six 3-D
+volumes: ``f1, f2, theta1, theta2, phi1, phi2``, here stored as volume
+fractions plus Cartesian direction volumes), and the tracking stage
+consumes fields one at a time — the "sample volume" a GPU kernel binds as
+read-only 3-D images.  The phantom generator produces the ground-truth
+field in the same form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataError
+
+__all__ = ["FiberField"]
+
+
+@dataclass
+class FiberField:
+    """Per-voxel fiber orientations and volume fractions on a grid.
+
+    Attributes
+    ----------
+    f:
+        ``(nx, ny, nz, N)`` volume fractions; zero where no fiber exists.
+    directions:
+        ``(nx, ny, nz, N, 3)`` unit fiber directions (undefined — any
+        value — where the matching ``f`` is zero).
+    mask:
+        ``(nx, ny, nz)`` bool; True for valid (tracked/estimated) voxels.
+    """
+
+    f: np.ndarray
+    directions: np.ndarray
+    mask: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.f = np.asarray(self.f, dtype=np.float64)
+        self.directions = np.asarray(self.directions, dtype=np.float64)
+        self.mask = np.asarray(self.mask, dtype=bool)
+        if self.f.ndim != 4:
+            raise DataError(f"f must be 4-D (x, y, z, N), got shape {self.f.shape}")
+        if self.directions.shape != self.f.shape + (3,):
+            raise DataError(
+                f"directions must have shape {self.f.shape + (3,)}, "
+                f"got {self.directions.shape}"
+            )
+        if self.mask.shape != self.f.shape[:3]:
+            raise DataError(
+                f"mask must have shape {self.f.shape[:3]}, got {self.mask.shape}"
+            )
+        if np.any(self.f < -1e-9) or np.any(self.f.sum(axis=-1) > 1.0 + 1e-9):
+            raise DataError("volume fractions must be >= 0 and sum to <= 1")
+
+    @property
+    def shape3(self) -> tuple[int, int, int]:
+        """Spatial grid shape."""
+        return tuple(self.f.shape[:3])  # type: ignore[return-value]
+
+    @property
+    def n_fibers(self) -> int:
+        """Maximum number of fiber compartments per voxel."""
+        return self.f.shape[3]
+
+    @property
+    def n_valid(self) -> int:
+        """Number of masked-in voxels."""
+        return int(self.mask.sum())
+
+    def memory_bytes(self) -> int:
+        """Bytes this field occupies (the per-sample GPU image footprint)."""
+        return self.f.nbytes + self.directions.nbytes + self.mask.nbytes

@@ -1,0 +1,167 @@
+"""The diffusion tensor model (Table I, row 1) and its least-squares fit.
+
+``mu_i = S0 * exp(-b_i * r_i^T D r_i)`` with ``D`` a symmetric positive
+3x3 tensor.  The log-linear least-squares (LLS) fit provides the principal
+diffusion directions that drive the *deterministic* streamlining baseline
+the paper's introduction contrasts against, plus the standard scalar maps
+(FA, MD) used for masking and reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataError, ModelError
+from repro.io.gradients import GradientTable
+from repro.models.base import DiffusionModel
+
+__all__ = ["TensorModel", "TensorFit"]
+
+#: Order of the 6 unique tensor elements in the design matrix.
+_TENSOR_ELEMENTS = ("dxx", "dyy", "dzz", "dxy", "dxz", "dyz")
+
+
+def _design_matrix(gtab: GradientTable) -> np.ndarray:
+    """Rows ``[-b*gx^2, -b*gy^2, -b*gz^2, -2b*gx*gy, -2b*gx*gz, -2b*gy*gz, 1]``.
+
+    The trailing 1 column absorbs ``log(S0)``.
+    """
+    b = gtab.bvals
+    g = gtab.bvecs
+    cols = [
+        -b * g[:, 0] ** 2,
+        -b * g[:, 1] ** 2,
+        -b * g[:, 2] ** 2,
+        -2.0 * b * g[:, 0] * g[:, 1],
+        -2.0 * b * g[:, 0] * g[:, 2],
+        -2.0 * b * g[:, 1] * g[:, 2],
+        np.ones_like(b),
+    ]
+    return np.stack(cols, axis=1)
+
+
+@dataclass
+class TensorFit:
+    """Per-voxel tensor fit results.
+
+    Attributes
+    ----------
+    tensors:
+        ``(n_voxels, 3, 3)`` symmetric diffusion tensors.
+    s0:
+        ``(n_voxels,)`` fitted non-diffusion-weighted signal.
+    evals:
+        ``(n_voxels, 3)`` eigenvalues, descending.
+    evecs:
+        ``(n_voxels, 3, 3)`` eigenvectors; ``evecs[v, :, j]`` pairs with
+        ``evals[v, j]``, so the principal direction is ``evecs[v, :, 0]``.
+    """
+
+    tensors: np.ndarray
+    s0: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.tensors = np.asarray(self.tensors, dtype=np.float64)
+        if self.tensors.ndim != 3 or self.tensors.shape[1:] != (3, 3):
+            raise ModelError(f"tensors must be (n, 3, 3), got {self.tensors.shape}")
+        evals, evecs = np.linalg.eigh(self.tensors)
+        order = np.argsort(evals, axis=1)[:, ::-1]
+        self.evals = np.take_along_axis(evals, order, axis=1)
+        self.evecs = np.take_along_axis(evecs, order[:, None, :], axis=2)
+
+    @property
+    def principal_direction(self) -> np.ndarray:
+        """``(n_voxels, 3)`` unit eigenvector of the largest eigenvalue."""
+        return self.evecs[:, :, 0]
+
+    @property
+    def md(self) -> np.ndarray:
+        """Mean diffusivity: mean eigenvalue."""
+        return self.evals.mean(axis=1)
+
+    @property
+    def fa(self) -> np.ndarray:
+        """Fractional anisotropy in [0, 1]."""
+        ev = self.evals
+        mean = ev.mean(axis=1, keepdims=True)
+        num = np.sum((ev - mean) ** 2, axis=1)
+        den = np.sum(ev**2, axis=1)
+        out = np.zeros_like(den)
+        ok = den > 0
+        out[ok] = np.sqrt(1.5 * num[ok] / den[ok])
+        return np.clip(out, 0.0, 1.0)
+
+
+class TensorModel(DiffusionModel):
+    """Forward prediction and LLS/WLS fitting for the tensor model."""
+
+    param_names = ("s0",) + _TENSOR_ELEMENTS
+
+    def predict(self, gtab: GradientTable, **params: np.ndarray) -> np.ndarray:
+        """Signal from ``s0`` (``(n,)``) and ``tensors`` (``(n, 3, 3)``)."""
+        s0 = np.atleast_1d(np.asarray(params["s0"], dtype=np.float64))
+        tensors = np.asarray(params["tensors"], dtype=np.float64)
+        if tensors.ndim == 2:
+            tensors = tensors[None]
+        if tensors.shape[1:] != (3, 3):
+            raise ModelError(f"tensors must be (n, 3, 3), got {tensors.shape}")
+        g = gtab.bvecs
+        # r^T D r for every (voxel, measurement) pair.
+        quad = np.einsum("mi,vij,mj->vm", g, tensors, g)
+        return s0[:, None] * np.exp(-gtab.bvals[None, :] * quad)
+
+    def fit(
+        self,
+        gtab: GradientTable,
+        signal: np.ndarray,
+        weighted: bool = False,
+        min_signal: float = 1e-6,
+    ) -> TensorFit:
+        """Log-linear (optionally weighted) least-squares tensor fit.
+
+        Parameters
+        ----------
+        signal:
+            ``(n_voxels, n_meas)`` measured intensities.
+        weighted:
+            Apply one WLS pass with weights ``mu^2`` estimated from the LLS
+            solution (reduces the log-transform bias at low SNR).
+        min_signal:
+            Intensities are clipped here before the log transform.
+        """
+        signal = np.asarray(signal, dtype=np.float64)
+        if signal.ndim == 1:
+            signal = signal[None]
+        if signal.shape[1] != len(gtab):
+            raise DataError(
+                f"signal has {signal.shape[1]} measurements, table has {len(gtab)}"
+            )
+        X = _design_matrix(gtab)
+        if X.shape[0] <= X.shape[1]:
+            raise DataError(
+                f"need more than {X.shape[1]} measurements to fit a tensor, "
+                f"got {X.shape[0]}"
+            )
+        y = np.log(np.maximum(signal, min_signal))
+        coef, *_ = np.linalg.lstsq(X, y.T, rcond=None)
+        if weighted:
+            # One reweighting pass: Var[log S] ~ 1/S^2, so weight by S^2.
+            pred = np.exp(X @ coef)  # (n_meas, n_vox)
+            sol = np.empty_like(coef)
+            for v in range(signal.shape[0]):
+                w = pred[:, v]
+                Xw = X * w[:, None]
+                sol[:, v] = np.linalg.lstsq(Xw, w * y[v], rcond=None)[0]
+            coef = sol
+        coef = coef.T  # (n_vox, 7)
+        n = coef.shape[0]
+        tensors = np.empty((n, 3, 3))
+        tensors[:, 0, 0] = coef[:, 0]
+        tensors[:, 1, 1] = coef[:, 1]
+        tensors[:, 2, 2] = coef[:, 2]
+        tensors[:, 0, 1] = tensors[:, 1, 0] = coef[:, 3]
+        tensors[:, 0, 2] = tensors[:, 2, 0] = coef[:, 4]
+        tensors[:, 1, 2] = tensors[:, 2, 1] = coef[:, 5]
+        return TensorFit(tensors=tensors, s0=np.exp(coef[:, 6]))

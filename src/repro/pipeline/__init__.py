@@ -1,0 +1,23 @@
+"""End-to-end pipeline drivers (the paper's Fig 1 workflow).
+
+* :func:`~repro.pipeline.bedpost.bedpost` — stage 1: per-voxel MCMC over
+  the masked volume, producing posterior sample :class:`FiberField`
+  volumes (the analogue of FSL's ``bedpostx``);
+* :func:`~repro.pipeline.tracto.tracto` — stage 2: probabilistic
+  streamlining over those fields (the analogue of ``probtrackx``);
+* :func:`~repro.pipeline.workflow.run_workflow` — both stages plus the
+  modeled speedup accounting for each.
+"""
+
+from repro.pipeline.bedpost import BedpostConfig, BedpostResult, bedpost
+from repro.pipeline.tracto import tracto
+from repro.pipeline.workflow import WorkflowResult, run_workflow
+
+__all__ = [
+    "BedpostConfig",
+    "BedpostResult",
+    "bedpost",
+    "tracto",
+    "WorkflowResult",
+    "run_workflow",
+]

@@ -1,0 +1,50 @@
+"""Stage 2 driver: probabilistic streamlining over bedpost output.
+
+A thin adapter: takes a :class:`~repro.pipeline.bedpost.BedpostResult`
+(or raw fields) and runs :func:`repro.tracking.probtrack.probabilistic_streamlining`
+with seeds defaulting to the fitted mask — the paper's "from each voxel
+in the brain" seeding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.fields import FiberField
+from repro.pipeline.bedpost import BedpostResult
+from repro.tracking.probtrack import (
+    ProbtrackConfig,
+    ProbtrackResult,
+    probabilistic_streamlining,
+)
+
+__all__ = ["tracto"]
+
+
+def tracto(
+    bedpost_result: BedpostResult | list[FiberField],
+    config: ProbtrackConfig | None = None,
+    seed_mask: np.ndarray | None = None,
+    seeds: np.ndarray | None = None,
+) -> ProbtrackResult:
+    """Run the tracking stage on stage-1 output.
+
+    Parameters
+    ----------
+    bedpost_result:
+        A :class:`BedpostResult`, or a bare list of sample fields.
+    config:
+        Tracking configuration (strategy, criteria, device models).
+    seed_mask / seeds:
+        Seeding control; defaults to every fitted voxel with a surviving
+        fiber population.
+    """
+    if isinstance(bedpost_result, BedpostResult):
+        fields = bedpost_result.fields
+        if seed_mask is None and seeds is None:
+            seed_mask = bedpost_result.mask & (fields[0].f[..., 0] > 0)
+    else:
+        fields = bedpost_result
+    return probabilistic_streamlining(
+        fields, config=config, seed_mask=seed_mask, seeds=seeds
+    )

@@ -1,0 +1,24 @@
+"""On-device pseudorandom number generation (paper § IV-A).
+
+Pre-generating the randoms the MCMC stage consumes is infeasible: the paper
+computes ``NumVoxels * NumLoops * NumParameters * 3`` uniforms (> 20 GB for a
+whole brain), so random numbers are generated *on the device*, one
+independent stream per thread, with the combined Tausworthe generator of
+GPU Gems 3 (ch. 37) and the Box-Muller transform for Gaussian variates.
+
+This package reimplements that generator bit-exactly in vectorized NumPy:
+each "GPU thread" is one lane of a ``(n_threads, 4)`` uint32 state array.
+"""
+
+from repro.rng.tausworthe import HybridTaus, TAUS_PARAMS
+from repro.rng.boxmuller import box_muller, box_muller_pairs
+from repro.rng.streams import random_memory_bytes, seed_streams
+
+__all__ = [
+    "HybridTaus",
+    "TAUS_PARAMS",
+    "box_muller",
+    "box_muller_pairs",
+    "seed_streams",
+    "random_memory_bytes",
+]

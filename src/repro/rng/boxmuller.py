@@ -1,0 +1,41 @@
+"""Box-Muller transform (Box & Muller 1958), as used on the device.
+
+The paper generates its Gaussian proposal increments by transforming two
+Tausworthe uniforms with the basic (trigonometric) Box-Muller form — the
+branch-free variant that suits SIMD lanes, unlike the rejection-based polar
+method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["box_muller", "box_muller_pairs"]
+
+#: Uniform draws of exactly 0.0 would send log(u1) to -inf; clamp to the
+#: smallest positive float the uint32->unit mapping can produce.
+_TINY = 2.0 ** -33
+
+
+def box_muller(u1: np.ndarray, u2: np.ndarray) -> np.ndarray:
+    """Map two independent U(0,1) arrays to one standard-normal array.
+
+    Returns the cosine branch ``sqrt(-2 ln u1) * cos(2 pi u2)``; use
+    :func:`box_muller_pairs` when both branches are wanted.
+    """
+    u1 = np.maximum(np.asarray(u1, dtype=np.float64), _TINY)
+    u2 = np.asarray(u2, dtype=np.float64)
+    return np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
+
+
+def box_muller_pairs(u1: np.ndarray, u2: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Both Box-Muller branches: two independent standard normals.
+
+    The two outputs are independent of each other (jointly they are the
+    polar decomposition of an isotropic 2-D Gaussian).
+    """
+    u1 = np.maximum(np.asarray(u1, dtype=np.float64), _TINY)
+    u2 = np.asarray(u2, dtype=np.float64)
+    r = np.sqrt(-2.0 * np.log(u1))
+    a = 2.0 * np.pi * u2
+    return r * np.cos(a), r * np.sin(a)

@@ -1,0 +1,96 @@
+"""Per-thread stream seeding and random-number memory accounting.
+
+Seeding
+-------
+Each simulated GPU thread needs a statistically independent 4-word state.
+Correlated seeds (e.g. ``thread_id + constant``) produce visibly correlated
+Tausworthe output, so we expand a single user seed with SplitMix64 — a
+well-mixed 64-bit finalizer commonly used exactly for seeding other
+generators — and take the high/low halves as uint32 state words.
+
+Memory accounting
+-----------------
+Paper § IV-A motivates on-device generation by sizing the pre-generated
+alternative: ``NumVoxels * NumLoops * NumParameters * 3`` uniforms.  With
+``NumBurnIn = 500``, ``L = 2``, ``NumSamples = 250``, 9 parameters and
+> 200 000 voxels this exceeds 20 GB.  :func:`random_memory_bytes` computes
+that figure so the benchmark harness can reproduce the argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng.tausworthe import MIN_STATE, HybridTaus
+
+__all__ = ["seed_streams", "splitmix64", "random_memory_bytes"]
+
+_SM_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_SM_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_SM_M2 = np.uint64(0x94D049BB133111EB)
+
+
+def splitmix64(x: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer applied elementwise to a uint64 array."""
+    x = np.asarray(x, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        z = x + _SM_GAMMA
+        z = (z ^ (z >> np.uint64(30))) * _SM_M1
+        z = (z ^ (z >> np.uint64(27))) * _SM_M2
+        return z ^ (z >> np.uint64(31))
+
+
+def seed_streams(n_threads: int, seed: int = 0) -> HybridTaus:
+    """Construct a :class:`HybridTaus` with ``n_threads`` independent lanes.
+
+    Parameters
+    ----------
+    n_threads:
+        Number of lanes (one per simulated GPU thread).
+    seed:
+        Any Python int; only its low 64 bits matter.
+    """
+    if n_threads < 1:
+        raise ConfigurationError(f"n_threads must be >= 1, got {n_threads}")
+    counter = np.arange(2 * n_threads, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        counter += np.uint64(seed & 0xFFFFFFFFFFFFFFFF) * np.uint64(0x632BE59BD9B4E019)
+    words64 = splitmix64(counter)
+    state = np.empty((n_threads, 4), dtype=np.uint32)
+    state[:, 0] = (words64[:n_threads] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+    state[:, 1] = (words64[:n_threads] >> np.uint64(32)).astype(np.uint32)
+    state[:, 2] = (words64[n_threads:] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+    state[:, 3] = (words64[n_threads:] >> np.uint64(32)).astype(np.uint32)
+    # Enforce the Tausworthe minimum on words 0-2 (prob ~ 3e-8 per word).
+    low = state[:, :3] < MIN_STATE
+    state[:, :3][low] += np.uint32(MIN_STATE)
+    return HybridTaus(state)
+
+
+def random_memory_bytes(
+    n_voxels: int,
+    n_burnin: int = 500,
+    n_samples: int = 250,
+    sample_interval: int = 2,
+    n_parameters: int = 9,
+    bytes_per_number: int = 4,
+) -> int:
+    """Bytes needed to pre-generate every uniform the MCMC stage consumes.
+
+    Implements the paper's sizing:
+    ``NumLoops = NumBurnIn + NumSamples * L`` and
+    ``total = NumVoxels * NumLoops * NumParameters * 3`` numbers.
+    """
+    for name, v in (
+        ("n_voxels", n_voxels),
+        ("n_burnin", n_burnin),
+        ("n_samples", n_samples),
+        ("sample_interval", sample_interval),
+        ("n_parameters", n_parameters),
+        ("bytes_per_number", bytes_per_number),
+    ):
+        if v < 0:
+            raise ConfigurationError(f"{name} must be >= 0, got {v}")
+    n_loops = n_burnin + n_samples * sample_interval
+    return n_voxels * n_loops * n_parameters * 3 * bytes_per_number

@@ -1,0 +1,153 @@
+"""Combined Tausworthe ("HybridTaus") generator, vectorized over threads.
+
+This is the generator recommended for GPU Monte-Carlo in GPU Gems 3,
+chapter 37 (Howes & Thomas), and the one the paper cites for on-device
+random number generation: three Tausworthe components (periods
+:math:`2^{31}-1`, :math:`2^{29}-1`, :math:`2^{28}-1`) are XOR-combined with a
+linear congruential generator, giving a combined period of roughly
+:math:`2^{121}`.
+
+Each simulated GPU thread owns an independent 4-word state; the NumPy
+implementation keeps all thread states in one ``(n_threads, 4)`` uint32
+array and advances every lane per call — the same lockstep structure the
+GPU kernel has.
+
+Reference single-thread form (GPU Gems 3, fig. 37-4)::
+
+    unsigned TausStep(unsigned &z, int S1, int S2, int S3, unsigned M) {
+        unsigned b = (((z << S1) ^ z) >> S2);
+        return z = (((z & M) << S3) ^ b);
+    }
+    unsigned LCGStep(unsigned &z) { return z = 1664525 * z + 1013904223; }
+    float HybridTaus() {
+        return 2.3283064365387e-10 * (
+            TausStep(z1, 13, 19, 12, 4294967294UL) ^
+            TausStep(z2,  2, 25,  4, 4294967288UL) ^
+            TausStep(z3,  3, 11, 17, 4294967280UL) ^
+            LCGStep(z4));
+    }
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["HybridTaus", "TAUS_PARAMS", "taus_step", "lcg_step"]
+
+#: (S1, S2, S3, mask) for the three Tausworthe components.
+TAUS_PARAMS: tuple[tuple[int, int, int, int], ...] = (
+    (13, 19, 12, 0xFFFFFFFE),
+    (2, 25, 4, 0xFFFFFFF8),
+    (3, 11, 17, 0xFFFFFFF0),
+)
+
+_LCG_A = np.uint32(1664525)
+_LCG_C = np.uint32(1013904223)
+#: 2**-32, mapping a uint32 into [0, 1).
+_U32_TO_UNIT = 2.3283064365386963e-10
+
+#: Tausworthe component i requires state word > 2**(S2_i) - 1 to avoid the
+#: degenerate all-advance-to-zero orbit; 128 exceeds all three thresholds'
+#: low-bit masks in practice (GPU Gems uses >128 as the safe floor).
+MIN_STATE = 128
+
+
+def taus_step(z: np.ndarray, s1: int, s2: int, s3: int, mask: int) -> np.ndarray:
+    """Advance one Tausworthe component in place; returns the new state."""
+    b = ((z << np.uint32(s1)) ^ z) >> np.uint32(s2)
+    z[...] = ((z & np.uint32(mask)) << np.uint32(s3)) ^ b
+    return z
+
+
+def lcg_step(z: np.ndarray) -> np.ndarray:
+    """Advance the LCG component in place; returns the new state."""
+    z[...] = _LCG_A * z + _LCG_C
+    return z
+
+
+class HybridTaus:
+    """Vectorized combined Tausworthe + LCG generator.
+
+    Parameters
+    ----------
+    state:
+        ``(n_threads, 4)`` uint32 array of per-thread states.  Words 0-2 are
+        the Tausworthe components and must each be ``>= MIN_STATE``; word 3
+        is the LCG state (any value).  Use
+        :func:`repro.rng.streams.seed_streams` to construct well-spread
+        states from a single integer seed.
+
+    Notes
+    -----
+    All draw methods advance *every* thread lane — exactly what a SIMD warp
+    does — so masked/conditional consumption on the caller's side does not
+    desynchronize streams between runs.
+    """
+
+    def __init__(self, state: np.ndarray) -> None:
+        state = np.asarray(state)
+        if state.ndim != 2 or state.shape[1] != 4:
+            raise ConfigurationError(
+                f"state must have shape (n_threads, 4), got {state.shape}"
+            )
+        if state.dtype != np.uint32:
+            raise ConfigurationError(f"state dtype must be uint32, got {state.dtype}")
+        if np.any(state[:, :3] < MIN_STATE):
+            raise ConfigurationError(
+                f"Tausworthe state words must be >= {MIN_STATE} "
+                "(degenerate orbits otherwise); use seed_streams()"
+            )
+        self._state = state.copy()
+
+    @property
+    def n_threads(self) -> int:
+        """Number of independent lanes."""
+        return self._state.shape[0]
+
+    @property
+    def state(self) -> np.ndarray:
+        """A copy of the current per-thread state (for checkpointing)."""
+        return self._state.copy()
+
+    def next_uint32(self) -> np.ndarray:
+        """One uint32 per thread; advances all lanes."""
+        s = self._state
+        with np.errstate(over="ignore"):
+            out = taus_step(s[:, 0], *TAUS_PARAMS[0])
+            out = out ^ taus_step(s[:, 1], *TAUS_PARAMS[1])
+            out = out ^ taus_step(s[:, 2], *TAUS_PARAMS[2])
+            out = out ^ lcg_step(s[:, 3])
+        return out
+
+    def uniform(self) -> np.ndarray:
+        """One float64 in ``[0, 1)`` per thread."""
+        return self.next_uint32() * _U32_TO_UNIT
+
+    def uniforms(self, n: int) -> np.ndarray:
+        """``(n, n_threads)`` uniforms; column ``t`` is thread ``t``'s stream."""
+        if n < 0:
+            raise ConfigurationError(f"n must be >= 0, got {n}")
+        out = np.empty((n, self.n_threads), dtype=np.float64)
+        for i in range(n):
+            out[i] = self.uniform()
+        return out
+
+    def normal(self) -> np.ndarray:
+        """One standard-normal float64 per thread (Box-Muller, 2 uniforms).
+
+        Matches the paper's accounting of *three* uniforms per MH
+        parameter update: two for the Gaussian proposal increment (this
+        call) and one for the accept/reject test (:meth:`uniform`).
+        """
+        from repro.rng.boxmuller import box_muller
+
+        u1 = self.uniform()
+        u2 = self.uniform()
+        return box_muller(u1, u2)
+
+    def jump(self, n: int) -> None:
+        """Advance all lanes by ``n`` draws without returning values."""
+        for _ in range(n):
+            self.next_uint32()

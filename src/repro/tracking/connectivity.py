@@ -1,0 +1,133 @@
+"""Global connectivity estimation (paper § III-B1, Fig 1's output).
+
+``P(exists A -> B | Y)`` is estimated by counting, over posterior sample
+volumes, the fraction of samples whose streamline from seed ``A`` passes
+through voxel ``B``.  The accumulator receives raw per-step visits from
+the tracker (a streamline revisits a voxel many times when the step
+length is a fraction of a voxel), dedupes them within each sample, and
+maintains a sparse ``(n_seeds, n_voxels)`` count matrix — the paper's
+connectivity matrix ``P`` with rows restricted to seed voxels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import TrackingError
+
+__all__ = ["ConnectivityAccumulator"]
+
+
+class ConnectivityAccumulator:
+    """Streams per-step visits into a sparse seed-by-voxel count matrix.
+
+    Parameters
+    ----------
+    n_seeds, n_voxels:
+        Matrix dimensions.
+    seed_map:
+        Optional array mapping incoming thread indices to seed rows —
+        used by bidirectional seeding, where threads ``i`` and
+        ``i + n_seeds`` are the two senses of seed ``i`` and their visits
+        must merge into one row.
+    """
+
+    def __init__(
+        self,
+        n_seeds: int,
+        n_voxels: int,
+        seed_map: np.ndarray | None = None,
+    ) -> None:
+        if n_seeds < 1 or n_voxels < 1:
+            raise TrackingError(
+                f"need n_seeds >= 1 and n_voxels >= 1, got {n_seeds}, {n_voxels}"
+            )
+        self.n_seeds = n_seeds
+        self.n_voxels = n_voxels
+        self.n_samples = 0
+        self._counts = sparse.csr_matrix((n_seeds, n_voxels), dtype=np.int64)
+        self._pending: list[np.ndarray] | None = None
+        if seed_map is not None:
+            seed_map = np.asarray(seed_map, dtype=np.int64)
+            if seed_map.ndim != 1 or np.any(
+                (seed_map < 0) | (seed_map >= n_seeds)
+            ):
+                raise TrackingError("seed_map entries must index seed rows")
+        self.seed_map = seed_map
+
+    def begin_sample(self) -> None:
+        """Open a sample volume's visit stream."""
+        if self._pending is not None:
+            raise TrackingError("begin_sample() called twice without end_sample()")
+        self._pending = []
+
+    def visit(self, seed_indices: np.ndarray, voxel_indices: np.ndarray) -> None:
+        """Record one tracking step's visits (vectors of equal length)."""
+        if self._pending is None:
+            raise TrackingError("visit() outside begin_sample()/end_sample()")
+        s = np.asarray(seed_indices, dtype=np.int64)
+        v = np.asarray(voxel_indices, dtype=np.int64)
+        if s.shape != v.shape or s.ndim != 1:
+            raise TrackingError(
+                f"seed/voxel index shapes differ: {s.shape} vs {v.shape}"
+            )
+        if s.size == 0:
+            return
+        if self.seed_map is not None:
+            if np.any((s < 0) | (s >= self.seed_map.size)):
+                raise TrackingError("thread index out of seed_map range")
+            s = self.seed_map[s]
+        elif np.any((s < 0) | (s >= self.n_seeds)):
+            raise TrackingError("seed index out of range")
+        if np.any((v < 0) | (v >= self.n_voxels)):
+            raise TrackingError("voxel index out of range")
+        self._pending.append(s * self.n_voxels + v)
+
+    def end_sample(self) -> None:
+        """Close the sample: dedupe its visits and fold into the counts."""
+        if self._pending is None:
+            raise TrackingError("end_sample() without begin_sample()")
+        pairs = (
+            np.unique(np.concatenate(self._pending))
+            if self._pending
+            else np.empty(0, dtype=np.int64)
+        )
+        self._pending = None
+        self.n_samples += 1
+        if pairs.size:
+            rows, cols = np.divmod(pairs, self.n_voxels)
+            inc = sparse.csr_matrix(
+                (np.ones(pairs.size, dtype=np.int64), (rows, cols)),
+                shape=(self.n_seeds, self.n_voxels),
+            )
+            self._counts = self._counts + inc
+
+    @property
+    def counts(self) -> sparse.csr_matrix:
+        """Raw visit counts, ``(n_seeds, n_voxels)``."""
+        return self._counts
+
+    def probability(self) -> sparse.csr_matrix:
+        """``P(exists seed -> voxel | Y)``: counts / n_samples."""
+        if self.n_samples == 0:
+            raise TrackingError("no samples accumulated yet")
+        return self._counts.multiply(1.0 / self.n_samples).tocsr()
+
+    def connected_voxels(self, seed_index: int, threshold: float = 0.0) -> np.ndarray:
+        """Flat voxel indices with connection probability > ``threshold``."""
+        if not 0 <= seed_index < self.n_seeds:
+            raise TrackingError(f"seed_index {seed_index} out of range")
+        row = self.probability().getrow(seed_index)
+        cols = row.indices[row.data > threshold]
+        return np.sort(cols)
+
+    def visit_count_volume(self, shape3: tuple[int, int, int]) -> np.ndarray:
+        """Total visits per voxel, reshaped to the grid — a "density map"."""
+        nx, ny, nz = shape3
+        if nx * ny * nz != self.n_voxels:
+            raise TrackingError(
+                f"grid {shape3} has {nx * ny * nz} voxels, expected {self.n_voxels}"
+            )
+        total = np.asarray(self._counts.sum(axis=0)).ravel()
+        return total.reshape(shape3)

@@ -1,0 +1,334 @@
+"""The segmented tracking executor — Algorithm 1 end to end.
+
+For every sample volume: upload the field images; then, per segment,
+upload the (compacted) start points, launch the bounded kernel, read the
+endpoints back, and compact on the host.  Every action is charged to the
+machine model and logged on a :class:`~repro.gpu.timeline.Timeline`, so a
+run yields *both* the functional results (per-seed fiber lengths, visits)
+and the paper's time decomposition (kernel / reduction / transfer —
+Tables II and IV).
+
+Thread ordering is a policy: ``"natural"`` launches seeds in flat-index
+order; ``"sorted"`` reorders every sample after the first by the first
+sample's measured lengths — the Fig 4 experiment, which the paper shows
+does *not* transfer across samples.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field as dc_field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TrackingError
+from repro.gpu.device import DeviceSpec, HostSpec
+from repro.gpu.presets import PHENOM_X4, RADEON_5870
+from repro.gpu.memory import DeviceBuffer, DeviceMemory
+from repro.gpu.simulator import KernelLaunch, kernel_time, reduction_time, transfer_time
+from repro.gpu.timeline import Timeline
+from repro.models.fields import FiberField
+from repro.tracking.batch import BatchState, BatchTracker
+from repro.tracking.criteria import StopReason, TerminationCriteria
+from repro.tracking.connectivity import ConnectivityAccumulator
+from repro.tracking.direction import initial_directions
+from repro.tracking.interpolate import nearest_lookup
+from repro.tracking.segmentation import SegmentationStrategy
+
+__all__ = ["SegmentedTracker", "TrackingRunResult"]
+
+
+def _field_image_bytes(field: FiberField) -> int:
+    """Device footprint of one sample volume: f + directions as float32."""
+    n_vox = int(np.prod(field.shape3))
+    return n_vox * field.n_fibers * 4 * 4  # (1 fraction + 3 components) * 4 B
+
+
+@dataclass
+class TrackingRunResult:
+    """Functional + modeled-time output of one probabilistic run.
+
+    Attributes
+    ----------
+    lengths:
+        ``(n_samples, n_seeds)`` steps per streamline.
+    reasons:
+        ``(n_samples, n_seeds)`` :class:`StopReason` codes.
+    timeline:
+        Every modeled event, in execution order.
+    launches:
+        One :class:`KernelLaunch` record per kernel.
+    cpu_seconds:
+        Modeled scalar-CPU time for the same work
+        (``total_steps * host.seconds_per_iteration``).
+    wall_seconds:
+        Actual host wall-clock of the simulation itself.
+    peak_device_bytes:
+        High-water device memory (sample images + thread state) — the
+        quantity that forces the paper to serialize samples (§ IV-B) and
+        that doubles under the Fig 8 overlap scheme.
+    """
+
+    lengths: np.ndarray
+    reasons: np.ndarray
+    timeline: Timeline
+    launches: list[KernelLaunch] = dc_field(default_factory=list)
+    cpu_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    peak_device_bytes: int = 0
+
+    @property
+    def n_samples(self) -> int:
+        return self.lengths.shape[0]
+
+    @property
+    def n_seeds(self) -> int:
+        return self.lengths.shape[1]
+
+    @property
+    def total_steps(self) -> int:
+        """The paper's "Total fiber length" column."""
+        return int(self.lengths.sum())
+
+    @property
+    def kernel_seconds(self) -> float:
+        return self.timeline.total("kernel")
+
+    @property
+    def reduction_seconds(self) -> float:
+        return self.timeline.total("reduction")
+
+    @property
+    def transfer_seconds(self) -> float:
+        return self.timeline.total("transfer")
+
+    @property
+    def gpu_total_seconds(self) -> float:
+        """Serial modeled GPU-path time (kernel + reduction + transfer)."""
+        return self.timeline.serial_end()
+
+    @property
+    def overlapped_seconds(self) -> float:
+        """Modeled time under the Fig 8 overlap schedule."""
+        return self.timeline.overlapped_end()
+
+    @property
+    def speedup(self) -> float:
+        """Modeled CPU time over modeled GPU time (Table II's Speedup)."""
+        g = self.gpu_total_seconds
+        return self.cpu_seconds / g if g > 0 else float("inf")
+
+    @property
+    def longest_fiber(self) -> int:
+        """The paper's "Longest fiber length" column."""
+        return int(self.lengths.max()) if self.lengths.size else 0
+
+
+class SegmentedTracker:
+    """Runs Algorithm 1 over sample volumes with a segmentation strategy."""
+
+    def __init__(
+        self,
+        device: DeviceSpec = RADEON_5870,
+        host: HostSpec = PHENOM_X4,
+        interpolation: str = "trilinear",
+    ) -> None:
+        self.device = device
+        self.host = host
+        self.interpolation = interpolation
+
+    # -- seed headings ------------------------------------------------------
+
+    def _initial_headings(self, field: FiberField, seeds: np.ndarray) -> np.ndarray:
+        f, dirs = nearest_lookup(field, seeds)
+        return initial_directions(f, dirs)
+
+    # -- main entry ---------------------------------------------------------
+
+    def run(
+        self,
+        fields: list[FiberField],
+        seeds: np.ndarray,
+        criteria: TerminationCriteria,
+        strategy: SegmentationStrategy,
+        connectivity: ConnectivityAccumulator | None = None,
+        order: str = "natural",
+        overlap: bool = False,
+        headings: np.ndarray | None = None,
+        heading_signs: np.ndarray | None = None,
+    ) -> TrackingRunResult:
+        """Track every seed through every sample volume.
+
+        Parameters
+        ----------
+        fields:
+            Posterior sample volumes (or a single ground-truth field).
+        seeds:
+            ``(n_seeds, 3)`` start positions in voxel coordinates.
+        criteria:
+            Stop rules; ``criteria.max_steps`` is the budget the
+            segmentation must cover.
+        strategy:
+            Segmentation strategy (the paper's contribution under test).
+        connectivity:
+            Optional accumulator receiving per-step visits.
+        order:
+            ``"natural"`` or ``"sorted"`` (Fig 4: reorder later samples
+            by the first sample's lengths).
+        overlap:
+            Tag alternate samples with different timeline streams so
+            :meth:`Timeline.overlapped_end` models the Fig 8 schedule.
+        headings:
+            Optional ``(n_seeds, 3)`` explicit launch directions (e.g. to
+            force a hemisphere, or to run the second pass of
+            bidirectional seeding).  Default: each sample's strongest
+            population direction at the seed, positive sense.
+        heading_signs:
+            Optional ``(n_seeds,)`` array of +1/-1 applied to the
+            per-sample default headings — the mechanism behind
+            bidirectional seeding (duplicate the seed list with opposite
+            signs).  Ignored when ``headings`` is given.
+        """
+        if not fields:
+            raise TrackingError("need at least one sample volume")
+        if order not in ("natural", "sorted"):
+            raise ConfigurationError(f"unknown order policy {order!r}")
+        seeds = np.asarray(seeds, dtype=np.float64)
+        if seeds.ndim != 2 or seeds.shape[1] != 3:
+            raise TrackingError(f"seeds must be (n, 3), got {seeds.shape}")
+        segments = strategy.segments(criteria.max_steps)
+        n_seeds = seeds.shape[0]
+        n_samples = len(fields)
+
+        lengths = np.zeros((n_samples, n_seeds), dtype=np.int64)
+        reasons = np.zeros((n_samples, n_seeds), dtype=np.int64)
+        timeline = Timeline()
+        launches: list[KernelLaunch] = []
+        permutation = np.arange(n_seeds)
+        t0 = time.perf_counter()
+
+        # Device allocations: the per-thread state (persistent) plus the
+        # bound sample volume(s).  Overlap keeps two samples resident
+        # (paper: "the sample volume on the GPU also doubles").
+        memory = DeviceMemory(self.device)
+        memory.alloc(
+            DeviceBuffer("thread-state", n_seeds * (28 + 32))
+        )
+        image_handles: list[int] = []
+        resident_images = 2 if overlap else 1
+
+        for s, field in enumerate(fields):
+            stream = (s % 2) if overlap else 0
+            while len(image_handles) >= resident_images:
+                memory.free(image_handles.pop(0))
+            image_handles.append(
+                memory.alloc(
+                    DeviceBuffer(f"sample{s}:images", _field_image_bytes(field))
+                )
+            )
+            timeline.add(
+                "transfer",
+                f"sample{s}:images",
+                transfer_time(_field_image_bytes(field), self.device),
+                stream=stream,
+            )
+            tracker = BatchTracker(field, criteria, self.interpolation)
+            if headings is not None:
+                h = np.asarray(headings, dtype=np.float64)
+                if h.shape != seeds.shape:
+                    raise TrackingError(
+                        f"headings must match seeds shape {seeds.shape}, "
+                        f"got {h.shape}"
+                    )
+            else:
+                h = self._initial_headings(field, seeds)
+                if heading_signs is not None:
+                    signs = np.asarray(heading_signs, dtype=np.float64)
+                    if signs.shape != (seeds.shape[0],):
+                        raise TrackingError(
+                            f"heading_signs must be ({seeds.shape[0]},), "
+                            f"got {signs.shape}"
+                        )
+                    h = h * signs[:, None]
+            state = tracker.init_state(seeds, h)
+
+            if order == "sorted" and s > 0:
+                # Fig 4: schedule by the first sample's measured loads.
+                permutation = np.argsort(lengths[0], kind="stable")
+                state = BatchState(
+                    positions=state.positions[permutation].copy(),
+                    headings=state.headings[permutation].copy(),
+                    steps=state.steps[permutation].copy(),
+                    reason=state.reason[permutation].copy(),
+                    origin=state.origin[permutation].copy(),
+                )
+
+            # Seeds with no population start terminated; record them now
+            # so an all-dead launch still produces a complete result row.
+            born_dead = ~state.active
+            if born_dead.any():
+                lengths[s, state.origin[born_dead]] = 0
+                reasons[s, state.origin[born_dead]] = state.reason[born_dead]
+                state = state.compact()
+
+            visit_cb = None
+            if connectivity is not None:
+                connectivity.begin_sample()
+                visit_cb = connectivity.visit
+
+            for i, seg_iters in enumerate(segments):
+                if state.n_active == 0:
+                    break
+                timeline.add(
+                    "transfer",
+                    f"sample{s}:seg{i}:down",
+                    transfer_time(state.payload_bytes_down(), self.device),
+                    stream=stream,
+                )
+                executed = tracker.run_segment(state, seg_iters, visit_cb)
+                k_sec = kernel_time(executed, self.device)
+                timeline.add("kernel", f"sample{s}:seg{i}", k_sec, stream=stream)
+                launches.append(
+                    KernelLaunch(
+                        label=f"sample{s}:seg{i}",
+                        n_threads=state.n_threads,
+                        max_iterations=seg_iters,
+                        executed_iterations=int(executed.sum()),
+                        seconds=k_sec,
+                    )
+                )
+                timeline.add(
+                    "transfer",
+                    f"sample{s}:seg{i}:up",
+                    transfer_time(state.payload_bytes_up(), self.device),
+                    stream=stream,
+                )
+                timeline.add(
+                    "reduction",
+                    f"sample{s}:seg{i}:compact",
+                    reduction_time(state.n_threads, self.host),
+                    stream=stream,
+                )
+                finished = ~state.active
+                lengths[s, state.origin[finished]] = state.steps[finished]
+                reasons[s, state.origin[finished]] = state.reason[finished]
+                state = state.compact()
+
+            if state.n_active:  # budget covered but threads still active
+                state.reason[:] = StopReason.MAX_STEPS
+                lengths[s, state.origin] = state.steps
+                reasons[s, state.origin] = state.reason
+
+            if connectivity is not None:
+                connectivity.end_sample()
+
+        result = TrackingRunResult(
+            lengths=lengths,
+            reasons=reasons,
+            timeline=timeline,
+            launches=launches,
+            cpu_seconds=float(lengths.sum()) * self.host.seconds_per_iteration,
+            wall_seconds=time.perf_counter() - t0,
+            peak_device_bytes=memory.peak_bytes,
+        )
+        return result

@@ -1,0 +1,125 @@
+"""Field interpolation — the ``Interpolation()`` call of Algorithm 1.
+
+The GPU binds the sample volume as read-only 3-D images and samples them
+at the streamline's continuous position.  Two modes are provided:
+
+* ``nearest`` — the value of the containing voxel (cheap; what FSL's
+  probtrackx effectively does);
+* ``trilinear`` — 8-corner interpolation, the GPU texture unit's native
+  mode.  Fiber directions are *axial* (v ~ -v), so corners are
+  sign-aligned to a per-thread reference direction (the current heading)
+  before averaging; fractions interpolate linearly.
+
+Out-of-bounds positions clamp to the edge voxel, matching
+``CLK_ADDRESS_CLAMP_TO_EDGE``; the tracker terminates such threads via its
+bounds criterion, so clamping only affects the final partial step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrackingError
+from repro.models.fields import FiberField
+
+__all__ = ["nearest_lookup", "trilinear_lookup"]
+
+
+def _check_points(points: np.ndarray) -> np.ndarray:
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 3:
+        raise TrackingError(f"points must be (n, 3), got {pts.shape}")
+    return pts
+
+
+def nearest_lookup(
+    field: FiberField, points: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-point ``(f, directions)`` from the containing voxel.
+
+    Returns ``f`` of shape ``(n, N)`` and ``directions`` of shape
+    ``(n, N, 3)``.  Positions outside the grid clamp to the border voxel.
+    """
+    pts = _check_points(points)
+    nx, ny, nz = field.shape3
+    idx = np.rint(pts).astype(np.int64)
+    idx[:, 0] = np.clip(idx[:, 0], 0, nx - 1)
+    idx[:, 1] = np.clip(idx[:, 1], 0, ny - 1)
+    idx[:, 2] = np.clip(idx[:, 2], 0, nz - 1)
+    f = field.f[idx[:, 0], idx[:, 1], idx[:, 2]]
+    dirs = field.directions[idx[:, 0], idx[:, 1], idx[:, 2]]
+    return f, dirs
+
+
+def trilinear_lookup(
+    field: FiberField,
+    points: np.ndarray,
+    reference: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """8-corner trilinear ``(f, directions)`` interpolation.
+
+    Parameters
+    ----------
+    field:
+        The sample volume.
+    points:
+        ``(n, 3)`` continuous voxel coordinates (voxel centers at integer
+        coordinates).
+    reference:
+        ``(n, 3)`` per-point reference directions for axial sign
+        alignment (usually the current heading).  Without it, corner
+        directions are aligned to the first corner's direction per
+        population.
+
+    Returns
+    -------
+    (f, directions):
+        ``f`` is ``(n, N)``; ``directions`` is ``(n, N, 3)``, renormalized
+        to unit length where non-zero.
+    """
+    pts = _check_points(points)
+    n = pts.shape[0]
+    nx, ny, nz = field.shape3
+    n_fib = field.n_fibers
+
+    base = np.floor(pts).astype(np.int64)
+    frac = pts - base
+    f_out = np.zeros((n, n_fib))
+    d_out = np.zeros((n, n_fib, 3))
+
+    if reference is not None:
+        ref = np.asarray(reference, dtype=np.float64)
+        if ref.shape != (n, 3):
+            raise TrackingError(
+                f"reference must be ({n}, 3), got {ref.shape}"
+            )
+    else:
+        ref = None
+
+    ref_dirs = None  # lazily fixed from the first corner when no reference
+    for corner in range(8):
+        ox, oy, oz = corner & 1, (corner >> 1) & 1, (corner >> 2) & 1
+        ix = np.clip(base[:, 0] + ox, 0, nx - 1)
+        iy = np.clip(base[:, 1] + oy, 0, ny - 1)
+        iz = np.clip(base[:, 2] + oz, 0, nz - 1)
+        wx = frac[:, 0] if ox else 1.0 - frac[:, 0]
+        wy = frac[:, 1] if oy else 1.0 - frac[:, 1]
+        wz = frac[:, 2] if oz else 1.0 - frac[:, 2]
+        w = wx * wy * wz
+        cf = field.f[ix, iy, iz]  # (n, N)
+        cd = field.directions[ix, iy, iz]  # (n, N, 3)
+        if ref is not None:
+            sign = np.sign(np.einsum("nkj,nj->nk", cd, ref))
+        else:
+            if ref_dirs is None:
+                ref_dirs = cd.copy()
+            sign = np.sign(np.einsum("nkj,nkj->nk", cd, ref_dirs))
+        sign = np.where(sign == 0.0, 1.0, sign)
+        f_out += w[:, None] * cf
+        d_out += (w[:, None] * cf * sign)[:, :, None] * cd
+
+    norm = np.linalg.norm(d_out, axis=-1)
+    ok = norm > 1e-12
+    d_out[ok] /= norm[ok][:, None]
+    d_out[~ok] = 0.0
+    return f_out, d_out

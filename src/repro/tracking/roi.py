@@ -1,0 +1,140 @@
+"""Regions of interest and seed-to-target connectivity.
+
+The paper's connectivity output is the full voxel-pair matrix ``P``; in
+practice (and in FSL's probtrackx) users ask targeted questions — "what
+is the probability that seed A connects to region B?".  This module
+provides ROI mask builders, a per-sample *target counter* implementing
+``P(exists seed -> target-region | Y)`` exactly (a sample counts when its
+streamline visits *any* target voxel), and a fan-out adapter so several
+consumers can observe one tracking run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrackingError
+
+__all__ = ["box_roi", "sphere_roi", "TargetCounter", "VisitFanout"]
+
+
+def box_roi(
+    shape3: tuple[int, int, int],
+    lo: tuple[int, int, int],
+    hi: tuple[int, int, int],
+) -> np.ndarray:
+    """Axis-aligned box mask with inclusive ``lo`` and exclusive ``hi``."""
+    if len(shape3) != 3:
+        raise TrackingError(f"bad grid shape {shape3}")
+    lo = tuple(int(v) for v in lo)
+    hi = tuple(int(v) for v in hi)
+    if any(l < 0 or h > s or l >= h for l, h, s in zip(lo, hi, shape3)):
+        raise TrackingError(f"box [{lo}, {hi}) invalid for grid {shape3}")
+    mask = np.zeros(shape3, dtype=bool)
+    mask[lo[0] : hi[0], lo[1] : hi[1], lo[2] : hi[2]] = True
+    return mask
+
+
+def sphere_roi(
+    shape3: tuple[int, int, int],
+    center: tuple[float, float, float],
+    radius: float,
+) -> np.ndarray:
+    """Spherical mask (voxel centers within ``radius`` of ``center``)."""
+    if radius <= 0:
+        raise TrackingError(f"radius must be positive, got {radius}")
+    nx, ny, nz = shape3
+    x, y, z = np.meshgrid(
+        np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij"
+    )
+    cx, cy, cz = center
+    return (x - cx) ** 2 + (y - cy) ** 2 + (z - cz) ** 2 <= radius**2
+
+
+class TargetCounter:
+    """Counts, per seed, the samples whose streamline reaches a target ROI.
+
+    Implements the same ``begin_sample``/``visit``/``end_sample``
+    protocol as :class:`~repro.tracking.connectivity.ConnectivityAccumulator`,
+    so it plugs straight into the executor.  The estimate
+    ``probability()[i] = (#samples whose streamline from seed i visited
+    any target voxel) / n_samples`` is the paper's Eq. 3 evaluated for a
+    region target — exact, not a product of marginal voxel
+    probabilities.
+    """
+
+    def __init__(
+        self,
+        n_seeds: int,
+        target_mask: np.ndarray,
+        seed_map: np.ndarray | None = None,
+    ) -> None:
+        if n_seeds < 1:
+            raise TrackingError(f"n_seeds must be >= 1, got {n_seeds}")
+        target_mask = np.asarray(target_mask, dtype=bool)
+        if target_mask.ndim != 3:
+            raise TrackingError("target_mask must be a 3-D boolean volume")
+        self.n_seeds = n_seeds
+        self._target_flat = target_mask.reshape(-1)
+        self.n_samples = 0
+        self.counts = np.zeros(n_seeds, dtype=np.int64)
+        self._hit: np.ndarray | None = None
+        if seed_map is not None:
+            seed_map = np.asarray(seed_map, dtype=np.int64)
+            if np.any((seed_map < 0) | (seed_map >= n_seeds)):
+                raise TrackingError("seed_map entries must index seed rows")
+        self.seed_map = seed_map
+
+    def begin_sample(self) -> None:
+        if self._hit is not None:
+            raise TrackingError("begin_sample() called twice")
+        self._hit = np.zeros(self.n_seeds, dtype=bool)
+
+    def visit(self, seed_indices: np.ndarray, voxel_indices: np.ndarray) -> None:
+        if self._hit is None:
+            raise TrackingError("visit() outside a sample")
+        s = np.asarray(seed_indices, dtype=np.int64)
+        v = np.asarray(voxel_indices, dtype=np.int64)
+        if s.shape != v.shape:
+            raise TrackingError("seed/voxel index shapes differ")
+        if s.size == 0:
+            return
+        if self.seed_map is not None:
+            s = self.seed_map[s]
+        on_target = self._target_flat[v]
+        if on_target.any():
+            self._hit[s[on_target]] = True
+
+    def end_sample(self) -> None:
+        if self._hit is None:
+            raise TrackingError("end_sample() without begin_sample()")
+        self.counts += self._hit
+        self._hit = None
+        self.n_samples += 1
+
+    def probability(self) -> np.ndarray:
+        """``(n_seeds,)`` estimated P(exists seed -> target region)."""
+        if self.n_samples == 0:
+            raise TrackingError("no samples accumulated yet")
+        return self.counts / self.n_samples
+
+
+class VisitFanout:
+    """Forwards one tracking run's visits to several consumers."""
+
+    def __init__(self, consumers: list) -> None:
+        if not consumers:
+            raise TrackingError("need at least one consumer")
+        self.consumers = list(consumers)
+
+    def begin_sample(self) -> None:
+        for c in self.consumers:
+            c.begin_sample()
+
+    def visit(self, seed_indices: np.ndarray, voxel_indices: np.ndarray) -> None:
+        for c in self.consumers:
+            c.visit(seed_indices, voxel_indices)
+
+    def end_sample(self) -> None:
+        for c in self.consumers:
+            c.end_sample()

@@ -1,0 +1,133 @@
+"""Scalar reference tracker — the CPU's per-seed deterministic streamlining.
+
+This is the paper's § III-B3 algorithm in its plainest form: a Python loop
+advancing one streamline, used as the behavioral reference the lockstep
+batch tracker must match exactly, and as the substrate of the modeled CPU
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+import numpy as np
+
+from repro.errors import TrackingError
+from repro.models.fields import FiberField
+from repro.tracking.criteria import StopReason, TerminationCriteria
+from repro.tracking.direction import choose_direction
+from repro.tracking.interpolate import nearest_lookup, trilinear_lookup
+
+__all__ = ["Streamline", "track_streamline"]
+
+
+@dataclass
+class Streamline:
+    """One tracked fiber path.
+
+    Attributes
+    ----------
+    points:
+        ``(n_steps + 1, 3)`` positions, seed first.
+    reason:
+        Why tracking stopped.
+    """
+
+    points: np.ndarray
+    reason: StopReason
+
+    def __post_init__(self) -> None:
+        self.points = np.asarray(self.points, dtype=np.float64)
+        if self.points.ndim != 2 or self.points.shape[1] != 3:
+            raise TrackingError(f"points must be (n, 3), got {self.points.shape}")
+
+    @property
+    def n_steps(self) -> int:
+        """Number of steps taken (the paper's fiber *length*)."""
+        return self.points.shape[0] - 1
+
+    @property
+    def seed(self) -> np.ndarray:
+        """The starting position."""
+        return self.points[0]
+
+    @property
+    def end(self) -> np.ndarray:
+        """The final position."""
+        return self.points[-1]
+
+    def visited_voxels(self, shape3: tuple[int, int, int]) -> np.ndarray:
+        """Unique flat indices of voxels this path passes through."""
+        nx, ny, nz = shape3
+        idx = np.rint(self.points).astype(np.int64)
+        ok = (
+            (idx[:, 0] >= 0) & (idx[:, 0] < nx)
+            & (idx[:, 1] >= 0) & (idx[:, 1] < ny)
+            & (idx[:, 2] >= 0) & (idx[:, 2] < nz)
+        )
+        idx = idx[ok]
+        flat = (idx[:, 0] * ny + idx[:, 1]) * nz + idx[:, 2]
+        return np.unique(flat)
+
+
+def track_streamline(
+    field: FiberField,
+    seed: np.ndarray,
+    heading: np.ndarray,
+    criteria: TerminationCriteria,
+    interpolation: str = "trilinear",
+) -> Streamline:
+    """Track one streamline from ``seed`` along ``heading``.
+
+    Parameters
+    ----------
+    field:
+        The sample volume (one posterior sample, or the ground truth).
+    seed:
+        ``(3,)`` starting position in continuous voxel coordinates.
+    heading:
+        ``(3,)`` initial unit direction.
+    criteria:
+        Stop rules; ``criteria.step_length`` sets the advance per step.
+    interpolation:
+        ``"trilinear"`` or ``"nearest"``.
+    """
+    if interpolation not in ("trilinear", "nearest"):
+        raise TrackingError(f"unknown interpolation {interpolation!r}")
+    seed = np.asarray(seed, dtype=np.float64).reshape(3)
+    heading = np.asarray(heading, dtype=np.float64).reshape(3)
+
+    nx, ny, nz = field.shape3
+    pos = seed.copy()
+    points = [pos.copy()]
+    reason = StopReason.MAX_STEPS
+    for _ in range(criteria.max_steps):
+        p = pos[None, :]
+        h = heading[None, :]
+        if interpolation == "trilinear":
+            f, dirs = trilinear_lookup(field, p, reference=h)
+        else:
+            f, dirs = nearest_lookup(field, p)
+        chosen, dot = choose_direction(f, dirs, h, criteria.f_threshold)
+        if not (f[0] > criteria.f_threshold).any():
+            reason = StopReason.NO_DIRECTION
+            break
+        if dot[0] < criteria.min_dot:
+            reason = StopReason.ANGLE
+            break
+        new_pos = pos + criteria.step_length * chosen[0]
+        idx = np.rint(new_pos).astype(np.int64)
+        if (
+            idx[0] < 0 or idx[0] >= nx
+            or idx[1] < 0 or idx[1] >= ny
+            or idx[2] < 0 or idx[2] >= nz
+        ):
+            reason = StopReason.OUT_OF_BOUNDS
+            break
+        if not field.mask[idx[0], idx[1], idx[2]]:
+            reason = StopReason.OUT_OF_MASK
+            break
+        pos = new_pos
+        heading = chosen[0]
+        points.append(pos.copy())
+    return Streamline(points=np.array(points), reason=reason)

@@ -1,0 +1,43 @@
+"""Shared utilities: geometry, validation, timing, and parallel helpers."""
+
+from repro.utils.geometry import (
+    angle_between,
+    cartesian_to_spherical,
+    fibonacci_sphere,
+    normalize,
+    random_unit_vectors,
+    rotation_between,
+    rotation_matrix,
+    spherical_to_cartesian,
+)
+from repro.utils.validation import (
+    check_array,
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_shape,
+    check_unit_vector,
+)
+from repro.utils.profiling import Stopwatch, TimingAccumulator
+from repro.utils.parallel import chunked, chunked_map
+
+__all__ = [
+    "angle_between",
+    "cartesian_to_spherical",
+    "fibonacci_sphere",
+    "normalize",
+    "random_unit_vectors",
+    "rotation_between",
+    "rotation_matrix",
+    "spherical_to_cartesian",
+    "check_array",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+    "check_shape",
+    "check_unit_vector",
+    "Stopwatch",
+    "TimingAccumulator",
+    "chunked",
+    "chunked_map",
+]

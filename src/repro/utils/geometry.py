@@ -1,0 +1,176 @@
+"""Spherical geometry helpers used throughout the tractography pipeline.
+
+Conventions
+-----------
+Spherical coordinates follow the physics convention used by Behrens et al.
+(2003) and FSL:
+
+* ``theta`` is the *polar* angle measured from the +z axis, in ``[0, pi]``;
+* ``phi`` is the *azimuthal* angle measured from the +x axis in the x-y
+  plane, in ``[0, 2*pi)``.
+
+A unit direction vector is therefore::
+
+    v = (sin(theta) cos(phi), sin(theta) sin(phi), cos(theta))
+
+Fiber orientations are *axial* quantities: ``v`` and ``-v`` describe the same
+fiber.  Functions that compare fiber orientations therefore work with
+``|dot|`` rather than ``dot`` where appropriate; the tracking code handles the
+sign explicitly when it matters (maintaining a heading).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "spherical_to_cartesian",
+    "cartesian_to_spherical",
+    "normalize",
+    "angle_between",
+    "rotation_matrix",
+    "rotation_between",
+    "fibonacci_sphere",
+    "random_unit_vectors",
+]
+
+
+def spherical_to_cartesian(theta: np.ndarray, phi: np.ndarray) -> np.ndarray:
+    """Convert polar/azimuthal angles to unit vectors.
+
+    Parameters
+    ----------
+    theta, phi:
+        Arrays of identical shape (broadcastable) holding the polar and
+        azimuthal angles in radians.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``broadcast(theta, phi).shape + (3,)`` of unit
+        vectors.
+    """
+    theta = np.asarray(theta, dtype=np.float64)
+    phi = np.asarray(phi, dtype=np.float64)
+    theta, phi = np.broadcast_arrays(theta, phi)
+    sin_t = np.sin(theta)
+    out = np.empty(theta.shape + (3,), dtype=np.float64)
+    out[..., 0] = sin_t * np.cos(phi)
+    out[..., 1] = sin_t * np.sin(phi)
+    out[..., 2] = np.cos(theta)
+    return out
+
+
+def cartesian_to_spherical(vectors: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Convert unit vectors to ``(theta, phi)`` angles.
+
+    The inverse of :func:`spherical_to_cartesian`.  Vectors need not be
+    exactly unit length; only the direction is used.
+
+    Returns
+    -------
+    (theta, phi):
+        ``theta`` in ``[0, pi]``, ``phi`` in ``[0, 2*pi)``.
+    """
+    v = np.asarray(vectors, dtype=np.float64)
+    if v.shape[-1] != 3:
+        raise ValueError(f"expected trailing dimension 3, got shape {v.shape}")
+    norm = np.linalg.norm(v, axis=-1)
+    safe = np.where(norm == 0.0, 1.0, norm)
+    z = np.clip(v[..., 2] / safe, -1.0, 1.0)
+    theta = np.arccos(z)
+    phi = np.arctan2(v[..., 1], v[..., 0])
+    phi = np.where(phi < 0.0, phi + 2.0 * np.pi, phi)
+    return theta, phi
+
+
+def normalize(vectors: np.ndarray, axis: int = -1, eps: float = 1e-12) -> np.ndarray:
+    """Return ``vectors`` scaled to unit length along ``axis``.
+
+    Zero vectors (norm below ``eps``) are returned unchanged rather than
+    producing NaNs, which matters when normalizing padded/inactive thread
+    slots in batch tracking.
+    """
+    v = np.asarray(vectors, dtype=np.float64)
+    norm = np.linalg.norm(v, axis=axis, keepdims=True)
+    return np.where(norm > eps, v / np.where(norm > eps, norm, 1.0), v)
+
+
+def angle_between(a: np.ndarray, b: np.ndarray, axial: bool = False) -> np.ndarray:
+    """Angle in radians between vectors ``a`` and ``b`` (last axis = xyz).
+
+    With ``axial=True`` the vectors are treated as undirected fiber axes, so
+    the result lies in ``[0, pi/2]``.
+    """
+    a = normalize(a)
+    b = normalize(b)
+    dot = np.sum(a * b, axis=-1)
+    if axial:
+        dot = np.abs(dot)
+    return np.arccos(np.clip(dot, -1.0, 1.0))
+
+
+def rotation_matrix(axis: np.ndarray, angle: float) -> np.ndarray:
+    """Rodrigues rotation matrix about ``axis`` by ``angle`` radians."""
+    axis = np.asarray(axis, dtype=np.float64)
+    n = np.linalg.norm(axis)
+    if n == 0.0:
+        raise ValueError("rotation axis must be non-zero")
+    x, y, z = axis / n
+    c, s = np.cos(angle), np.sin(angle)
+    C = 1.0 - c
+    return np.array(
+        [
+            [c + x * x * C, x * y * C - z * s, x * z * C + y * s],
+            [y * x * C + z * s, c + y * y * C, y * z * C - x * s],
+            [z * x * C - y * s, z * y * C + x * s, c + z * z * C],
+        ]
+    )
+
+
+def rotation_between(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Rotation matrix taking unit vector ``a`` onto unit vector ``b``.
+
+    Uses the axis-angle (Rodrigues) construction with ``atan2``, which
+    stays numerically stable arbitrarily close to the antiparallel case
+    (the popular ``I + [v]x + [v]x^2 / (1+c)`` shortcut cancels
+    catastrophically there).
+    """
+    a = normalize(np.asarray(a, dtype=np.float64))
+    b = normalize(np.asarray(b, dtype=np.float64))
+    v = np.cross(a, b)
+    s = float(np.linalg.norm(v))
+    c = float(np.dot(a, b))
+    if s < 1e-12:
+        if c > 0:
+            return np.eye(3)
+        # Antiparallel: rotate pi about any axis orthogonal to a.
+        ortho = np.array([1.0, 0.0, 0.0])
+        if abs(a[0]) > 0.9:
+            ortho = np.array([0.0, 1.0, 0.0])
+        axis = np.cross(a, ortho)
+        return rotation_matrix(axis, np.pi)
+    return rotation_matrix(v, np.arctan2(s, c))
+
+
+def fibonacci_sphere(n: int) -> np.ndarray:
+    """``n`` near-uniformly distributed points on the unit sphere.
+
+    Uses the Fibonacci (golden-angle) lattice — a deterministic stand-in for
+    the electrostatically optimized gradient direction sets used on real
+    scanners.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one point, got n={n}")
+    i = np.arange(n, dtype=np.float64)
+    golden = (1.0 + np.sqrt(5.0)) / 2.0
+    z = 1.0 - 2.0 * (i + 0.5) / n
+    r = np.sqrt(np.maximum(0.0, 1.0 - z * z))
+    phi = 2.0 * np.pi * i / golden
+    return np.stack([r * np.cos(phi), r * np.sin(phi), z], axis=-1)
+
+
+def random_unit_vectors(n: int, rng: np.random.Generator) -> np.ndarray:
+    """``n`` unit vectors drawn uniformly from the sphere."""
+    v = rng.normal(size=(n, 3))
+    return normalize(v)

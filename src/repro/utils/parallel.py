@@ -1,0 +1,65 @@
+"""Host-side chunking helpers.
+
+The library's hot paths are vectorized with NumPy (the "GPU port" is
+lockstep vectorization over voxels/streamlines), so Python-level
+parallelism is only used for embarrassingly parallel *outer* loops — e.g.
+fitting independent voxel blocks on the CPU reference path.  Work is
+chunked so each task amortizes serialization overhead, per the
+scientific-python optimization guidance.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["chunked", "chunked_map", "default_workers"]
+
+
+def default_workers() -> int:
+    """Worker count for host-side pools: ``cpu_count - 1``, at least 1."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def chunked(items: Sequence[T], chunk_size: int) -> Iterator[Sequence[T]]:
+    """Yield consecutive slices of ``items`` of length ``chunk_size``.
+
+    The final chunk may be shorter.  ``chunk_size`` must be positive.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    for start in range(0, len(items), chunk_size):
+        yield items[start : start + chunk_size]
+
+
+def chunked_map(
+    fn: Callable[[Sequence[T]], Iterable[R]],
+    items: Sequence[T],
+    chunk_size: int = 1024,
+    workers: int | None = None,
+) -> list[R]:
+    """Apply ``fn`` to chunks of ``items``, optionally across processes.
+
+    ``fn`` receives a chunk (a sequence) and must return an iterable of
+    per-item results in order.  With ``workers`` in (None, 0, 1) the map runs
+    serially in-process, which is both the test-friendly default and usually
+    the right call for NumPy-bound work (the BLAS threads already use the
+    cores).
+
+    Returns a flat list of results in input order.
+    """
+    chunks = list(chunked(items, chunk_size))
+    if workers is None or workers <= 1:
+        out: list[R] = []
+        for chunk in chunks:
+            out.extend(fn(chunk))
+        return out
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        out = []
+        for result in pool.map(fn, chunks):
+            out.extend(result)
+        return out

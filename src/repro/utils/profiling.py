@@ -1,0 +1,95 @@
+"""Lightweight wall-clock instrumentation.
+
+The benchmark harness attributes time to pipeline stages (kernel /
+reduction / transfer on the simulated device; fit / track on the host).
+:class:`TimingAccumulator` is the host-side ledger; the simulated-device
+ledger lives in :mod:`repro.gpu.timeline` and is *modeled*, not measured.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "TimingAccumulator"]
+
+
+class Stopwatch:
+    """A context-manager stopwatch measuring wall-clock seconds.
+
+    >>> with Stopwatch() as sw:
+    ...     sum(range(1000))
+    499500
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+
+@dataclass
+class TimingAccumulator:
+    """Accumulates named wall-clock durations across repeated sections.
+
+    >>> acc = TimingAccumulator()
+    >>> with acc.section("fit"):
+    ...     pass
+    >>> "fit" in acc.totals
+    True
+    """
+
+    totals: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record ``seconds`` against section ``name``."""
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def section(self, name: str) -> "_Section":
+        """Context manager measuring a section and recording it on exit."""
+        return _Section(self, name)
+
+    def merge(self, other: "TimingAccumulator") -> None:
+        """Fold another accumulator's totals into this one."""
+        for name, seconds in other.totals.items():
+            self.totals[name] = self.totals.get(name, 0.0) + seconds
+            self.counts[name] = self.counts.get(name, 0) + other.counts.get(name, 0)
+
+    def summary(self) -> str:
+        """A fixed-width, sorted-by-time text summary."""
+        if not self.totals:
+            return "(no sections recorded)"
+        lines = []
+        width = max(len(k) for k in self.totals)
+        for name, seconds in sorted(self.totals.items(), key=lambda kv: -kv[1]):
+            lines.append(
+                f"{name:<{width}}  {seconds:10.4f} s  x{self.counts.get(name, 0)}"
+            )
+        return "\n".join(lines)
+
+
+class _Section:
+    def __init__(self, acc: TimingAccumulator, name: str) -> None:
+        self._acc = acc
+        self._name = name
+        self._sw = Stopwatch()
+
+    def __enter__(self) -> "_Section":
+        self._sw.__enter__()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._sw.__exit__(*exc_info)
+        self._acc.add(self._name, self._sw.elapsed)

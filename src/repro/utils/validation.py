@@ -1,0 +1,95 @@
+"""Argument-validation helpers.
+
+These raise :class:`repro.errors.ConfigurationError` /
+:class:`repro.errors.DataError` with messages that name the offending
+argument, so failures deep inside a pipeline are attributable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError
+
+__all__ = [
+    "check_positive",
+    "check_in_range",
+    "check_probability",
+    "check_array",
+    "check_shape",
+    "check_unit_vector",
+]
+
+
+def check_positive(name: str, value: float, strict: bool = True) -> float:
+    """Ensure a scalar is positive (``> 0``, or ``>= 0`` if not strict)."""
+    if strict and not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    inclusive: bool = True,
+) -> float:
+    """Ensure ``low <= value <= high`` (or strict interior)."""
+    ok = low <= value <= high if inclusive else low < value < high
+    if not ok:
+        bounds = f"[{low}, {high}]" if inclusive else f"({low}, {high})"
+        raise ConfigurationError(f"{name} must be in {bounds}, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Ensure a scalar lies in ``[0, 1]``."""
+    return check_in_range(name, value, 0.0, 1.0)
+
+
+def check_array(
+    name: str,
+    value: np.ndarray,
+    ndim: int | None = None,
+    dtype: type | None = None,
+    finite: bool = False,
+) -> np.ndarray:
+    """Coerce ``value`` to an ndarray and validate its rank / finiteness."""
+    arr = np.asarray(value)
+    if ndim is not None and arr.ndim != ndim:
+        raise DataError(f"{name} must have ndim={ndim}, got ndim={arr.ndim}")
+    if dtype is not None:
+        arr = arr.astype(dtype, copy=False)
+    if finite and not np.all(np.isfinite(arr)):
+        raise DataError(f"{name} contains non-finite values")
+    return arr
+
+
+def check_shape(name: str, value: np.ndarray, shape: Sequence[int | None]) -> np.ndarray:
+    """Validate an array's shape; ``None`` entries match any extent."""
+    arr = np.asarray(value)
+    if len(arr.shape) != len(shape) or any(
+        expect is not None and actual != expect
+        for actual, expect in zip(arr.shape, shape)
+    ):
+        raise DataError(f"{name} must have shape {tuple(shape)}, got {arr.shape}")
+    return arr
+
+
+def check_unit_vector(name: str, value: np.ndarray, atol: float = 1e-6) -> np.ndarray:
+    """Validate that the trailing axis holds unit-length vectors."""
+    arr = check_array(name, value, finite=True).astype(np.float64, copy=False)
+    if arr.shape[-1] != 3:
+        raise DataError(f"{name} must have trailing dimension 3, got {arr.shape}")
+    norms = np.linalg.norm(arr, axis=-1)
+    if not np.allclose(norms, 1.0, atol=atol):
+        worst = float(np.max(np.abs(norms - 1.0)))
+        raise DataError(
+            f"{name} must hold unit vectors (max |norm-1| = {worst:.3g} > {atol})"
+        )
+    return arr

@@ -1,0 +1,120 @@
+"""Integration tests for the CLI: phantom -> bedpost -> track."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import bedpost_main, phantom_main, track_main
+from repro.io import read_nifti, read_trk
+
+
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory):
+    return tmp_path_factory.mktemp("cli")
+
+
+class TestPhantomCommand:
+    def test_generates_acquisition(self, workdir):
+        rc = phantom_main(
+            [
+                str(workdir / "data"),
+                "--dataset", "dataset1",
+                "--scale", "0.15",
+                "--snr", "40",
+                "--directions", "24",
+            ]
+        )
+        assert rc == 0
+        dwi = read_nifti(workdir / "data" / "dwi.nii.gz")
+        assert dwi.data.ndim == 4
+        assert dwi.data.shape[-1] == 28  # 24 directions + 4 b0
+        meta = json.loads((workdir / "data" / "phantom.json").read_text())
+        assert meta["dataset"] == "dataset1"
+        assert (workdir / "data" / "bvals").exists()
+        assert (workdir / "data" / "bvecs").exists()
+        mask = read_nifti(workdir / "data" / "wm_mask.nii.gz")
+        assert mask.data.sum() == meta["n_wm_voxels"]
+
+    def test_voxel_sizes_scale(self, workdir):
+        phantom_main(
+            [str(workdir / "d2"), "--dataset", "dataset2", "--scale", "0.1"]
+        )
+        dwi = read_nifti(workdir / "d2" / "dwi.nii.gz")
+        # dataset2 is 2.0 mm at scale 1.0 -> 20 mm at scale 0.1.
+        np.testing.assert_allclose(dwi.voxel_sizes, 20.0, rtol=1e-5)
+
+
+class TestBedpostCommand:
+    def test_fits_and_writes(self, workdir):
+        rc = bedpost_main(
+            [
+                str(workdir / "data"),
+                "--burnin", "60",
+                "--samples", "4",
+                "--interval", "1",
+            ]
+        )
+        assert rc == 0
+        blob = np.load(workdir / "data" / "bedpost" / "samples.npz")
+        assert blob["samples"].shape[0] == 4
+        assert blob["samples"].shape[2] == 9
+        assert int(blob["n_fibers"]) == 2
+        f1 = read_nifti(workdir / "data" / "bedpost" / "mean_f1.nii.gz")
+        assert float(f1.data.max()) > 0.2
+
+    def test_rician_option(self, workdir):
+        rc = bedpost_main(
+            [
+                str(workdir / "data"),
+                "--output-dir", str(workdir / "bp_rician"),
+                "--burnin", "20",
+                "--samples", "2",
+                "--interval", "1",
+                "--noise-model", "rician",
+            ]
+        )
+        assert rc == 0
+        assert (workdir / "bp_rician" / "samples.npz").exists()
+
+
+class TestTrackCommand:
+    def test_tracks_and_exports(self, workdir):
+        rc = track_main(
+            [
+                str(workdir / "data" / "bedpost"),
+                "--step", "0.4",
+                "--threshold", "0.7",
+                "--max-steps", "100",
+                "--strategy", "a20",
+                "--min-export-steps", "5",
+            ]
+        )
+        assert rc == 0
+        out = workdir / "data" / "bedpost" / "track"
+        density = read_nifti(out / "density.nii.gz")
+        assert float(density.data.sum()) > 0
+        lengths = np.loadtxt(out / "lengths.txt")
+        assert lengths.ndim in (1, 2)
+        lines, meta = read_trk(out / "fibers.trk")
+        assert meta["n_count"] == len(lines)
+
+    def test_bidirectional_flag(self, workdir):
+        rc = track_main(
+            [
+                str(workdir / "data" / "bedpost"),
+                "--output-dir", str(workdir / "track_bi"),
+                "--step", "0.4",
+                "--threshold", "0.7",
+                "--max-steps", "60",
+                "--strategy", "b",
+                "--bidirectional",
+                "--min-export-steps", "3",
+            ]
+        )
+        assert rc == 0
+        uni = np.loadtxt(workdir / "data" / "bedpost" / "track" / "lengths.txt")
+        bi = np.loadtxt(workdir / "track_bi" / "lengths.txt")
+        n_uni = uni.shape[-1] if uni.ndim > 1 else uni.shape[0]
+        n_bi = bi.shape[-1] if bi.ndim > 1 else bi.shape[0]
+        assert n_bi == 2 * n_uni

@@ -1,0 +1,146 @@
+"""Property-based invariants across the tracking pipeline."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import rasterize_bundles, straight_bundle
+from repro.models.fields import FiberField
+from repro.tracking import (
+    BatchTracker,
+    ConnectivityAccumulator,
+    TerminationCriteria,
+    track_streamline,
+)
+
+
+def bent_field(bend_deg: float, shape=(30, 12, 6)):
+    """Two straight segments meeting at `bend_deg` halfway along x."""
+    nx = shape[0]
+    mid = nx // 2
+    f = np.zeros(shape + (1,))
+    f[..., 0] = 0.6
+    dirs = np.zeros(shape + (1, 3))
+    dirs[:mid, ..., 0, 0] = 1.0
+    rad = np.deg2rad(bend_deg)
+    dirs[mid:, ..., 0, 0] = np.cos(rad)
+    dirs[mid:, ..., 0, 1] = np.sin(rad)
+    return FiberField(f=f, directions=dirs, mask=np.ones(shape, bool))
+
+
+class TestTerminationMonotonicity:
+    @given(
+        bend=st.floats(5.0, 85.0),
+        tight=st.floats(0.5, 0.99),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_tighter_angle_threshold_never_lengthens(self, bend, tight):
+        # Fibers tracked with a stricter curvature limit are never longer.
+        field = bent_field(bend)
+        loose_crit = TerminationCriteria(
+            max_steps=200, min_dot=0.1, step_length=0.5
+        )
+        tight_crit = TerminationCriteria(
+            max_steps=200, min_dot=tight, step_length=0.5
+        )
+        seed = np.array([2.0, 6.0, 3.0])
+        heading = np.array([1.0, 0.0, 0.0])
+        loose = track_streamline(field, seed, heading, loose_crit,
+                                 interpolation="nearest")
+        strict = track_streamline(field, seed, heading, tight_crit,
+                                  interpolation="nearest")
+        assert strict.n_steps <= loose.n_steps
+
+    @given(budget=st.integers(1, 150))
+    @settings(max_examples=30, deadline=None)
+    def test_budget_monotone(self, budget):
+        field = bent_field(0.0)
+        small = TerminationCriteria(max_steps=budget, min_dot=0.8, step_length=0.5)
+        big = TerminationCriteria(max_steps=budget + 50, min_dot=0.8, step_length=0.5)
+        seed = np.array([1.0, 6.0, 3.0])
+        h = np.array([1.0, 0.0, 0.0])
+        a = track_streamline(field, seed, h, small)
+        b = track_streamline(field, seed, h, big)
+        assert a.n_steps <= b.n_steps
+        assert a.n_steps <= budget
+
+    @given(bend=st.floats(0.0, 80.0))
+    @settings(max_examples=25, deadline=None)
+    def test_bend_vs_threshold_decides_passage(self, bend):
+        # Passing the bend requires cos(bend) >= min_dot (nearest-neighbor
+        # geometry makes the turn a single discrete event).
+        field = bent_field(bend)
+        min_dot = 0.8
+        crit = TerminationCriteria(
+            max_steps=300, min_dot=min_dot, step_length=0.5
+        )
+        seed = np.array([2.0, 6.0, 3.0])
+        line = track_streamline(
+            field, seed, np.array([1.0, 0.0, 0.0]), crit,
+            interpolation="nearest",
+        )
+        crossed = line.points[:, 0].max() > 16.0
+        expect_cross = np.cos(np.deg2rad(bend)) >= min_dot + 1e-9
+        if abs(np.cos(np.deg2rad(bend)) - min_dot) > 0.02:  # away from the edge
+            assert crossed == expect_cross
+
+
+class TestConnectivityInvariants:
+    @given(
+        n_seeds=st.integers(1, 6),
+        n_samples=st.integers(1, 5),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30)
+    def test_probabilities_bounded_and_counts_additive(
+        self, n_seeds, n_samples, seed
+    ):
+        rng = np.random.default_rng(seed)
+        acc = ConnectivityAccumulator(n_seeds, 50)
+        for _ in range(n_samples):
+            acc.begin_sample()
+            k = rng.integers(0, 30)
+            acc.visit(
+                rng.integers(0, n_seeds, size=k),
+                rng.integers(0, 50, size=k),
+            )
+            acc.end_sample()
+        p = acc.probability()
+        assert p.shape == (n_seeds, 50)
+        if p.nnz:
+            assert p.data.min() > 0
+            assert p.data.max() <= 1.0
+        assert acc.counts.max() <= n_samples
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20)
+    def test_within_sample_dedup(self, seed):
+        rng = np.random.default_rng(seed)
+        acc = ConnectivityAccumulator(2, 10)
+        acc.begin_sample()
+        pairs_seed = rng.integers(0, 2, size=40)
+        pairs_vox = rng.integers(0, 10, size=40)
+        acc.visit(pairs_seed, pairs_vox)
+        acc.visit(pairs_seed, pairs_vox)  # exact duplicates
+        acc.end_sample()
+        assert acc.counts.max() <= 1
+
+
+class TestRasterizeTrackConsistency:
+    @given(
+        radius=st.floats(1.2, 3.0),
+        weight=st.floats(0.3, 0.9),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_straight_bundle_supports_full_traversal(self, radius, weight):
+        shape = (24, 10, 10)
+        b = straight_bundle(
+            [2, 5, 5], [21, 5, 5], radius=radius, weight=weight
+        )
+        field = rasterize_bundles(shape, [b], mask=np.ones(shape, bool))
+        crit = TerminationCriteria(max_steps=400, min_dot=0.8, step_length=0.5)
+        state = BatchTracker(field, crit).run_to_completion(
+            np.array([[3.0, 5.0, 5.0]]), np.array([[1.0, 0.0, 0.0]])
+        )
+        # The tracker must traverse most of the painted bundle.
+        assert state.positions[0, 0] > 17.0

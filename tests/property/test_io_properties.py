@@ -1,0 +1,144 @@
+"""Property-based round-trip tests for the I/O substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.io import (
+    GradientTable,
+    Volume,
+    read_bvals_bvecs,
+    read_nifti,
+    read_trk,
+    write_bvals_bvecs,
+    write_nifti,
+    write_trk,
+)
+from repro.utils.geometry import fibonacci_sphere
+
+small_shapes = st.tuples(
+    st.integers(1, 6), st.integers(1, 6), st.integers(1, 6)
+)
+
+
+class TestNiftiProperties:
+    @given(
+        shape=small_shapes,
+        seed=st.integers(0, 2**31 - 1),
+        dtype=st.sampled_from([np.uint8, np.int16, np.int32, np.float32, np.float64]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_volume_round_trips(self, tmp_path_factory, shape, seed, dtype):
+        tmp = tmp_path_factory.mktemp("nii")
+        rng = np.random.default_rng(seed)
+        if np.issubdtype(dtype, np.integer):
+            info = np.iinfo(dtype)
+            data = rng.integers(
+                max(info.min, -1000), min(info.max, 1000), size=shape
+            ).astype(dtype)
+        else:
+            data = rng.uniform(-1e3, 1e3, size=shape).astype(dtype)
+        vol = Volume(data)
+        path = tmp / "x.nii"
+        write_nifti(path, vol)
+        back = read_nifti(path)
+        np.testing.assert_array_equal(back.data, data)
+
+    @given(
+        trans=hnp.arrays(np.float64, (3,), elements=st.floats(-100, 100)),
+        scales=hnp.arrays(np.float64, (3,), elements=st.floats(0.1, 10)),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_affine_round_trips(self, tmp_path_factory, trans, scales, seed):
+        tmp = tmp_path_factory.mktemp("aff")
+        aff = np.eye(4)
+        aff[0, 0], aff[1, 1], aff[2, 2] = scales
+        aff[:3, 3] = trans
+        vol = Volume(np.zeros((2, 2, 2), dtype=np.float32), affine=aff)
+        path = tmp / "a.nii"
+        write_nifti(path, vol)
+        np.testing.assert_allclose(read_nifti(path).affine, aff, atol=1e-4)
+
+
+class TestTrkProperties:
+    @given(
+        n_lines=st.integers(0, 8),
+        seed=st.integers(0, 2**31 - 1),
+        vs=st.tuples(
+            st.floats(0.5, 4.0), st.floats(0.5, 4.0), st.floats(0.5, 4.0)
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_streamlines_round_trip(self, tmp_path_factory, n_lines, seed, vs):
+        tmp = tmp_path_factory.mktemp("trk")
+        rng = np.random.default_rng(seed)
+        lines = [
+            rng.uniform(0, 50, size=(rng.integers(1, 40), 3))
+            for _ in range(n_lines)
+        ]
+        path = tmp / "t.trk"
+        write_trk(path, lines, voxel_sizes=vs)
+        back, meta = read_trk(path)
+        assert meta["n_count"] == n_lines
+        for a, b in zip(lines, back):
+            np.testing.assert_allclose(a, b, atol=1e-3)
+
+
+class TestGradientProperties:
+    @given(
+        n_dwi=st.integers(6, 40),
+        n_b0=st.integers(0, 5),
+        bval=st.floats(100, 5000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_fsl_files_round_trip(self, tmp_path_factory, n_dwi, n_b0, bval):
+        tmp = tmp_path_factory.mktemp("grad")
+        bvals = np.concatenate([np.zeros(n_b0), np.full(n_dwi, bval)])
+        bvecs = np.concatenate([np.zeros((n_b0, 3)), fibonacci_sphere(n_dwi)])
+        t = GradientTable(bvals, bvecs)
+        write_bvals_bvecs(t, tmp / "bvals", tmp / "bvecs")
+        back = read_bvals_bvecs(tmp / "bvals", tmp / "bvecs")
+        assert back.n_b0 == n_b0
+        assert back.n_dwi == n_dwi
+        np.testing.assert_allclose(back.bvecs, t.bvecs, atol=1e-6)
+
+    @given(n=st.integers(1, 30), seed=st.integers(0, 1000))
+    @settings(max_examples=25)
+    def test_subset_preserves_rows(self, n, seed):
+        rng = np.random.default_rng(seed)
+        bvals = np.full(n, 1000.0)
+        bvecs = fibonacci_sphere(n)
+        t = GradientTable(bvals, bvecs)
+        idx = rng.permutation(n)[: max(1, n // 2)]
+        sub = t.subset(idx)
+        np.testing.assert_allclose(sub.bvecs, t.bvecs[idx])
+
+
+class TestVolumeProperties:
+    @given(
+        shape=small_shapes,
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30)
+    def test_flat_index_bijection(self, shape, seed):
+        vol = Volume(np.zeros(shape))
+        rng = np.random.default_rng(seed)
+        n = int(np.prod(shape))
+        flat = rng.permutation(n)[: min(n, 20)]
+        ijk = vol.unravel_index(flat)
+        np.testing.assert_array_equal(vol.flat_index(ijk), flat)
+
+    @given(
+        shape=small_shapes,
+        pts=hnp.arrays(np.float64, (5, 3), elements=st.floats(-20, 20)),
+    )
+    @settings(max_examples=30)
+    def test_world_round_trip(self, shape, pts):
+        aff = np.eye(4)
+        aff[0, 0], aff[1, 1], aff[2, 2] = 2.0, 2.5, 3.0
+        aff[:3, 3] = [1.0, -2.0, 3.0]
+        vol = Volume(np.zeros(shape), affine=aff)
+        back = vol.world_to_voxel(vol.voxel_to_world(pts))
+        np.testing.assert_allclose(back, pts, atol=1e-9)

@@ -1,0 +1,174 @@
+"""Property-based tests for tracking, segmentation, and the GPU model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.gpu.occupancy import rectangle_area, utilization, wasted_lane_iterations
+from repro.gpu.simulator import wavefront_times
+from repro.analysis.projection import segment_executed
+from repro.models.fields import FiberField
+from repro.tracking import (
+    BatchTracker,
+    IncreasingStrategy,
+    SingleSegmentStrategy,
+    TerminationCriteria,
+    UniformStrategy,
+    increasing_intervals,
+    track_streamline,
+)
+
+lengths_arrays = hnp.arrays(
+    np.int64,
+    st.integers(1, 200),
+    elements=st.integers(0, 500),
+)
+
+
+class TestSegmentationProperties:
+    @given(max_steps=st.integers(1, 5000), k=st.integers(1, 500))
+    def test_uniform_covers_exactly(self, max_steps, k):
+        segs = UniformStrategy(k).segments(max_steps)
+        assert sum(segs) == max_steps
+        assert all(1 <= s <= k for s in segs)
+
+    @given(max_steps=st.integers(1, 5000))
+    def test_single_segment_exact(self, max_steps):
+        assert SingleSegmentStrategy().segments(max_steps) == [max_steps]
+
+    @given(
+        max_steps=st.integers(1, 5000),
+        array=st.lists(st.integers(1, 300), min_size=1, max_size=20),
+    )
+    def test_custom_array_covers_exactly(self, max_steps, array):
+        segs = IncreasingStrategy(array).segments(max_steps)
+        assert sum(segs) == max_steps
+        assert all(s >= 1 for s in segs)
+
+    @given(
+        max_steps=st.integers(1, 5000),
+        first=st.integers(1, 10),
+        ratio=st.floats(1.2, 5.0),
+    )
+    def test_generated_ladder_covers_exactly(self, max_steps, first, ratio):
+        segs = increasing_intervals(max_steps, first=first, ratio=ratio)
+        assert sum(segs) == max_steps
+
+
+class TestGpuModelProperties:
+    @given(lengths=lengths_arrays, width=st.sampled_from([1, 2, 16, 32, 64]))
+    def test_waste_nonnegative_and_utilization_bounded(self, lengths, width):
+        waste = wasted_lane_iterations(lengths, width)
+        assert waste >= -1e-9
+        u = utilization(lengths, width)
+        assert 0.0 <= u <= 1.0 + 1e-12
+
+    @given(lengths=lengths_arrays)
+    def test_width_one_never_wastes(self, lengths):
+        assert wasted_lane_iterations(lengths, 1) == 0.0
+        assert utilization(lengths, 1) == 1.0 or lengths.sum() == 0
+
+    @given(lengths=lengths_arrays, width=st.sampled_from([2, 8, 64]))
+    def test_wavefront_times_dominate_members(self, lengths, width):
+        waves = wavefront_times(lengths, width)
+        n_waves = -(-lengths.size // width)
+        assert waves.size == n_waves
+        for w in range(n_waves):
+            group = lengths[w * width : (w + 1) * width]
+            assert waves[w] == group.max()
+
+    @given(
+        lengths=hnp.arrays(
+            np.float64, st.integers(1, 150), elements=st.floats(0, 300)
+        ),
+        k=st.integers(1, 100),
+    )
+    def test_paid_area_at_least_useful(self, lengths, k):
+        max_steps = int(lengths.max()) + 1
+        useful, paid, _ = rectangle_area(lengths, UniformStrategy(k).segments(max_steps))
+        assert paid >= useful - 1e-9
+
+    @given(lengths=lengths_arrays, k=st.integers(1, 50))
+    def test_segment_executed_conserves_work(self, lengths, k):
+        # Total executed iterations (minus the stop-decision iterations)
+        # must equal the total useful steps.
+        max_steps = int(lengths.max()) + 1 if lengths.size else 1
+        segs = UniformStrategy(k).segments(max_steps)
+        execd = segment_executed(lengths, segs)
+        total = sum(float(e.sum()) for e in execd)
+        useful = float(np.minimum(lengths, max_steps).sum())
+        # Each thread contributes at most one extra decision iteration
+        # per... exactly one stop iteration unless its length is an exact
+        # multiple boundary equal to the budget.
+        assert useful <= total <= useful + lengths.size
+
+
+class TestTrackerProperties:
+    def make_field(self, nx=24):
+        shape = (nx, 6, 6)
+        f = np.zeros(shape + (1,))
+        f[..., 0] = 0.6
+        d = np.zeros(shape + (1, 3))
+        d[..., 0, 0] = 1.0
+        return FiberField(f=f, directions=d, mask=np.ones(shape, bool))
+
+    @given(
+        step=st.floats(0.1, 1.0),
+        seed_x=st.floats(1.0, 20.0),
+        max_steps=st.integers(1, 300),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_scalar_batch_agree_everywhere(self, step, seed_x, max_steps):
+        field = self.make_field()
+        crit = TerminationCriteria(
+            max_steps=max_steps, min_dot=0.8, step_length=step
+        )
+        seed = np.array([seed_x, 3.0, 3.0])
+        heading = np.array([1.0, 0.0, 0.0])
+        ref = track_streamline(field, seed, heading, crit)
+        state = BatchTracker(field, crit).run_to_completion(
+            seed[None], heading[None]
+        )
+        assert state.steps[0] == ref.n_steps
+        assert state.reason[0] == ref.reason
+
+    @given(
+        step=st.floats(0.1, 0.9),
+        seed_x=st.floats(1.0, 20.0),
+        chunks=st.lists(st.integers(1, 50), min_size=1, max_size=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_segmentation_invariance(self, step, seed_x, chunks):
+        # Splitting execution into arbitrary segments never changes the
+        # result -- the correctness invariant behind the paper's whole
+        # strategy space.
+        field = self.make_field()
+        crit = TerminationCriteria(max_steps=120, min_dot=0.8, step_length=step)
+        seed = np.array([[seed_x, 3.0, 3.0]])
+        heading = np.array([[1.0, 0.0, 0.0]])
+        tracker = BatchTracker(field, crit)
+        mono = tracker.run_to_completion(seed, heading)
+        state = tracker.init_state(seed, heading)
+        budget = 120
+        for c in chunks:
+            take = min(c, budget)
+            tracker.run_segment(state, take)
+            budget -= take
+            if budget <= 0:
+                break
+        tracker.run_segment(state, budget if budget > 0 else 0)
+        # Finish any remainder.
+        while state.n_active and state.steps.max() < 120:
+            tracker.run_segment(state, 10)
+        assert state.steps[0] == mono.steps[0]
+
+    @given(step=st.floats(0.1, 1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_steps_never_exceed_budget(self, step):
+        field = self.make_field(nx=200)
+        crit = TerminationCriteria(max_steps=50, min_dot=0.8, step_length=step)
+        state = BatchTracker(field, crit).run_to_completion(
+            np.array([[1.0, 3.0, 3.0]]), np.array([[1.0, 0.0, 0.0]])
+        )
+        assert state.steps[0] <= 50

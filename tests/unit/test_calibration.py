@@ -1,0 +1,71 @@
+"""Tests tying the presets to their published-measurement derivation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.calibration import PAPER, PaperMeasurements, derive_constants
+from repro.gpu.presets import PHENOM_X4, RADEON_5870
+
+
+class TestDerivation:
+    def test_presets_match_derivation_within_factor_two(self):
+        """The hand-calibrated presets must agree with the executable
+        derivation to within a factor of ~2 on every constant (the
+        derivations involve judgement factors like the waste fraction,
+        so exact equality is not expected — but an order-of-magnitude
+        drift would mean the presets lost their provenance)."""
+        d = derive_constants()
+        pairs = [
+            (d.seconds_per_wavefront_iteration,
+             RADEON_5870.seconds_per_wavefront_iteration),
+            (d.host_seconds_per_iteration, PHENOM_X4.seconds_per_iteration),
+            (d.transfer_latency_s, RADEON_5870.transfer_latency_s),
+            (d.reduction_seconds_per_item,
+             PHENOM_X4.reduction_seconds_per_item),
+            (d.reduction_base_s, PHENOM_X4.reduction_base_s),
+            (d.seconds_per_wavefront_mcmc_update,
+             RADEON_5870.seconds_per_wavefront_mcmc_update),
+            (d.host_seconds_per_mcmc_update,
+             PHENOM_X4.seconds_per_mcmc_loop_parameter),
+        ]
+        for derived, preset in pairs:
+            assert preset / 2.5 < derived < preset * 2.5, (derived, preset)
+
+    def test_mcmc_speedup_closes_the_loop(self):
+        """The derived MCMC constants must reproduce the paper's 33.6x
+        when fed back through the model (self-consistency)."""
+        d = derive_constants()
+        m = PAPER
+        updates = m.table3_n_voxels * m.table3_n_loops * m.table3_n_params
+        gpu = updates * d.seconds_per_wavefront_mcmc_update / (
+            m.wavefront_size * m.n_slots
+        )
+        cpu = updates * d.host_seconds_per_mcmc_update
+        assert cpu / gpu == pytest.approx(
+            m.table3_cpu_s / m.table3_gpu_s, rel=1e-9
+        )
+
+    def test_cpu_step_matches_paper_ratio(self):
+        d = derive_constants()
+        assert d.host_seconds_per_iteration == pytest.approx(
+            289.6 / 113_822_762.0, rel=1e-12
+        )
+
+    def test_transfer_latency_scale(self):
+        # Paper: 41.21 s over 44,400 launches, two transfers each.
+        d = derive_constants()
+        assert d.transfer_latency_s == pytest.approx(
+            41.21 / (888 * 50) / 2, rel=1e-12
+        )
+
+    def test_custom_measurements(self):
+        m = PaperMeasurements(table2_kernel_s=6.04)  # half the throughput
+        d_slow = derive_constants(m)
+        d_ref = derive_constants()
+        assert d_slow.seconds_per_wavefront_iteration == pytest.approx(
+            2 * d_ref.seconds_per_wavefront_iteration
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            derive_constants(PaperMeasurements(table2_kernel_s=0.0))

@@ -1,0 +1,119 @@
+"""Tests for sampler checkpoint/resume (repro.mcmc.checkpoint)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplerError
+from repro.io import GradientTable
+from repro.mcmc import MCMCConfig, MCMCSampler, SamplerCheckpoint
+from repro.models import LogPosterior, MultiFiberModel
+from repro.rng import seed_streams
+from repro.utils.geometry import fibonacci_sphere
+
+
+@pytest.fixture
+def posterior():
+    bvals = np.concatenate([np.zeros(2), np.full(20, 1000.0)])
+    bvecs = np.concatenate([np.zeros((2, 3)), fibonacci_sphere(20)])
+    gtab = GradientTable(bvals, bvecs)
+    rng = np.random.default_rng(0)
+    mu = MultiFiberModel(2).predict(
+        gtab,
+        s0=np.full(3, 100.0),
+        d=np.full(3, 1e-3),
+        f=np.tile([0.5, 0.0], (3, 1)),
+        theta=np.tile([np.pi / 2, 1.0], (3, 1)),
+        phi=np.tile([0.0, 1.0], (3, 1)),
+    )
+    return LogPosterior(gtab, mu + rng.normal(scale=4.0, size=mu.shape))
+
+
+CFG = MCMCConfig(n_burnin=20, n_samples=6, sample_interval=2, adapt_every=7)
+
+
+class TestCheckpointResume:
+    def test_resume_is_bit_identical(self, posterior):
+        full = MCMCSampler(CFG).run(posterior)
+
+        part = MCMCSampler(CFG).run(posterior, stop_after_loop=13)
+        assert part.checkpoint is not None
+        assert part.n_loops == 13
+        resumed = MCMCSampler(CFG).run(posterior, checkpoint=part.checkpoint)
+        assert resumed.checkpoint is None
+        np.testing.assert_array_equal(full.samples, resumed.samples)
+        np.testing.assert_allclose(
+            full.acceptance_history, resumed.acceptance_history
+        )
+
+    def test_pause_mid_sampling_phase(self, posterior):
+        full = MCMCSampler(CFG).run(posterior)
+        part = MCMCSampler(CFG).run(posterior, stop_after_loop=26)
+        assert part.samples.shape[0] == 3  # loops 22, 24, 26 recorded
+        resumed = MCMCSampler(CFG).run(posterior, checkpoint=part.checkpoint)
+        np.testing.assert_array_equal(full.samples, resumed.samples)
+
+    def test_double_pause(self, posterior):
+        full = MCMCSampler(CFG).run(posterior)
+        a = MCMCSampler(CFG).run(posterior, stop_after_loop=9)
+        b = MCMCSampler(CFG).run(
+            posterior, checkpoint=a.checkpoint, stop_after_loop=25
+        )
+        c = MCMCSampler(CFG).run(posterior, checkpoint=b.checkpoint)
+        np.testing.assert_array_equal(full.samples, c.samples)
+
+    def test_save_load_round_trip(self, posterior, tmp_path):
+        full = MCMCSampler(CFG).run(posterior)
+        part = MCMCSampler(CFG).run(posterior, stop_after_loop=15)
+        path = tmp_path / "ckpt.npz"
+        part.checkpoint.save(path)
+        restored = SamplerCheckpoint.load(path)
+        resumed = MCMCSampler(CFG).run(posterior, checkpoint=restored)
+        np.testing.assert_array_equal(full.samples, resumed.samples)
+
+    def test_stop_at_end_yields_no_checkpoint(self, posterior):
+        res = MCMCSampler(CFG).run(posterior, stop_after_loop=CFG.n_loops)
+        assert res.checkpoint is None
+        assert res.samples.shape[0] == CFG.n_samples
+
+    def test_validation(self, posterior):
+        with pytest.raises(SamplerError, match="outside"):
+            MCMCSampler(CFG).run(posterior, stop_after_loop=1000)
+        part = MCMCSampler(CFG).run(posterior, stop_after_loop=10)
+        with pytest.raises(SamplerError, match="not both"):
+            MCMCSampler(CFG).run(
+                posterior,
+                checkpoint=part.checkpoint,
+                rng=seed_streams(3),
+            )
+        with pytest.raises(SamplerError, match="outside"):
+            MCMCSampler(CFG).run(
+                posterior, checkpoint=part.checkpoint, stop_after_loop=5
+            )
+
+    def test_checkpoint_shape_validation(self, posterior):
+        part = MCMCSampler(CFG).run(posterior, stop_after_loop=10)
+        ck = part.checkpoint
+        with pytest.raises(SamplerError):
+            SamplerCheckpoint(
+                params=ck.params,
+                log_posterior=ck.log_posterior[:-1],
+                rng_state=ck.rng_state,
+                proposal_sigma=ck.proposal_sigma,
+                window_accepted=ck.window_accepted,
+                window_rejected=ck.window_rejected,
+                loop=ck.loop,
+                taken=ck.taken,
+                samples=ck.samples,
+            )
+        with pytest.raises(SamplerError):
+            SamplerCheckpoint(
+                params=ck.params,
+                log_posterior=ck.log_posterior,
+                rng_state=ck.rng_state,
+                proposal_sigma=ck.proposal_sigma,
+                window_accepted=ck.window_accepted,
+                window_rejected=ck.window_rejected,
+                loop=-1,
+                taken=ck.taken,
+                samples=ck.samples,
+            )

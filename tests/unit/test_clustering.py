@@ -1,0 +1,132 @@
+"""Tests for streamline clustering (repro.tracking.clustering)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrackingError
+from repro.tracking import mdf_distance, quickbundles, resample_polyline
+
+
+def line(start, end, n=20, jitter=0.0, seed=0):
+    t = np.linspace(0.0, 1.0, n)[:, None]
+    pts = np.asarray(start, float) + t * (np.asarray(end, float) - start)
+    if jitter:
+        pts = pts + np.random.default_rng(seed).normal(scale=jitter, size=pts.shape)
+    return pts
+
+
+class TestResample:
+    def test_preserves_endpoints(self):
+        pts = line([0, 0, 0], [10, 0, 0], n=7)
+        r = resample_polyline(pts, 12)
+        assert r.shape == (12, 3)
+        np.testing.assert_allclose(r[0], [0, 0, 0])
+        np.testing.assert_allclose(r[-1], [10, 0, 0])
+
+    def test_equidistant(self):
+        pts = np.array([[0.0, 0, 0], [1.0, 0, 0], [10.0, 0, 0]])
+        r = resample_polyline(pts, 11)
+        np.testing.assert_allclose(np.diff(r[:, 0]), 1.0, atol=1e-12)
+
+    def test_degenerate_inputs(self):
+        single = resample_polyline(np.zeros((1, 3)), 5)
+        assert single.shape == (5, 3)
+        stationary = resample_polyline(np.zeros((4, 3)), 5)
+        np.testing.assert_allclose(stationary, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(TrackingError):
+            resample_polyline(np.zeros((3, 2)), 5)
+        with pytest.raises(TrackingError):
+            resample_polyline(np.zeros((3, 3)), 1)
+
+
+class TestMdf:
+    def test_zero_for_identical(self):
+        a = resample_polyline(line([0, 0, 0], [10, 0, 0]), 12)
+        assert mdf_distance(a, a) == 0.0
+
+    def test_flip_invariance(self):
+        a = resample_polyline(line([0, 0, 0], [10, 0, 0]), 12)
+        assert mdf_distance(a, a[::-1]) == 0.0
+
+    def test_parallel_offset(self):
+        a = resample_polyline(line([0, 0, 0], [10, 0, 0]), 12)
+        b = resample_polyline(line([0, 3, 0], [10, 3, 0]), 12)
+        assert mdf_distance(a, b) == pytest.approx(3.0)
+
+    def test_symmetry(self):
+        a = resample_polyline(line([0, 0, 0], [10, 0, 0]), 12)
+        b = resample_polyline(line([0, 0, 0], [0, 10, 0]), 12)
+        assert mdf_distance(a, b) == pytest.approx(mdf_distance(b, a))
+
+    def test_validation(self):
+        with pytest.raises(TrackingError):
+            mdf_distance(np.zeros((5, 3)), np.zeros((6, 3)))
+
+
+class TestQuickBundles:
+    def test_two_well_separated_bundles(self):
+        rng_lines = []
+        for k in range(10):
+            rng_lines.append(line([0, 0, 0], [20, 0, 0], jitter=0.2, seed=k))
+        for k in range(6):
+            rng_lines.append(line([0, 15, 0], [20, 15, 0], jitter=0.2, seed=50 + k))
+        clusters = quickbundles(rng_lines, threshold=4.0)
+        assert len(clusters) == 2
+        assert clusters[0].size == 10 and clusters[1].size == 6
+        assert sorted(clusters[0].indices) == list(range(10))
+
+    def test_flipped_members_join_same_bundle(self):
+        lines = [line([0, 0, 0], [20, 0, 0], jitter=0.1, seed=k) for k in range(4)]
+        lines += [l[::-1] for l in lines]
+        clusters = quickbundles(lines, threshold=4.0)
+        assert len(clusters) == 1
+        assert clusters[0].size == 8
+
+    def test_threshold_controls_granularity(self):
+        lines = [
+            line([0, y, 0], [20, y, 0], jitter=0.05, seed=y) for y in range(6)
+        ]
+        coarse = quickbundles(lines, threshold=10.0)
+        fine = quickbundles(lines, threshold=0.4)
+        assert len(coarse) < len(fine)
+
+    def test_centroid_near_members(self):
+        lines = [line([0, 0, 0], [20, 0, 0], jitter=0.3, seed=k) for k in range(20)]
+        (cluster,) = quickbundles(lines, threshold=5.0)
+        np.testing.assert_allclose(cluster.centroid[:, 1:], 0.0, atol=0.5)
+        assert cluster.centroid[0, 0] < 1.0 and cluster.centroid[-1, 0] > 19.0
+
+    def test_empty_and_validation(self):
+        assert quickbundles([]) == []
+        with pytest.raises(TrackingError):
+            quickbundles([np.zeros((5, 3))], threshold=0.0)
+
+    def test_on_tracked_phantom_bundles(self):
+        # End-to-end: cluster the paths tracked through two crossing
+        # bundles; the two tracts separate cleanly.
+        from repro.data import crossing_pair, rasterize_bundles
+        from repro.tracking import TerminationCriteria, track_streamline
+
+        shape = (30, 30, 6)
+        b1, b2 = crossing_pair(
+            [15, 15, 3], 12.0, angle=np.pi / 2, radius=2.0
+        )
+        field = rasterize_bundles(shape, [b1, b2], mask=np.ones(shape, bool))
+        crit = TerminationCriteria(max_steps=200, min_dot=0.7, step_length=0.5)
+        paths = []
+        for y in (13.0, 15.0, 17.0):
+            paths.append(
+                track_streamline(field, [4.0, y, 3.0], [1.0, 0.0, 0.0], crit).points
+            )
+        for x in (13.0, 15.0, 17.0):
+            paths.append(
+                track_streamline(field, [x, 4.0, 3.0], [0.0, 1.0, 0.0], crit).points
+            )
+        clusters = quickbundles(paths, threshold=6.0)
+        assert len(clusters) == 2
+        assert {tuple(sorted(c.indices)) for c in clusters} == {
+            (0, 1, 2),
+            (3, 4, 5),
+        }

@@ -1,0 +1,302 @@
+"""Unit tests for the synthetic data substrate (repro.data)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Bundle,
+    add_gaussian_noise,
+    add_rician_noise,
+    arc_bundle,
+    crossing_pair,
+    dataset1,
+    dataset2,
+    fanning_bundle,
+    helix_bundle,
+    make_gradient_table,
+    rasterize_bundles,
+    straight_bundle,
+    synthesize_dwi,
+)
+from repro.data.noise import sigma_for_snr
+from repro.data.phantoms import ellipsoid_mask
+from repro.errors import ConfigurationError, DataError
+
+
+class TestBundles:
+    def test_straight_geometry(self):
+        b = straight_bundle([0, 0, 0], [10, 0, 0], radius=2.0)
+        assert b.length == pytest.approx(10.0)
+        np.testing.assert_allclose(b.tangents, [[1, 0, 0]] * len(b.points))
+
+    def test_arc_span_and_radius(self):
+        b = arc_bundle(
+            center=[20, 20, 20], radius_of_curvature=10.0, plane="xz", n_points=100
+        )
+        r = np.linalg.norm(b.points[:, [0, 2]] - [20, 20], axis=1)
+        np.testing.assert_allclose(r, 10.0, atol=1e-12)
+        np.testing.assert_allclose(b.points[:, 1], 20.0)
+        assert b.length == pytest.approx(np.pi * 10.0, rel=1e-3)
+
+    def test_arc_rejects_bad_plane(self):
+        with pytest.raises(DataError):
+            arc_bundle([0, 0, 0], 5.0, plane="zz")
+
+    def test_helix_pitch(self):
+        b = helix_bundle([0, 0, 0], 5.0, pitch=4.0, turns=2.0)
+        assert b.points[-1, 2] == pytest.approx(8.0)
+
+    def test_crossing_pair_angle(self):
+        b1, b2 = crossing_pair([0, 0, 0], 10.0, angle=np.pi / 3)
+        t1, t2 = b1.tangents[0], b2.tangents[0]
+        assert np.dot(t1, t2) == pytest.approx(np.cos(np.pi / 3), abs=1e-9)
+
+    def test_fanning_branches_spread(self):
+        fans = fanning_bundle([0, 0, 0], [1, 0, 0], length=20.0, n_branches=3)
+        assert len(fans) == 3
+        tips = np.array([f.points[-1] for f in fans])
+        assert np.ptp(tips[:, 1]) > 1.0  # branches separate in y
+
+    def test_fanning_radius_tapers(self):
+        (fan,) = fanning_bundle([0, 0, 0], [1, 0, 0], length=10.0, n_branches=1)
+        assert fan.radius[-1] < fan.radius[0]
+
+    def test_resample_preserves_endpoints_and_length(self):
+        b = straight_bundle([0, 0, 0], [10, 0, 0], n_points=5)
+        r = b.resample(0.5)
+        np.testing.assert_allclose(r.points[0], [0, 0, 0])
+        np.testing.assert_allclose(r.points[-1], [10, 0, 0])
+        assert r.length == pytest.approx(b.length, rel=1e-6)
+        assert len(r.points) >= 20
+
+    def test_resample_rejects_bad_spacing(self):
+        b = straight_bundle([0, 0, 0], [1, 0, 0])
+        with pytest.raises(DataError):
+            b.resample(0.0)
+
+    def test_bundle_validation(self):
+        with pytest.raises(DataError):
+            Bundle(points=np.zeros((1, 3)), radius=1.0)
+        with pytest.raises(DataError):
+            Bundle(points=np.zeros((3, 2)), radius=1.0)
+        with pytest.raises(DataError):
+            Bundle(points=np.zeros((3, 3)), radius=-1.0)
+        with pytest.raises(DataError):
+            Bundle(points=np.zeros((3, 3)), radius=1.0, weight=0.0)
+
+
+class TestNoise:
+    def test_sigma_for_snr(self):
+        assert sigma_for_snr(1000.0, 20.0) == 50.0
+        with pytest.raises(ConfigurationError):
+            sigma_for_snr(1000.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            sigma_for_snr(-1.0, 10.0)
+
+    def test_gaussian_statistics(self):
+        rng = np.random.default_rng(0)
+        sig = np.full(200_000, 100.0)
+        noisy = add_gaussian_noise(sig, 5.0, rng)
+        assert noisy.mean() == pytest.approx(100.0, abs=0.1)
+        assert noisy.std() == pytest.approx(5.0, abs=0.1)
+
+    def test_rician_nonnegative_and_biased_up_at_low_snr(self):
+        rng = np.random.default_rng(1)
+        sig = np.zeros(100_000)
+        noisy = add_rician_noise(sig, 5.0, rng)
+        assert np.all(noisy >= 0)
+        # Rayleigh mean = sigma * sqrt(pi/2).
+        assert noisy.mean() == pytest.approx(5.0 * np.sqrt(np.pi / 2), rel=0.02)
+
+    def test_rician_approaches_gaussian_at_high_snr(self):
+        rng = np.random.default_rng(2)
+        sig = np.full(100_000, 1000.0)
+        noisy = add_rician_noise(sig, 10.0, rng)
+        assert noisy.mean() == pytest.approx(1000.05, abs=0.3)
+        assert noisy.std() == pytest.approx(10.0, rel=0.03)
+
+    def test_zero_sigma_copies(self):
+        rng = np.random.default_rng(3)
+        sig = np.arange(5.0)
+        out = add_rician_noise(sig, 0.0, rng)
+        np.testing.assert_array_equal(out, sig)
+        assert out is not sig
+
+    def test_negative_sigma_rejected(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ConfigurationError):
+            add_gaussian_noise(np.ones(3), -1.0, rng)
+        with pytest.raises(ConfigurationError):
+            add_rician_noise(np.ones(3), -1.0, rng)
+
+
+class TestGradientSchemes:
+    def test_structure(self):
+        t = make_gradient_table(n_directions=20, bvalue=1200.0, n_b0=3)
+        assert len(t) == 23
+        assert t.n_b0 == 3
+        np.testing.assert_allclose(t.bvals[3:], 1200.0)
+
+    def test_jitter_changes_dirs_but_keeps_unit(self):
+        a = make_gradient_table(n_directions=12, jitter=0.0)
+        b = make_gradient_table(n_directions=12, jitter=0.05, seed=5)
+        assert not np.allclose(a.bvecs[4:], b.bvecs[4:])
+        np.testing.assert_allclose(np.linalg.norm(b.bvecs[4:], axis=1), 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_gradient_table(n_directions=0)
+        with pytest.raises(ConfigurationError):
+            make_gradient_table(bvalue=-1.0)
+        with pytest.raises(ConfigurationError):
+            make_gradient_table(n_b0=-1)
+
+
+class TestRasterization:
+    def test_straight_bundle_paints_its_axis(self):
+        shape = (20, 10, 10)
+        b = straight_bundle([2, 5, 5], [17, 5, 5], radius=1.5, weight=0.6)
+        field = rasterize_bundles(shape, [b], mask=np.ones(shape, bool))
+        center = field.f[10, 5, 5]
+        assert center[0] == pytest.approx(0.6)
+        assert abs(field.directions[10, 5, 5, 0] @ [1, 0, 0]) > 0.99
+
+    def test_crossing_gives_two_populations(self):
+        shape = (24, 24, 8)
+        b1, b2 = crossing_pair([12, 12, 4], 10.0, angle=np.pi / 2, radius=1.5)
+        field = rasterize_bundles(shape, [b1, b2], mask=np.ones(shape, bool))
+        fx = field.f[12, 12, 4]
+        assert fx[0] > 0 and fx[1] > 0
+        d0, d1 = field.directions[12, 12, 4]
+        assert abs(np.dot(d0, d1)) < 0.3  # nearly orthogonal populations
+
+    def test_parallel_bundles_merge(self):
+        shape = (20, 10, 10)
+        a = straight_bundle([2, 5, 5], [17, 5, 5], radius=1.5, weight=0.5)
+        b = straight_bundle([2, 5, 5], [17, 5, 5], radius=1.5, weight=0.5)
+        field = rasterize_bundles(shape, [a, b], mask=np.ones(shape, bool))
+        fx = field.f[10, 5, 5]
+        assert fx[0] > 0 and fx[1] == 0.0  # merged, not split
+
+    def test_fraction_ordering_and_cap(self):
+        shape = (24, 24, 8)
+        b1, b2 = crossing_pair([12, 12, 4], 10.0, radius=2.0, weight=0.6)
+        field = rasterize_bundles(shape, [b1, b2], mask=np.ones(shape, bool))
+        assert np.all(field.f[..., 0] >= field.f[..., 1])
+        assert field.f.sum(axis=-1).max() <= 0.9 + 1e-9
+
+    def test_mask_respected(self):
+        shape = (20, 10, 10)
+        mask = np.zeros(shape, bool)
+        mask[:10] = True
+        b = straight_bundle([2, 5, 5], [17, 5, 5], radius=1.5)
+        field = rasterize_bundles(shape, [b], mask=mask)
+        assert field.f[12, 5, 5, 0] == 0.0
+        assert field.f[8, 5, 5, 0] > 0.0
+
+    def test_directions_unit_where_painted(self):
+        shape = (20, 10, 10)
+        b = straight_bundle([2, 5, 5], [17, 5, 5], radius=2.0)
+        field = rasterize_bundles(shape, [b], mask=np.ones(shape, bool))
+        painted = field.f[..., 0] > 0
+        norms = np.linalg.norm(field.directions[..., 0, :][painted], axis=-1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-9)
+
+    def test_arc_tangents_follow_curve(self):
+        shape = (8, 40, 40)
+        arc = arc_bundle(
+            center=[4, 20, 10], radius_of_curvature=10.0, plane="yz", tube_radius=1.5
+        )
+        field = rasterize_bundles(shape, [arc], mask=np.ones(shape, bool))
+        # At the apex of the arch (top), the tangent should be ~ +/-y.
+        apex = field.directions[4, 20, 20, 0]
+        assert abs(apex[1]) > 0.9
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            rasterize_bundles((10, 10, 10), [])
+        b = straight_bundle([0, 0, 0], [5, 0, 0])
+        with pytest.raises(DataError):
+            rasterize_bundles((10, 10), [b])  # type: ignore[arg-type]
+        with pytest.raises(DataError):
+            rasterize_bundles((10, 10, 10), [b], mask=np.ones((5, 5, 5), bool))
+
+
+class TestSynthesize:
+    def make_field(self):
+        shape = (12, 12, 6)
+        b = straight_bundle([1, 6, 3], [10, 6, 3], radius=1.5, weight=0.6)
+        return rasterize_bundles(shape, [b], mask=np.ones(shape, bool))
+
+    def test_noiseless_signal_values(self):
+        field = self.make_field()
+        gtab = make_gradient_table(n_directions=16, n_b0=2)
+        vol = synthesize_dwi(field, gtab, s0=500.0, snr=np.inf, noise="none")
+        assert vol.data.shape == (12, 12, 6, 18)
+        # b0 inside mask equals s0.
+        np.testing.assert_allclose(vol.data[6, 6, 3, :2], 500.0)
+
+    def test_anisotropy_in_fiber_voxel(self):
+        field = self.make_field()
+        gtab = make_gradient_table(n_directions=32, n_b0=2)
+        vol = synthesize_dwi(field, gtab, snr=np.inf, noise="none")
+        dwi = vol.data[6, 6, 3, 2:]
+        align = np.abs(gtab.bvecs[2:] @ [1.0, 0.0, 0.0])
+        # Least attenuation perpendicular to the fiber.
+        assert dwi[np.argmin(align)] > dwi[np.argmax(align)]
+
+    def test_noise_is_reproducible(self):
+        field = self.make_field()
+        gtab = make_gradient_table(n_directions=8, n_b0=1)
+        a = synthesize_dwi(field, gtab, seed=3)
+        b = synthesize_dwi(field, gtab, seed=3)
+        c = synthesize_dwi(field, gtab, seed=4)
+        np.testing.assert_array_equal(a.data, b.data)
+        assert not np.array_equal(a.data, c.data)
+
+    def test_bad_noise_model_rejected(self):
+        field = self.make_field()
+        gtab = make_gradient_table(n_directions=8)
+        with pytest.raises(ConfigurationError):
+            synthesize_dwi(field, gtab, noise="poisson")
+
+    def test_voxel_sizes_in_volume(self):
+        field = self.make_field()
+        gtab = make_gradient_table(n_directions=8)
+        vol = synthesize_dwi(field, gtab, voxel_sizes=(2.5, 2.5, 2.5))
+        np.testing.assert_allclose(vol.voxel_sizes, 2.5)
+
+
+class TestDatasets:
+    def test_dataset1_scaled_geometry(self):
+        ph = dataset1(scale=0.2)
+        assert ph.name == "dataset1"
+        nx, ny, nz = ph.dwi.shape3
+        assert (nx, ny, nz) == (10, 19, 19)
+        assert ph.n_valid > 0
+        assert ph.wm_mask.sum() > 0
+        assert ph.wm_mask.sum() < ph.n_valid
+
+    def test_dataset2_has_more_voxels(self):
+        p1 = dataset1(scale=0.2)
+        p2 = dataset2(scale=0.2)
+        assert p2.dwi.data[..., 0].size > p1.dwi.data[..., 0].size
+
+    def test_ellipsoid_mask_shape_and_interior(self):
+        m = ellipsoid_mask((10, 20, 20))
+        assert m.shape == (10, 20, 20)
+        assert m[5, 10, 10]
+        assert not m[0, 0, 0]
+
+    def test_contains_crossing_region(self):
+        ph = dataset1(scale=0.25)
+        two_pop = (ph.truth.f[..., 1] > 0).sum()
+        assert two_pop > 0
+
+    def test_scale_validation(self):
+        with pytest.raises(ConfigurationError):
+            dataset1(scale=-1.0)
+
+    def test_spec_override(self):
+        ph = dataset1(scale=0.2, snr=10.0, n_directions=16)
+        assert len(ph.gtab) == 20

@@ -1,0 +1,93 @@
+"""Failure injection: device-memory accounting in the executor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu import DeviceSpec
+from repro.models.fields import FiberField
+from repro.tracking import (
+    SegmentedTracker,
+    TerminationCriteria,
+    UniformStrategy,
+    paper_strategy_b,
+)
+
+
+def uniform_x_field(shape=(16, 8, 8)):
+    f = np.zeros(shape + (2,))
+    f[..., 0] = 0.6
+    d = np.zeros(shape + (2, 3))
+    d[..., 0, 0] = 1.0
+    return FiberField(f=f, directions=d, mask=np.ones(shape, bool))
+
+
+def tiny_memory_spec(memory_bytes):
+    return DeviceSpec(
+        name="tiny",
+        wavefront_size=64,
+        n_slots=20,
+        seconds_per_wavefront_iteration=2.8e-5,
+        kernel_launch_overhead_s=3.0e-5,
+        transfer_latency_s=4.0e-4,
+        transfer_bandwidth_bps=1.0e9,
+        memory_bytes=memory_bytes,
+    )
+
+
+class TestExecutorMemory:
+    def test_peak_bytes_reported(self):
+        field = uniform_x_field()
+        crit = TerminationCriteria(max_steps=50, step_length=0.5)
+        seeds = np.array([[1.0, 4.0, 4.0], [2.0, 4.0, 4.0]])
+        run = SegmentedTracker().run([field], seeds, crit, paper_strategy_b())
+        # thread state (2 * 60 B) + one sample image (16*8*8 voxels * 32 B)
+        assert run.peak_device_bytes == 2 * 60 + 16 * 8 * 8 * 2 * 4 * 4
+
+    def test_overlap_doubles_resident_images(self):
+        field = uniform_x_field()
+        crit = TerminationCriteria(max_steps=50, step_length=0.5)
+        seeds = np.array([[1.0, 4.0, 4.0]])
+        serial = SegmentedTracker().run(
+            [field, field], seeds, crit, paper_strategy_b()
+        )
+        overlap = SegmentedTracker().run(
+            [field, field], seeds, crit, paper_strategy_b(), overlap=True
+        )
+        img = 16 * 8 * 8 * 2 * 4 * 4
+        assert overlap.peak_device_bytes - serial.peak_device_bytes == img
+
+    def test_oom_raises_device_error(self):
+        field = uniform_x_field()
+        crit = TerminationCriteria(max_steps=50, step_length=0.5)
+        seeds = np.array([[1.0, 4.0, 4.0]])
+        img = 16 * 8 * 8 * 2 * 4 * 4
+        small = tiny_memory_spec(img // 2)
+        tracker = SegmentedTracker(device=small)
+        with pytest.raises(DeviceError, match="out of device memory"):
+            tracker.run([field], seeds, crit, UniformStrategy(10))
+
+    def test_exact_fit_succeeds(self):
+        field = uniform_x_field()
+        crit = TerminationCriteria(max_steps=50, step_length=0.5)
+        seeds = np.array([[1.0, 4.0, 4.0]])
+        img = 16 * 8 * 8 * 2 * 4 * 4
+        exact = tiny_memory_spec(img + 60)
+        run = SegmentedTracker(device=exact).run(
+            [field, field], seeds, crit, UniformStrategy(10)
+        )
+        assert run.lengths.shape == (2, 1)
+
+    def test_overlap_oom_when_only_one_sample_fits(self):
+        field = uniform_x_field()
+        crit = TerminationCriteria(max_steps=50, step_length=0.5)
+        seeds = np.array([[1.0, 4.0, 4.0]])
+        img = 16 * 8 * 8 * 2 * 4 * 4
+        one_fits = tiny_memory_spec(img + 1000)
+        tracker = SegmentedTracker(device=one_fits)
+        # Serial is fine; overlap needs two resident samples and fails.
+        tracker.run([field, field], seeds, crit, UniformStrategy(10))
+        with pytest.raises(DeviceError):
+            tracker.run(
+                [field, field], seeds, crit, UniformStrategy(10), overlap=True
+            )

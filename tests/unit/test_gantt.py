@@ -1,0 +1,64 @@
+"""Tests for the ASCII Gantt renderer (repro.analysis.gantt)."""
+
+import pytest
+
+from repro.analysis import render_gantt
+from repro.errors import DeviceError
+from repro.gpu import Timeline
+
+
+def make_timeline():
+    tl = Timeline()
+    tl.add("transfer", "up", 1.0, stream=0)
+    tl.add("kernel", "k0", 2.0, stream=0)
+    tl.add("reduction", "r0", 1.0, stream=0)
+    return tl
+
+
+class TestGantt:
+    def test_rows_and_glyphs(self):
+        out = render_gantt(make_timeline(), width=40, schedule="serial")
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[1].startswith("device")
+        assert "K" in lines[1]
+        assert "=" in lines[2]
+        assert "r" in lines[3]
+
+    def test_serial_positions_ordered(self):
+        out = render_gantt(make_timeline(), width=40, schedule="serial")
+        device = out.splitlines()[1]
+        bus = out.splitlines()[2]
+        host = out.splitlines()[3]
+        # transfer first, then kernel, then reduction.
+        assert bus.index("=") < device.index("K") < host.index("r")
+
+    def test_total_in_header(self):
+        out = render_gantt(make_timeline(), width=40, schedule="serial")
+        assert "4.0000s" in out
+
+    def test_overlapped_schedule_differs(self):
+        tl = Timeline()
+        tl.add("kernel", "k0", 2.0, stream=0)
+        tl.add("kernel", "k1", 2.0, stream=1)
+        tl.add("reduction", "r0", 2.0, stream=0)
+        serial = render_gantt(tl, width=40, schedule="serial")
+        over = render_gantt(tl, width=40, schedule="overlapped")
+        assert "6.0000s" in serial
+        assert "4.0000s" in over  # r0 hides under k1
+
+    def test_empty_timeline(self):
+        assert "empty" in render_gantt(Timeline())
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            render_gantt(make_timeline(), width=2)
+        with pytest.raises(DeviceError):
+            render_gantt(make_timeline(), schedule="magic")
+
+    def test_short_events_still_visible(self):
+        tl = Timeline()
+        tl.add("kernel", "big", 100.0)
+        tl.add("reduction", "tiny", 1e-6)
+        out = render_gantt(tl, width=50, schedule="serial")
+        assert "r" in out.splitlines()[3]

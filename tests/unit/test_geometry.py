@@ -1,0 +1,146 @@
+"""Unit tests for repro.utils.geometry."""
+
+import numpy as np
+import pytest
+
+from repro.utils import geometry as geo
+
+
+class TestSphericalRoundTrip:
+    def test_known_axes(self):
+        v = geo.spherical_to_cartesian(0.0, 0.0)
+        np.testing.assert_allclose(v, [0.0, 0.0, 1.0], atol=1e-15)
+        v = geo.spherical_to_cartesian(np.pi / 2, 0.0)
+        np.testing.assert_allclose(v, [1.0, 0.0, 0.0], atol=1e-15)
+        v = geo.spherical_to_cartesian(np.pi / 2, np.pi / 2)
+        np.testing.assert_allclose(v, [0.0, 1.0, 0.0], atol=1e-15)
+
+    def test_round_trip_batch(self):
+        rng = np.random.default_rng(0)
+        theta = rng.uniform(0.01, np.pi - 0.01, size=200)
+        phi = rng.uniform(0, 2 * np.pi, size=200)
+        v = geo.spherical_to_cartesian(theta, phi)
+        t2, p2 = geo.cartesian_to_spherical(v)
+        np.testing.assert_allclose(t2, theta, atol=1e-12)
+        np.testing.assert_allclose(p2, phi, atol=1e-12)
+
+    def test_output_is_unit(self):
+        rng = np.random.default_rng(1)
+        v = geo.spherical_to_cartesian(
+            rng.uniform(0, np.pi, 50), rng.uniform(0, 2 * np.pi, 50)
+        )
+        np.testing.assert_allclose(np.linalg.norm(v, axis=-1), 1.0, atol=1e-14)
+
+    def test_broadcasting(self):
+        v = geo.spherical_to_cartesian(np.zeros((4, 1)), np.zeros(3))
+        assert v.shape == (4, 3, 3)
+
+    def test_cartesian_rejects_bad_trailing_dim(self):
+        with pytest.raises(ValueError):
+            geo.cartesian_to_spherical(np.zeros((5, 2)))
+
+    def test_zero_vector_does_not_nan(self):
+        theta, phi = geo.cartesian_to_spherical(np.zeros(3))
+        assert np.isfinite(theta) and np.isfinite(phi)
+
+
+class TestNormalize:
+    def test_unit_output(self):
+        rng = np.random.default_rng(2)
+        v = rng.normal(size=(100, 3))
+        n = geo.normalize(v)
+        np.testing.assert_allclose(np.linalg.norm(n, axis=-1), 1.0, atol=1e-12)
+
+    def test_zero_vectors_pass_through(self):
+        v = np.zeros((3, 3))
+        v[1] = [1.0, 2.0, 2.0]
+        n = geo.normalize(v)
+        np.testing.assert_allclose(n[0], 0.0)
+        np.testing.assert_allclose(n[2], 0.0)
+        np.testing.assert_allclose(np.linalg.norm(n[1]), 1.0)
+
+    def test_direction_preserved(self):
+        n = geo.normalize(np.array([0.0, 0.0, 5.0]))
+        np.testing.assert_allclose(n, [0.0, 0.0, 1.0])
+
+
+class TestAngleBetween:
+    def test_orthogonal(self):
+        a = np.array([1.0, 0.0, 0.0])
+        b = np.array([0.0, 1.0, 0.0])
+        assert geo.angle_between(a, b) == pytest.approx(np.pi / 2)
+
+    def test_axial_folds_antiparallel(self):
+        a = np.array([1.0, 0.0, 0.0])
+        assert geo.angle_between(a, -a, axial=True) == pytest.approx(0.0)
+        assert geo.angle_between(a, -a, axial=False) == pytest.approx(np.pi)
+
+    def test_batch_shapes(self):
+        a = np.tile([1.0, 0.0, 0.0], (7, 1))
+        b = np.tile([0.0, 0.0, 1.0], (7, 1))
+        ang = geo.angle_between(a, b)
+        assert ang.shape == (7,)
+        np.testing.assert_allclose(ang, np.pi / 2)
+
+
+class TestRotations:
+    def test_rotation_matrix_is_orthonormal(self):
+        R = geo.rotation_matrix(np.array([1.0, 2.0, 3.0]), 0.7)
+        np.testing.assert_allclose(R @ R.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(R) == pytest.approx(1.0)
+
+    def test_rotation_about_z(self):
+        R = geo.rotation_matrix(np.array([0.0, 0.0, 1.0]), np.pi / 2)
+        np.testing.assert_allclose(R @ [1, 0, 0], [0, 1, 0], atol=1e-12)
+
+    def test_zero_axis_rejected(self):
+        with pytest.raises(ValueError):
+            geo.rotation_matrix(np.zeros(3), 1.0)
+
+    def test_rotation_between_maps_a_to_b(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            a = geo.normalize(rng.normal(size=3))
+            b = geo.normalize(rng.normal(size=3))
+            R = geo.rotation_between(a, b)
+            np.testing.assert_allclose(R @ a, b, atol=1e-10)
+
+    def test_rotation_between_identical(self):
+        a = np.array([0.0, 1.0, 0.0])
+        np.testing.assert_allclose(geo.rotation_between(a, a), np.eye(3), atol=1e-12)
+
+    def test_rotation_between_antiparallel(self):
+        a = np.array([0.0, 0.0, 1.0])
+        R = geo.rotation_between(a, -a)
+        np.testing.assert_allclose(R @ a, -a, atol=1e-10)
+        a = np.array([1.0, 0.0, 0.0])  # exercise the |a_x|>0.9 branch
+        R = geo.rotation_between(a, -a)
+        np.testing.assert_allclose(R @ a, -a, atol=1e-10)
+
+
+class TestSpherePointSets:
+    def test_fibonacci_unit_norm(self):
+        pts = geo.fibonacci_sphere(100)
+        assert pts.shape == (100, 3)
+        np.testing.assert_allclose(np.linalg.norm(pts, axis=1), 1.0, atol=1e-12)
+
+    def test_fibonacci_covers_hemispheres(self):
+        pts = geo.fibonacci_sphere(64)
+        assert (pts[:, 2] > 0).sum() == 32
+        assert (pts[:, 2] < 0).sum() == 32
+
+    def test_fibonacci_min_count(self):
+        with pytest.raises(ValueError):
+            geo.fibonacci_sphere(0)
+        assert geo.fibonacci_sphere(1).shape == (1, 3)
+
+    def test_fibonacci_near_uniform(self):
+        # Mean of uniformly distributed points on the sphere is ~0.
+        pts = geo.fibonacci_sphere(500)
+        assert np.linalg.norm(pts.mean(axis=0)) < 0.01
+
+    def test_random_unit_vectors(self):
+        rng = np.random.default_rng(4)
+        v = geo.random_unit_vectors(1000, rng)
+        np.testing.assert_allclose(np.linalg.norm(v, axis=1), 1.0, atol=1e-12)
+        assert np.linalg.norm(v.mean(axis=0)) < 0.1

@@ -1,0 +1,326 @@
+"""Unit tests for the GPU execution-model simulator (repro.gpu)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DeviceError
+from repro.gpu import (
+    PHENOM_X4,
+    RADEON_5870,
+    DeviceBuffer,
+    DeviceMemory,
+    DeviceSpec,
+    Image3D,
+    KernelLaunch,
+    Timeline,
+    kernel_time,
+    n_wavefronts,
+    reduction_time,
+    transfer_time,
+    utilization,
+    wasted_lane_iterations,
+    wavefront_times,
+)
+from repro.gpu.occupancy import rectangle_area
+from repro.gpu.presets import NVIDIA_WARP32
+
+
+def small_spec(**overrides):
+    base = dict(
+        name="test",
+        wavefront_size=4,
+        n_slots=2,
+        seconds_per_wavefront_iteration=1.0,
+        kernel_launch_overhead_s=0.5,
+        transfer_latency_s=0.1,
+        transfer_bandwidth_bps=100.0,
+        memory_bytes=1000,
+    )
+    base.update(overrides)
+    return DeviceSpec(**base)
+
+
+class TestDeviceSpec:
+    def test_peak_throughput(self):
+        spec = small_spec()
+        assert spec.peak_thread_iterations_per_second == pytest.approx(8.0)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(wavefront_size=0),
+            dict(n_slots=0),
+            dict(seconds_per_wavefront_iteration=0.0),
+            dict(transfer_bandwidth_bps=-1.0),
+            dict(memory_bytes=0),
+        ],
+    )
+    def test_validation(self, overrides):
+        with pytest.raises(ConfigurationError):
+            small_spec(**overrides)
+
+    def test_presets_sane(self):
+        assert RADEON_5870.wavefront_size == 64
+        assert NVIDIA_WARP32.wavefront_size == 32
+        assert PHENOM_X4.seconds_per_iteration > 0
+        # Paper-calibrated raw throughput in the tens of millions of
+        # thread-iterations per second.
+        assert 1e7 < RADEON_5870.peak_thread_iterations_per_second < 1e8
+
+
+class TestWavefrontTimes:
+    def test_grouping_and_max(self):
+        iters = np.array([1, 5, 2, 3, 7, 1])
+        waves = wavefront_times(iters, 4)
+        np.testing.assert_array_equal(waves, [5, 7])
+
+    def test_exact_multiple(self):
+        waves = wavefront_times(np.array([2, 2, 9, 2]), 2)
+        np.testing.assert_array_equal(waves, [2, 9])
+
+    def test_empty(self):
+        assert wavefront_times(np.array([]), 4).size == 0
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            wavefront_times(np.array([[1, 2]]), 4)
+        with pytest.raises(DeviceError):
+            wavefront_times(np.array([-1]), 4)
+
+
+class TestKernelTime:
+    def test_single_wavefront(self):
+        spec = small_spec()
+        t = kernel_time(np.array([3, 1, 2]), spec)
+        assert t == pytest.approx(0.5 + 3.0)
+
+    def test_slots_parallelism(self):
+        spec = small_spec()  # wavefront 4, 2 slots
+        # Four wavefronts of max 1 each: two rounds over two slots.
+        t = kernel_time(np.ones(16), spec)
+        assert t == pytest.approx(0.5 + 2.0)
+
+    def test_imbalance_gates_wavefront(self):
+        spec = small_spec()
+        balanced = kernel_time(np.full(4, 4), spec)
+        skewed = kernel_time(np.array([1, 1, 1, 13]), spec)
+        assert skewed > balanced  # same total work, worse time
+
+    def test_in_order_dispatch_greedy(self):
+        spec = small_spec(wavefront_size=1, n_slots=2, kernel_launch_overhead_s=1e-12)
+        # Times 5,1,1,1,1,1: greedy slots -> slot0:5, slot1:1+1+1+1+1 -> 5.
+        t = kernel_time(np.array([5, 1, 1, 1, 1, 1]), spec)
+        assert t == pytest.approx(5.0)
+
+    def test_empty_launch_costs_overhead(self):
+        spec = small_spec()
+        assert kernel_time(np.array([]), spec) == pytest.approx(0.5)
+
+    def test_custom_iteration_cost(self):
+        spec = small_spec()
+        t = kernel_time(np.array([2]), spec, per_iteration_s=10.0)
+        assert t == pytest.approx(0.5 + 20.0)
+
+
+class TestTransferReduction:
+    def test_transfer_latency_plus_bandwidth(self):
+        spec = small_spec()
+        assert transfer_time(0, spec) == pytest.approx(0.1)
+        assert transfer_time(50, spec) == pytest.approx(0.1 + 0.5)
+
+    def test_transfer_rejects_negative(self):
+        with pytest.raises(DeviceError):
+            transfer_time(-1, small_spec())
+
+    def test_reduction_cost(self):
+        t = reduction_time(1000, PHENOM_X4)
+        assert t == pytest.approx(
+            PHENOM_X4.reduction_base_s + 1000 * PHENOM_X4.reduction_seconds_per_item
+        )
+
+    def test_reduction_rejects_negative(self):
+        with pytest.raises(DeviceError):
+            reduction_time(-1, PHENOM_X4)
+
+    def test_kernel_launch_record(self):
+        k = KernelLaunch(
+            label="seg0", n_threads=10, max_iterations=4,
+            executed_iterations=20, seconds=1.0,
+        )
+        assert k.useful_fraction == pytest.approx(0.5)
+
+
+class TestOccupancy:
+    def test_n_wavefronts(self):
+        assert n_wavefronts(0, 64) == 0
+        assert n_wavefronts(1, 64) == 1
+        assert n_wavefronts(64, 64) == 1
+        assert n_wavefronts(65, 64) == 2
+
+    def test_n_wavefronts_validation(self):
+        with pytest.raises(DeviceError):
+            n_wavefronts(-1, 64)
+        with pytest.raises(DeviceError):
+            n_wavefronts(1, 0)
+
+    def test_waste_balanced_zero(self):
+        assert wasted_lane_iterations(np.full(8, 5), 4) == 0.0
+
+    def test_waste_counts_idle_lanes(self):
+        # One wavefront [1, 5]: pays 2*5=10, useful 6, waste 4.
+        assert wasted_lane_iterations(np.array([1, 5]), 2) == 4.0
+
+    def test_waste_counts_padding(self):
+        # Partial wavefront [5] with width 2: pays 10, useful 5.
+        assert wasted_lane_iterations(np.array([5]), 2) == 5.0
+
+    def test_utilization_range(self):
+        assert utilization(np.array([]), 4) == 1.0
+        assert utilization(np.full(4, 3), 4) == 1.0
+        u = utilization(np.array([1, 9, 1, 1]), 4)
+        assert 0 < u < 0.5
+
+    def test_rectangle_area_single_segment(self):
+        lengths = np.array([2.0, 5.0, 9.0])
+        useful, paid, rects = rectangle_area(lengths, [10])
+        assert useful == 16.0
+        assert paid == 30.0  # 3 threads x 10 iterations
+        assert rects == [(3, 10)]
+
+    def test_rectangle_area_two_segments(self):
+        lengths = np.array([2.0, 5.0, 9.0])
+        useful, paid, rects = rectangle_area(lengths, [4, 6])
+        # Segment 1: 3 active x 4; segment 2: 2 active (len>4) x 6.
+        assert paid == 12.0 + 12.0
+        assert rects == [(3, 4), (2, 6)]
+
+    def test_rectangle_area_stops_when_drained(self):
+        lengths = np.array([1.0, 2.0])
+        useful, paid, rects = rectangle_area(lengths, [5, 5, 5])
+        assert rects == [(2, 5)]
+
+    def test_finer_segmentation_reduces_paid_area(self):
+        rng = np.random.default_rng(0)
+        lengths = rng.exponential(scale=30.0, size=500)
+        maxstep = int(lengths.max()) + 1
+        _, paid_coarse, _ = rectangle_area(lengths, [maxstep])
+        fine = [10] * (maxstep // 10 + 1)
+        _, paid_fine, _ = rectangle_area(lengths, fine)
+        assert paid_fine < paid_coarse
+
+    def test_rectangle_validation(self):
+        with pytest.raises(DeviceError):
+            rectangle_area(np.array([-1.0]), [5])
+        with pytest.raises(DeviceError):
+            rectangle_area(np.array([1.0]), [-5])
+
+
+class TestMemory:
+    def test_alloc_free_cycle(self):
+        mem = DeviceMemory(small_spec())
+        h = mem.alloc(DeviceBuffer("seeds", 600))
+        assert mem.used_bytes == 600
+        assert mem.free_bytes == 400
+        mem.free(h)
+        assert mem.used_bytes == 0
+
+    def test_oom(self):
+        mem = DeviceMemory(small_spec())
+        mem.alloc(DeviceBuffer("a", 800))
+        with pytest.raises(DeviceError, match="out of device memory"):
+            mem.alloc(DeviceBuffer("b", 300))
+
+    def test_peak_tracking(self):
+        mem = DeviceMemory(small_spec())
+        h = mem.alloc(DeviceBuffer("a", 700))
+        mem.free(h)
+        mem.alloc(DeviceBuffer("b", 100))
+        assert mem.peak_bytes == 700
+
+    def test_double_free_rejected(self):
+        mem = DeviceMemory(small_spec())
+        h = mem.alloc(DeviceBuffer("a", 10))
+        mem.free(h)
+        with pytest.raises(DeviceError):
+            mem.free(h)
+
+    def test_image3d_size(self):
+        img = Image3D("f1", shape=(10, 10, 10), channels=2, itemsize=4)
+        assert img.nbytes == 8000
+
+    def test_image3d_validation(self):
+        with pytest.raises(DeviceError):
+            Image3D("bad", shape=(0, 1, 1))
+        with pytest.raises(DeviceError):
+            Image3D("bad", shape=(1, 1, 1), channels=0)
+
+    def test_alloc_array(self):
+        mem = DeviceMemory(small_spec())
+        mem.alloc_array("arr", np.zeros(100, dtype=np.uint8))
+        assert mem.used_bytes == 100
+
+    def test_paper_rng_volume_does_not_fit(self):
+        # The 20 GB of pre-generated randoms (paper § IV-A) must not fit
+        # in the Radeon's 1 GiB.
+        from repro.rng import random_memory_bytes
+
+        mem = DeviceMemory(RADEON_5870)
+        need = random_memory_bytes(n_voxels=205_082)
+        with pytest.raises(DeviceError):
+            mem.alloc(DeviceBuffer("pre-generated randoms", need))
+
+
+class TestTimeline:
+    def test_totals_per_kind(self):
+        tl = Timeline()
+        tl.add("transfer", "up", 1.0)
+        tl.add("kernel", "seg0", 2.0)
+        tl.add("reduction", "compact0", 0.5)
+        tl.add("kernel", "seg1", 1.5)
+        assert tl.totals() == {"kernel": 3.5, "transfer": 1.0, "reduction": 0.5}
+        assert tl.serial_end() == pytest.approx(5.0)
+
+    def test_unknown_kind_rejected(self):
+        tl = Timeline()
+        with pytest.raises(DeviceError):
+            tl.add("compute", "x", 1.0)
+        with pytest.raises(DeviceError):
+            tl.total("compute")
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(DeviceError):
+            Timeline().add("kernel", "x", -1.0)
+
+    def test_overlap_two_streams(self):
+        # Stream 0: kernel 2 then reduction 1; stream 1 the same.
+        # Serial = 6; overlapped: device runs k0 then k1; host reductions
+        # overlap the other stream's kernel.
+        tl = Timeline()
+        tl.add("kernel", "k0", 2.0, stream=0)
+        tl.add("kernel", "k1", 2.0, stream=1)
+        tl.add("reduction", "r0", 1.0, stream=0)
+        tl.add("reduction", "r1", 1.0, stream=1)
+        assert tl.serial_end() == pytest.approx(6.0)
+        assert tl.overlapped_end() == pytest.approx(5.0)
+        assert tl.overlap_saving() == pytest.approx(1.0)
+
+    def test_same_stream_never_overlaps(self):
+        tl = Timeline()
+        tl.add("kernel", "k", 2.0, stream=0)
+        tl.add("reduction", "r", 1.0, stream=0)
+        assert tl.overlapped_end() == pytest.approx(3.0)
+
+    def test_resource_serializes_across_streams(self):
+        tl = Timeline()
+        tl.add("kernel", "k0", 2.0, stream=0)
+        tl.add("kernel", "k1", 2.0, stream=1)
+        assert tl.overlapped_end() == pytest.approx(4.0)
+
+    def test_merge_and_summary(self):
+        a, b = Timeline(), Timeline()
+        a.add("kernel", "k", 1.0)
+        b.add("transfer", "t", 2.0)
+        a.merge(b)
+        assert a.total() == pytest.approx(3.0)
+        s = a.summary()
+        assert "kernel" in s and "serial" in s and "overlap" in s

@@ -1,0 +1,122 @@
+"""Edge-case I/O tests: big-endian NIfTI, trk with scalars, parallel map."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import IOFormatError
+from repro.io import read_nifti, read_trk
+from repro.utils.parallel import chunked_map, default_workers
+
+
+def _double_chunk(chunk):
+    """Module-level so ProcessPoolExecutor can pickle it."""
+    return [x * 2 for x in chunk]
+
+
+class TestBigEndianNifti:
+    def write_big_endian(self, path, data):
+        """Hand-assemble a big-endian NIfTI-1 for the reader's '>' path."""
+        data = np.asarray(data, dtype=">f4")
+        hdr = bytearray(348)
+        struct.pack_into(">i", hdr, 0, 348)
+        dim = [data.ndim] + list(data.shape) + [1] * (7 - data.ndim)
+        struct.pack_into(">8h", hdr, 40, *dim)
+        struct.pack_into(">h", hdr, 70, 16)  # float32
+        struct.pack_into(">h", hdr, 72, 32)
+        struct.pack_into(">8f", hdr, 76, 0, 2.0, 2.0, 2.0, 1, 1, 1, 1)
+        struct.pack_into(">f", hdr, 108, 352.0)
+        struct.pack_into(">f", hdr, 112, 1.0)
+        struct.pack_into(">h", hdr, 254, 0)  # no sform: pixdim affine
+        hdr[344:348] = b"n+1\x00"
+        payload = np.transpose(data, range(data.ndim)[::-1]).tobytes()
+        path.write_bytes(bytes(hdr) + b"\x00" * 4 + payload)
+
+    def test_reads_big_endian(self, tmp_path):
+        data = np.arange(2 * 3 * 4, dtype=np.float32).reshape(2, 3, 4)
+        path = tmp_path / "be.nii"
+        self.write_big_endian(path, data)
+        vol = read_nifti(path)
+        np.testing.assert_array_equal(vol.data, data)
+        np.testing.assert_allclose(vol.voxel_sizes, 2.0)
+
+    def test_rejects_two_file_magic(self, tmp_path):
+        data = np.zeros((2, 2, 2), dtype=np.float32)
+        path = tmp_path / "pair.nii"
+        self.write_big_endian(path, data)
+        raw = bytearray(path.read_bytes())
+        raw[344:348] = b"ni1\x00"
+        path.write_bytes(bytes(raw))
+        with pytest.raises(IOFormatError, match="two-file"):
+            read_nifti(path)
+
+
+class TestTrkWithScalarsProperties:
+    def write_trk_with_extras(self, path, n_scalars=2, n_properties=1):
+        """Hand-assemble a trk with per-point scalars and track properties."""
+        hdr = bytearray(1000)
+        hdr[0:6] = b"TRACK\x00"
+        struct.pack_into("<3h", hdr, 6, 4, 4, 4)
+        struct.pack_into("<3f", hdr, 12, 1.0, 1.0, 1.0)
+        struct.pack_into("<h", hdr, 36, n_scalars)
+        struct.pack_into("<h", hdr, 238, n_properties)
+        struct.pack_into("<i", hdr, 988, 1)
+        struct.pack_into("<i", hdr, 992, 2)
+        struct.pack_into("<i", hdr, 996, 1000)
+        pts = np.array([[0, 0, 0], [1, 1, 1], [2, 2, 2]], dtype="<f4")
+        rows = np.concatenate(
+            [pts, np.full((3, n_scalars), 7.0, dtype="<f4")], axis=1
+        )
+        body = struct.pack("<i", 3) + rows.tobytes()
+        body += np.full(n_properties, 9.0, dtype="<f4").tobytes()
+        path.write_bytes(bytes(hdr) + body)
+
+    def test_reader_skips_scalars_and_properties(self, tmp_path):
+        path = tmp_path / "rich.trk"
+        self.write_trk_with_extras(path)
+        lines, meta = read_trk(path)
+        assert meta["n_scalars"] == 2
+        assert meta["n_properties"] == 1
+        assert len(lines) == 1
+        np.testing.assert_allclose(
+            lines[0], [[0, 0, 0], [1, 1, 1], [2, 2, 2]]
+        )
+
+    def test_count_mismatch_detected(self, tmp_path):
+        path = tmp_path / "bad.trk"
+        self.write_trk_with_extras(path)
+        raw = bytearray(path.read_bytes())
+        struct.pack_into("<i", raw, 988, 5)  # header lies about count
+        path.write_bytes(bytes(raw))
+        with pytest.raises(IOFormatError, match="n_count"):
+            read_trk(path)
+
+    def test_negative_point_count_rejected(self, tmp_path):
+        path = tmp_path / "neg.trk"
+        self.write_trk_with_extras(path)
+        raw = bytearray(path.read_bytes())
+        struct.pack_into("<i", raw, 1000, -3)
+        path.write_bytes(bytes(raw))
+        with pytest.raises(IOFormatError, match="negative"):
+            read_trk(path)
+
+    def test_zero_voxel_size_tolerated_on_read(self, tmp_path):
+        path = tmp_path / "z.trk"
+        self.write_trk_with_extras(path, n_scalars=0, n_properties=0)
+        raw = bytearray(path.read_bytes())
+        struct.pack_into("<3f", raw, 12, 0.0, 0.0, 0.0)
+        path.write_bytes(bytes(raw))
+        lines, meta = read_trk(path)  # falls back to unit scaling
+        assert len(lines) == 1
+
+
+class TestParallelWorkers:
+    def test_process_pool_matches_serial(self):
+        items = list(range(200))
+        serial = chunked_map(_double_chunk, items, chunk_size=16, workers=1)
+        parallel = chunked_map(_double_chunk, items, chunk_size=16, workers=2)
+        assert serial == parallel == [x * 2 for x in items]
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1

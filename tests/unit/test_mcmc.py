@@ -1,0 +1,395 @@
+"""Unit tests for the MCMC engine (repro.mcmc)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SamplerError
+from repro.io import GradientTable
+from repro.mcmc import (
+    AdaptiveProposals,
+    GibbsLinearModel,
+    MCMCConfig,
+    MCMCResult,
+    MCMCSampler,
+    effective_sample_size,
+    geweke_zscore,
+    mh_parameter_update,
+    split_rhat,
+)
+from repro.mcmc.diagnostics import autocorrelation
+from repro.models import LogPosterior, MultiFiberModel
+from repro.rng import seed_streams
+from repro.utils.geometry import fibonacci_sphere
+
+
+@pytest.fixture
+def gtab():
+    bvals = np.concatenate([np.zeros(2), np.full(24, 1000.0)])
+    bvecs = np.concatenate([np.zeros((2, 3)), fibonacci_sphere(24)])
+    return GradientTable(bvals, bvecs)
+
+
+def make_posterior(gtab, n=4, seed=0, sigma=5.0):
+    rng = np.random.default_rng(seed)
+    model = MultiFiberModel(2)
+    mu = model.predict(
+        gtab,
+        s0=np.full(n, 100.0),
+        d=np.full(n, 1e-3),
+        f=np.tile([0.55, 0.0], (n, 1)),
+        theta=np.tile([np.pi / 2, 1.0], (n, 1)),
+        phi=np.tile([0.0, 1.0], (n, 1)),
+    )
+    data = mu + rng.normal(scale=sigma, size=mu.shape)
+    return LogPosterior(gtab, data)
+
+
+class TestConfig:
+    def test_n_loops_formula(self):
+        cfg = MCMCConfig(n_burnin=500, n_samples=250, sample_interval=2)
+        assert cfg.n_loops == 1000
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_burnin=-1),
+            dict(n_samples=0),
+            dict(sample_interval=0),
+            dict(adapt_every=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MCMCConfig(**kwargs)
+
+
+class TestAdaptiveProposals:
+    def test_initial_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveProposals(np.zeros((2, 3)))
+        with pytest.raises(ConfigurationError):
+            AdaptiveProposals(np.ones(3))
+        with pytest.raises(ConfigurationError):
+            AdaptiveProposals(np.ones((2, 3)), min_sigma=1.0, max_sigma=0.5)
+
+    def test_all_accept_grows_sigma(self):
+        p = AdaptiveProposals(np.ones((2, 1)))
+        for _ in range(10):
+            p.record(0, np.array([True, True]))
+        p.adapt()
+        assert np.all(p.sigma > 1.0)
+
+    def test_all_reject_shrinks_sigma(self):
+        p = AdaptiveProposals(np.ones((2, 1)))
+        for _ in range(10):
+            p.record(0, np.array([False, False]))
+        p.adapt()
+        assert np.all(p.sigma < 1.0)
+
+    def test_balanced_keeps_sigma(self):
+        p = AdaptiveProposals(np.ones((1, 1)))
+        for i in range(10):
+            p.record(0, np.array([i % 2 == 0]))
+        p.adapt()
+        np.testing.assert_allclose(p.sigma, 1.0)
+
+    def test_window_reset_after_adapt(self):
+        p = AdaptiveProposals(np.ones((1, 1)))
+        p.record(0, np.array([True]))
+        rates = p.adapt()
+        assert rates[0, 0] == 1.0
+        assert p.window_acceptance()[0, 0] == 0.0
+
+    def test_clamping(self):
+        p = AdaptiveProposals(np.ones((1, 1)), min_sigma=0.9, max_sigma=1.1)
+        for _ in range(100):
+            p.record(0, np.array([True]))
+        p.adapt()
+        assert p.sigma[0, 0] == 1.1
+
+    def test_default_initial_sigma_floor(self):
+        sig = AdaptiveProposals.default_initial_sigma(np.zeros((2, 3)), rel=0.1)
+        assert np.all(sig > 0)
+
+
+class TestMHUpdate:
+    def test_targets_standard_normal(self):
+        # 1-D Gaussian target, many parallel lanes: the empirical law of
+        # accepted states must match N(0, 1).
+        n = 512
+
+        def logp(x):
+            return -0.5 * x[:, 0] ** 2
+
+        params = np.zeros((n, 1))
+        lp = logp(params)
+        rng = seed_streams(n, seed=0)
+        draws = []
+        for _ in range(600):
+            _, lp = mh_parameter_update(logp, params, lp, 0, np.full(n, 2.4), rng)
+            draws.append(params[:, 0].copy())
+        x = np.concatenate(draws[100:])
+        assert abs(x.mean()) < 0.02
+        assert abs(x.std() - 1.0) < 0.02
+
+    def test_accept_updates_in_place(self):
+        def logp(x):
+            return np.zeros(x.shape[0])  # flat target: accept everything
+
+        n = 8
+        params = np.zeros((n, 2))
+        lp = logp(params)
+        rng = seed_streams(n, seed=1)
+        acc, lp = mh_parameter_update(logp, params, lp, 1, np.ones(n), rng)
+        assert acc.all()
+        assert np.all(params[:, 1] != 0.0)
+        assert np.all(params[:, 0] == 0.0)  # untouched parameter
+
+    def test_reject_keeps_state(self):
+        def logp(x):
+            # Anything but exactly zero is vetoed.
+            return np.where(x[:, 0] == 0.0, 0.0, -np.inf)
+
+        n = 8
+        params = np.zeros((n, 1))
+        lp = logp(params)
+        rng = seed_streams(n, seed=2)
+        acc, _ = mh_parameter_update(logp, params, lp, 0, np.ones(n), rng)
+        assert not acc.any()
+        np.testing.assert_array_equal(params, 0.0)
+
+    def test_escape_from_minus_inf(self):
+        def logp(x):
+            return np.where(np.abs(x[:, 0]) < 10.0, 0.0, -np.inf)
+
+        n = 4
+        params = np.full((n, 1), 100.0)  # vetoed start
+        lp = logp(params)
+        rng = seed_streams(n, seed=3)
+        for _ in range(600):
+            _, lp = mh_parameter_update(logp, params, lp, 0, np.full(n, 60.0), rng)
+        assert np.all(np.abs(params[:, 0]) < 10.0)
+
+
+class TestSampler:
+    def test_shapes_and_counters(self, gtab):
+        post = make_posterior(gtab, n=3)
+        cfg = MCMCConfig(n_burnin=20, n_samples=5, sample_interval=2, adapt_every=10)
+        res = MCMCSampler(cfg).run(post)
+        assert res.samples.shape == (5, 3, 9)
+        assert res.n_loops == 30
+        assert len(res.acceptance_history) == 3
+        assert res.wall_seconds > 0
+
+    def test_samples_have_positive_posterior(self, gtab):
+        post = make_posterior(gtab, n=3)
+        cfg = MCMCConfig(n_burnin=20, n_samples=5, sample_interval=1)
+        res = MCMCSampler(cfg).run(post)
+        for s in range(5):
+            assert np.all(np.isfinite(post(res.samples[s])))
+
+    def test_recovers_dominant_direction(self, gtab):
+        # True fiber is +x; posterior mean direction must align with it.
+        post = make_posterior(gtab, n=4, sigma=2.0)
+        cfg = MCMCConfig(n_burnin=150, n_samples=30, sample_interval=2)
+        res = MCMCSampler(cfg).run(post)
+        lay = post.layout
+        from repro.utils.geometry import spherical_to_cartesian
+
+        theta = res.samples[:, :, lay.theta][:, :, 0]
+        phi = res.samples[:, :, lay.phi][:, :, 0]
+        v = spherical_to_cartesian(theta, phi)
+        align = np.abs(v[..., 0])  # |x component|
+        assert align.mean() > 0.95
+
+    def test_recovers_fraction_and_sigma(self, gtab):
+        post = make_posterior(gtab, n=4, sigma=2.0)
+        cfg = MCMCConfig(n_burnin=200, n_samples=40, sample_interval=2)
+        res = MCMCSampler(cfg).run(post)
+        lay = post.layout
+        f1 = res.samples[:, :, 3]
+        assert abs(f1.mean() - 0.55) < 0.1
+        sig = res.samples[:, :, lay.sigma]
+        assert 1.0 < sig.mean() < 4.0
+
+    def test_acceptance_rate_in_band(self, gtab):
+        post = make_posterior(gtab, n=4)
+        cfg = MCMCConfig(n_burnin=200, n_samples=10, sample_interval=1, adapt_every=25)
+        res = MCMCSampler(cfg).run(post)
+        # After adaptation the rate should sit near 25-50 % (paper's band);
+        # allow slack around the band edges.
+        late = np.mean(res.acceptance_history[-3:])
+        assert 0.15 < late < 0.65
+
+    def test_deterministic_given_seed(self, gtab):
+        post = make_posterior(gtab, n=2)
+        cfg = MCMCConfig(n_burnin=10, n_samples=3, sample_interval=1, seed=5)
+        a = MCMCSampler(cfg).run(post)
+        b = MCMCSampler(cfg).run(post)
+        np.testing.assert_array_equal(a.samples, b.samples)
+
+    def test_seed_changes_chain(self, gtab):
+        post = make_posterior(gtab, n=2)
+        a = MCMCSampler(MCMCConfig(n_burnin=10, n_samples=3, seed=1)).run(post)
+        b = MCMCSampler(MCMCConfig(n_burnin=10, n_samples=3, seed=2)).run(post)
+        assert not np.array_equal(a.samples, b.samples)
+
+    def test_scalar_matches_lockstep(self, gtab):
+        # The CPU (per-voxel loop) and GPU (lockstep) executions must
+        # produce identical chains: same math, same per-voxel streams.
+        post = make_posterior(gtab, n=3)
+        cfg = MCMCConfig(n_burnin=15, n_samples=4, sample_interval=2, adapt_every=5)
+        lock = MCMCSampler(cfg).run(post)
+        scal = MCMCSampler(cfg).run_scalar(post)
+        np.testing.assert_allclose(lock.samples, scal.samples, rtol=1e-10)
+
+    def test_bad_initial_shape_rejected(self, gtab):
+        post = make_posterior(gtab, n=3)
+        with pytest.raises(SamplerError):
+            MCMCSampler(MCMCConfig(n_burnin=1, n_samples=1)).run(
+                post, initial=np.zeros((2, 9))
+            )
+
+    def test_bad_rng_lanes_rejected(self, gtab):
+        post = make_posterior(gtab, n=3)
+        with pytest.raises(SamplerError):
+            MCMCSampler(MCMCConfig(n_burnin=1, n_samples=1)).run(
+                post, rng=seed_streams(7)
+            )
+
+    def test_all_vetoed_init_raises(self, gtab):
+        post = make_posterior(gtab, n=2)
+        bad = post.initial_params()
+        bad[:, post.layout.sigma] = -1.0
+        with pytest.raises(SamplerError, match="zero posterior"):
+            MCMCSampler(MCMCConfig(n_burnin=1, n_samples=1)).run(post, initial=bad)
+
+
+class TestToFiberFields:
+    def test_scatter_into_mask(self, gtab):
+        post = make_posterior(gtab, n=3)
+        cfg = MCMCConfig(n_burnin=30, n_samples=4, sample_interval=1)
+        res = MCMCSampler(cfg).run(post)
+        mask = np.zeros((3, 2, 2), dtype=bool)
+        mask[0, 0, 0] = mask[1, 1, 1] = mask[2, 0, 1] = True
+        fields = res.to_fiber_fields(mask, post.layout)
+        assert len(fields) == 4
+        fld = fields[0]
+        assert fld.shape3 == (3, 2, 2)
+        assert fld.n_fibers == 2
+        assert fld.f[0, 0, 0, 0] > 0  # dominant fiber present
+        assert fld.f[0, 1, 0, 0] == 0  # outside mask untouched
+
+    def test_threshold_zeroes_weak_fibers(self, gtab):
+        post = make_posterior(gtab, n=2)
+        res = MCMCResult(
+            samples=np.zeros((1, 2, 9)),
+            n_loops=1,
+            n_voxels=2,
+            n_params=9,
+        )
+        res.samples[0, :, 3] = 0.5  # f1 strong
+        res.samples[0, :, 4] = 0.01  # f2 below threshold
+        res.samples[0, :, 5:7] = np.pi / 2
+        mask = np.ones((2, 1, 1), dtype=bool)
+        fields = res.to_fiber_fields(mask, post.layout, f_threshold=0.05)
+        assert np.all(fields[0].f[..., 1] == 0.0)
+        assert np.all(fields[0].f[..., 0] == 0.5)
+
+    def test_mask_size_mismatch(self, gtab):
+        post = make_posterior(gtab, n=3)
+        res = MCMCSampler(MCMCConfig(n_burnin=2, n_samples=1)).run(post)
+        with pytest.raises(SamplerError):
+            res.to_fiber_fields(np.ones((2, 2, 2), bool), post.layout)
+
+
+class TestDiagnostics:
+    def test_autocorrelation_white_noise(self):
+        rng = np.random.default_rng(0)
+        rho = autocorrelation(rng.normal(size=4000))
+        assert rho[0] == pytest.approx(1.0)
+        assert np.max(np.abs(rho[1:20])) < 0.08
+
+    def test_autocorrelation_ar1(self):
+        rng = np.random.default_rng(1)
+        x = np.zeros(8000)
+        for i in range(1, len(x)):
+            x[i] = 0.9 * x[i - 1] + rng.normal()
+        rho = autocorrelation(x)
+        assert rho[1] == pytest.approx(0.9, abs=0.05)
+
+    def test_autocorrelation_constant_chain(self):
+        rho = autocorrelation(np.ones(100))
+        assert rho[0] == 1.0 and np.all(rho[1:] == 0.0)
+
+    def test_ess_iid_close_to_n(self):
+        rng = np.random.default_rng(2)
+        ess = effective_sample_size(rng.normal(size=2000))
+        assert ess > 1500
+
+    def test_ess_correlated_much_smaller(self):
+        rng = np.random.default_rng(3)
+        x = np.zeros(2000)
+        for i in range(1, len(x)):
+            x[i] = 0.95 * x[i - 1] + rng.normal()
+        assert effective_sample_size(x) < 300
+
+    def test_geweke_stationary_small(self):
+        rng = np.random.default_rng(4)
+        z = geweke_zscore(rng.normal(size=2000))
+        assert abs(z) < 3.0
+
+    def test_geweke_flags_trend(self):
+        x = np.linspace(0, 10, 2000) + np.random.default_rng(5).normal(size=2000)
+        assert abs(geweke_zscore(x)) > 5.0
+
+    def test_geweke_validation(self):
+        with pytest.raises(ConfigurationError):
+            geweke_zscore(np.ones(5))
+        with pytest.raises(ConfigurationError):
+            geweke_zscore(np.ones(100), first=0.8, last=0.8)
+
+    def test_rhat_same_distribution_near_one(self):
+        rng = np.random.default_rng(6)
+        chains = rng.normal(size=(4, 1000))
+        assert split_rhat(chains) < 1.02
+
+    def test_rhat_flags_disagreement(self):
+        rng = np.random.default_rng(7)
+        chains = rng.normal(size=(4, 500))
+        chains[0] += 5.0
+        assert split_rhat(chains) > 1.5
+
+    def test_rhat_validation(self):
+        with pytest.raises(ConfigurationError):
+            split_rhat(np.ones((2, 2)))
+
+
+class TestGibbs:
+    def test_recovers_regression(self):
+        rng = np.random.default_rng(0)
+        n, p = 200, 3
+        X = rng.normal(size=(n, p))
+        beta_true = np.array([2.0, -1.0, 0.5])
+        y = X @ beta_true + rng.normal(scale=0.5, size=n)
+        model = GibbsLinearModel(X, y)
+        out = model.sample(n_samples=500, n_burnin=200, seed=1)
+        np.testing.assert_allclose(out["beta"].mean(axis=0), beta_true, atol=0.15)
+        assert abs(np.sqrt(out["sigma2"].mean()) - 0.5) < 0.1
+
+    def test_exact_conditional_matches_samples(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 2))
+        y = X @ [1.0, 2.0] + rng.normal(scale=0.3, size=100)
+        model = GibbsLinearModel(X, y)
+        mean, _ = model.exact_beta_posterior(sigma2=0.09)
+        np.testing.assert_allclose(mean, [1.0, 2.0], atol=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GibbsLinearModel(np.ones((3, 2)), np.ones(4))
+        with pytest.raises(ConfigurationError):
+            GibbsLinearModel(np.ones((3, 2)), np.ones(3), tau2=-1.0)
+        model = GibbsLinearModel(np.eye(3), np.ones(3))
+        with pytest.raises(ConfigurationError):
+            model.sample(0)

@@ -1,0 +1,104 @@
+"""Tests for the multi-GPU scaling model (repro.gpu.multigpu)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.multigpu import (
+    multi_gpu_tracking_times,
+    partition_seeds,
+    scaling_curve,
+)
+from repro.gpu.presets import PHENOM_X4, RADEON_5870
+from repro.tracking import SingleSegmentStrategy, UniformStrategy
+
+
+def exp_lengths(n=4000, samples=4, mean=40.0, cap=400, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.minimum(
+        rng.exponential(scale=mean, size=(samples, n)).astype(int), cap
+    )
+
+
+class TestPartition:
+    def test_covers_and_balances(self):
+        parts = partition_seeds(10, 3)
+        sizes = [p.stop - p.start for p in parts]
+        assert sizes == [4, 3, 3]
+        assert parts[0].start == 0 and parts[-1].stop == 10
+
+    def test_more_devices_than_seeds(self):
+        parts = partition_seeds(2, 4)
+        sizes = [p.stop - p.start for p in parts]
+        assert sizes == [1, 1, 0, 0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            partition_seeds(0, 2)
+        with pytest.raises(ConfigurationError):
+            partition_seeds(5, 0)
+
+
+class TestMultiGpuModel:
+    def test_one_device_matches_projection(self):
+        from repro.analysis.projection import project_tracking_times
+
+        lengths = exp_lengths()
+        segs = UniformStrategy(20).segments(400)
+        single = project_tracking_times(lengths, segs, RADEON_5870, PHENOM_X4)
+        multi = multi_gpu_tracking_times(
+            lengths, segs, RADEON_5870, PHENOM_X4, n_devices=1
+        )
+        assert multi.kernel_s == pytest.approx(single.kernel_s, rel=1e-9)
+        assert multi.reduction_s == pytest.approx(single.reduction_s, rel=1e-9)
+        # Transfer differs only by per-launch accounting granularity.
+        assert multi.transfer_s == pytest.approx(single.transfer_s, rel=0.05)
+
+    def test_kernel_time_shrinks_with_devices(self):
+        lengths = exp_lengths()
+        segs = SingleSegmentStrategy().segments(400)
+        t1 = multi_gpu_tracking_times(lengths, segs, RADEON_5870, PHENOM_X4, 1)
+        t4 = multi_gpu_tracking_times(lengths, segs, RADEON_5870, PHENOM_X4, 4)
+        assert t4.kernel_s < t1.kernel_s
+        assert t4.kernel_s > t1.kernel_s / 5  # no superlinear magic
+
+    def test_paper_vi_proportional_gains_when_kernel_bound(self):
+        # Kernel-bound configuration (monolithic kernel, heavy work):
+        # near-proportional scaling, the paper's section-VI claim.
+        lengths = exp_lengths(n=20_000, mean=80.0, cap=800)
+        segs = SingleSegmentStrategy().segments(800)
+        curve = scaling_curve(
+            lengths, segs, RADEON_5870, PHENOM_X4, [1, 2, 4]
+        )
+        eff2 = curve[0].total_s / (2 * curve[1].total_s)
+        eff4 = curve[0].total_s / (4 * curve[2].total_s)
+        assert eff2 > 0.85
+        assert eff4 > 0.7
+
+    def test_transfer_bound_strategy_saturates(self):
+        # A_1 is bus/host-bound: adding devices barely helps.
+        lengths = exp_lengths(n=20_000, mean=80.0, cap=800)
+        segs = UniformStrategy(1).segments(800)
+        curve = scaling_curve(lengths, segs, RADEON_5870, PHENOM_X4, [1, 4])
+        speed = curve[0].total_s / curve[1].total_s
+        assert speed < 1.5
+
+    def test_image_broadcast_cost_scales_with_devices(self):
+        lengths = exp_lengths()
+        segs = UniformStrategy(50).segments(400)
+        t1 = multi_gpu_tracking_times(
+            lengths, segs, RADEON_5870, PHENOM_X4, 1, image_bytes_per_sample=10**7
+        )
+        t2 = multi_gpu_tracking_times(
+            lengths, segs, RADEON_5870, PHENOM_X4, 2, image_bytes_per_sample=10**7
+        )
+        assert t2.transfer_s > t1.transfer_s
+
+    def test_speedup_and_total(self):
+        lengths = exp_lengths()
+        segs = UniformStrategy(20).segments(400)
+        t = multi_gpu_tracking_times(lengths, segs, RADEON_5870, PHENOM_X4, 2)
+        assert t.total_s == pytest.approx(
+            t.kernel_s + t.transfer_s + t.reduction_s
+        )
+        assert t.speedup > 1.0

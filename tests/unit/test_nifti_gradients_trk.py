@@ -1,0 +1,221 @@
+"""Unit tests for NIfTI-1, gradient-table, and TrackVis I/O."""
+
+import gzip
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError, IOFormatError
+from repro.io import (
+    GradientTable,
+    Volume,
+    read_bvals_bvecs,
+    read_nifti,
+    read_trk,
+    write_bvals_bvecs,
+    write_nifti,
+    write_trk,
+)
+
+
+class TestNifti:
+    @pytest.mark.parametrize("suffix", [".nii", ".nii.gz"])
+    @pytest.mark.parametrize(
+        "dtype", [np.uint8, np.int16, np.int32, np.float32, np.float64]
+    )
+    def test_round_trip_dtypes(self, tmp_path, suffix, dtype):
+        rng = np.random.default_rng(0)
+        data = (rng.uniform(0, 100, size=(5, 6, 7))).astype(dtype)
+        vol = Volume.from_voxel_sizes(data, (2.0, 2.0, 2.5))
+        path = tmp_path / f"img{suffix}"
+        write_nifti(path, vol)
+        back = read_nifti(path)
+        np.testing.assert_array_equal(back.data, data)
+        np.testing.assert_allclose(back.affine, vol.affine, atol=1e-6)
+
+    def test_round_trip_4d(self, tmp_path):
+        data = np.arange(4 * 3 * 2 * 5, dtype=np.float32).reshape(4, 3, 2, 5)
+        vol = Volume(data)
+        path = tmp_path / "dwi.nii"
+        write_nifti(path, vol)
+        back = read_nifti(path)
+        assert back.data.shape == (4, 3, 2, 5)
+        np.testing.assert_array_equal(back.data, data)
+
+    def test_fortran_order_on_disk(self, tmp_path):
+        # Voxel (1,0,0) must be the *second* stored voxel (x fastest).
+        data = np.zeros((2, 2, 2), dtype=np.float32)
+        data[1, 0, 0] = 7.0
+        path = tmp_path / "order.nii"
+        write_nifti(path, Volume(data))
+        raw = path.read_bytes()
+        vals = np.frombuffer(raw[352 : 352 + 8 * 4], dtype="<f4")
+        assert vals[1] == 7.0
+
+    def test_affine_round_trip(self, tmp_path):
+        aff = np.eye(4)
+        aff[:3, 3] = [-10.0, 5.0, 2.0]
+        aff[0, 0] = -2.0  # radiological flip
+        vol = Volume(np.ones((3, 3, 3), dtype=np.float32), affine=aff)
+        path = tmp_path / "aff.nii"
+        write_nifti(path, vol)
+        np.testing.assert_allclose(read_nifti(path).affine, aff, atol=1e-6)
+
+    def test_unsupported_dtype_cast(self, tmp_path):
+        vol = Volume(np.ones((2, 2, 2), dtype=np.int64))
+        path = tmp_path / "c.nii"
+        write_nifti(path, vol)  # casts to float32
+        assert read_nifti(path).data.dtype == np.float32
+
+    def test_complex_rejected(self, tmp_path):
+        vol = Volume(np.ones((2, 2, 2), dtype=np.complex128))
+        with pytest.raises(IOFormatError, match="complex"):
+            write_nifti(tmp_path / "c.nii", vol)
+
+    def test_scl_scaling_applied(self, tmp_path):
+        vol = Volume(np.full((2, 2, 2), 10, dtype=np.int16))
+        path = tmp_path / "scl.nii"
+        write_nifti(path, vol)
+        raw = bytearray(path.read_bytes())
+        struct.pack_into("<f", raw, 112, 2.0)  # scl_slope
+        struct.pack_into("<f", raw, 116, 1.0)  # scl_inter
+        path.write_bytes(bytes(raw))
+        back = read_nifti(path)
+        np.testing.assert_allclose(back.data, 21.0)
+        assert back.data.dtype == np.float64
+
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.nii"
+        path.write_bytes(b"\x00" * 400)
+        with pytest.raises(IOFormatError):
+            read_nifti(path)
+
+    def test_rejects_short_file(self, tmp_path):
+        path = tmp_path / "short.nii"
+        path.write_bytes(b"\x00" * 10)
+        with pytest.raises(IOFormatError, match="too short"):
+            read_nifti(path)
+
+    def test_rejects_truncated_data(self, tmp_path):
+        vol = Volume(np.ones((4, 4, 4), dtype=np.float64))
+        path = tmp_path / "trunc.nii"
+        write_nifti(path, vol)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 16])
+        with pytest.raises(IOFormatError, match="truncated"):
+            read_nifti(path)
+
+    def test_gzip_really_compressed(self, tmp_path):
+        vol = Volume(np.zeros((8, 8, 8), dtype=np.float64))
+        path = tmp_path / "z.nii.gz"
+        write_nifti(path, vol)
+        with gzip.open(path, "rb") as fh:
+            assert len(fh.read()) > path.stat().st_size
+
+
+class TestGradientTable:
+    def make_table(self, n_dwi=6, n_b0=2):
+        from repro.utils.geometry import fibonacci_sphere
+
+        bvals = np.concatenate([np.zeros(n_b0), np.full(n_dwi, 1000.0)])
+        bvecs = np.concatenate([np.zeros((n_b0, 3)), fibonacci_sphere(n_dwi)])
+        return GradientTable(bvals, bvecs)
+
+    def test_masks_and_counts(self):
+        t = self.make_table(6, 2)
+        assert len(t) == 8
+        assert t.n_b0 == 2
+        assert t.n_dwi == 6
+        assert t.b0_mask.sum() == 2
+
+    def test_immutability(self):
+        t = self.make_table()
+        with pytest.raises(ValueError):
+            t.bvals[0] = 5.0
+
+    def test_renormalizes_sloppy_bvecs(self):
+        bvecs = np.array([[0.0, 0.0, 0.0], [0.0, 0.0, 1.01]])
+        t = GradientTable(np.array([0.0, 1000.0]), bvecs)
+        np.testing.assert_allclose(np.linalg.norm(t.bvecs[1]), 1.0)
+
+    def test_rejects_zero_dwi_vector(self):
+        with pytest.raises(DataError, match="non-zero"):
+            GradientTable(np.array([1000.0]), np.zeros((1, 3)))
+
+    def test_rejects_negative_bvals(self):
+        with pytest.raises(DataError):
+            GradientTable(np.array([-1.0]), np.array([[0.0, 0.0, 1.0]]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(DataError):
+            GradientTable(np.zeros(3), np.zeros((2, 3)))
+
+    def test_subset(self):
+        t = self.make_table(6, 2)
+        sub = t.subset(~t.b0_mask)
+        assert len(sub) == 6
+        assert sub.n_b0 == 0
+
+    def test_fsl_file_round_trip(self, tmp_path):
+        t = self.make_table(6, 2)
+        write_bvals_bvecs(t, tmp_path / "bvals", tmp_path / "bvecs")
+        back = read_bvals_bvecs(tmp_path / "bvals", tmp_path / "bvecs")
+        np.testing.assert_allclose(back.bvals, t.bvals, atol=1e-4)
+        np.testing.assert_allclose(back.bvecs, t.bvecs, atol=1e-6)
+
+    def test_fsl_files_are_3xn(self, tmp_path):
+        t = self.make_table(6, 2)
+        write_bvals_bvecs(t, tmp_path / "bvals", tmp_path / "bvecs")
+        assert np.loadtxt(tmp_path / "bvecs").shape == (3, 8)
+
+    def test_read_nx3_orientation(self, tmp_path):
+        np.savetxt(tmp_path / "bvals", [[0.0, 1000.0, 1000.0, 1000.0]])
+        vecs = np.array(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]], dtype=float
+        )
+        np.savetxt(tmp_path / "bvecs", vecs)  # n x 3 layout
+        t = read_bvals_bvecs(tmp_path / "bvals", tmp_path / "bvecs")
+        np.testing.assert_allclose(t.bvecs, vecs)
+
+
+class TestTrk:
+    def test_round_trip(self, tmp_path):
+        rng = np.random.default_rng(1)
+        lines = [rng.uniform(0, 40, size=(n, 3)) for n in (2, 17, 99)]
+        path = tmp_path / "fibers.trk"
+        write_trk(path, lines, voxel_sizes=(2.0, 2.0, 2.5), dims=(48, 96, 96))
+        back, meta = read_trk(path)
+        assert meta["n_count"] == 3
+        assert meta["dims"] == (48, 96, 96)
+        assert meta["voxel_sizes"] == (2.0, 2.0, 2.5)
+        for a, b in zip(lines, back):
+            np.testing.assert_allclose(a, b, atol=1e-4)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.trk"
+        write_trk(path, [])
+        back, meta = read_trk(path)
+        assert back == [] and meta["n_count"] == 0
+
+    def test_rejects_bad_streamline_shape(self, tmp_path):
+        with pytest.raises(IOFormatError):
+            write_trk(tmp_path / "x.trk", [np.zeros((3, 2))])
+
+    def test_rejects_bad_voxel_sizes(self, tmp_path):
+        with pytest.raises(IOFormatError):
+            write_trk(tmp_path / "x.trk", [], voxel_sizes=(0.0, 1.0, 1.0))
+
+    def test_rejects_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.trk"
+        path.write_bytes(b"NOPE" + b"\x00" * 1000)
+        with pytest.raises(IOFormatError, match="magic"):
+            read_trk(path)
+
+    def test_rejects_truncated_record(self, tmp_path):
+        path = tmp_path / "trunc.trk"
+        write_trk(path, [np.zeros((5, 3))])
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-8])
+        with pytest.raises(IOFormatError, match="truncated"):
+            read_trk(path)

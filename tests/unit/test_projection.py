@@ -1,0 +1,125 @@
+"""Unit tests for the paper-scale projection (repro.analysis.projection)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.projection import (
+    ProjectedTimes,
+    project_tracking_times,
+    segment_executed,
+)
+from repro.errors import ConfigurationError
+from repro.gpu.presets import PHENOM_X4, RADEON_5870
+from repro.tracking.segmentation import (
+    SingleSegmentStrategy,
+    UniformStrategy,
+    paper_strategy_b,
+)
+
+
+class TestSegmentExecuted:
+    def test_simple_decomposition(self):
+        lengths = np.array([0, 3, 7, 12])
+        segs = segment_executed(lengths, [5, 5, 5])
+        # Segment 0: every thread present; executed = min(len,5)(+stop it.)
+        np.testing.assert_array_equal(segs[0], [1, 4, 5, 5])
+        # Segment 1: threads with len>5 (7, 12): executed 3(stop), 5.
+        np.testing.assert_array_equal(segs[1], [3, 5])
+        # Segment 2: len>10 (12): executed 2+stop=3.
+        np.testing.assert_array_equal(segs[2], [3])
+
+    def test_stops_when_drained(self):
+        segs = segment_executed(np.array([2, 3]), [5, 5, 5])
+        assert len(segs) == 1
+
+    def test_executed_capped_at_duration(self):
+        segs = segment_executed(np.array([100]), [10])
+        np.testing.assert_array_equal(segs[0], [10])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            segment_executed(np.array([-1]), [5])
+        with pytest.raises(ConfigurationError):
+            segment_executed(np.array([1]), [0])
+
+
+class TestProjection:
+    def make_lengths(self, n=400, seed=0):
+        rng = np.random.default_rng(seed)
+        return np.minimum(
+            rng.exponential(scale=30.0, size=(4, n)).astype(int), 200
+        )
+
+    def test_identity_scale_consistent_with_components(self):
+        lengths = self.make_lengths()
+        p = project_tracking_times(
+            lengths, UniformStrategy(20).segments(200), RADEON_5870, PHENOM_X4
+        )
+        assert isinstance(p, ProjectedTimes)
+        assert p.total_s == pytest.approx(p.kernel_s + p.reduction_s + p.transfer_s)
+        assert p.cpu_s == pytest.approx(
+            lengths.sum() * PHENOM_X4.seconds_per_iteration
+        )
+
+    def test_tiling_scales_cpu_linearly(self):
+        lengths = self.make_lengths()
+        base = project_tracking_times(
+            lengths, [200], RADEON_5870, PHENOM_X4
+        )
+        big = project_tracking_times(
+            lengths, [200], RADEON_5870, PHENOM_X4, target_threads=4000
+        )
+        assert big.cpu_s == pytest.approx(10 * base.cpu_s)
+        assert big.n_threads == 4000
+
+    def test_paper_scale_table4_shape(self):
+        """The headline Table IV ordering must emerge at paper scale."""
+        rng = np.random.default_rng(1)
+        lengths = np.minimum(
+            rng.exponential(scale=39.0, size=(10, 2000)).astype(int), 888
+        )
+        img = 442_368 * 2 * 4 * 4
+
+        def total(strategy):
+            return project_tracking_times(
+                lengths,
+                strategy.segments(888),
+                RADEON_5870,
+                PHENOM_X4,
+                target_threads=205_082,
+                image_bytes_per_sample=img,
+            )
+
+        a1 = total(UniformStrategy(1))
+        a20 = total(UniformStrategy(20))
+        mono = total(SingleSegmentStrategy())
+        b = total(paper_strategy_b())
+        # Extremes lose:
+        assert a1.total_s > 2 * a20.total_s
+        assert mono.total_s > 2 * a20.total_s
+        # A1 is transfer-bound; the monolith is kernel-bound:
+        assert a1.transfer_s > a1.kernel_s
+        assert mono.kernel_s > 10 * mono.transfer_s
+        # The increasing-interval strategy is near the sweet spot:
+        assert b.total_s < 1.5 * a20.total_s
+        # And the modeled end-to-end speedup lands in the paper's band.
+        assert 20 < b.speedup < 100
+
+    def test_image_bytes_add_transfer(self):
+        lengths = self.make_lengths()
+        without = project_tracking_times(lengths, [200], RADEON_5870, PHENOM_X4)
+        with_img = project_tracking_times(
+            lengths, [200], RADEON_5870, PHENOM_X4, image_bytes_per_sample=10**7
+        )
+        assert with_img.transfer_s > without.transfer_s
+        assert with_img.kernel_s == pytest.approx(without.kernel_s)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            project_tracking_times(
+                np.zeros((2, 0)), [5], RADEON_5870, PHENOM_X4
+            )
+        with pytest.raises(ConfigurationError):
+            project_tracking_times(
+                np.zeros((2, 3)), [5], RADEON_5870, PHENOM_X4, target_threads=0
+            )

@@ -1,0 +1,75 @@
+"""Tests for the sample-archive contract (repro.io.samples)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IOFormatError
+from repro.io.samples import SampleArchive, load_samples, save_samples
+from repro.models.posterior import ParameterLayout
+
+
+def make_archive_inputs(n_samples=3, n_fibers=2, seed=0):
+    rng = np.random.default_rng(seed)
+    mask = np.zeros((4, 3, 3), dtype=bool)
+    mask[1, 1, 1] = mask[2, 1, 1] = mask[3, 2, 2] = True
+    n_vox = int(mask.sum())
+    layout = ParameterLayout(n_fibers)
+    samples = np.zeros((n_samples, n_vox, layout.n_params))
+    samples[:, :, 0] = 100.0  # s0
+    samples[:, :, 1] = 1e-3   # d
+    samples[:, :, 2] = 5.0    # sigma
+    samples[:, :, layout.f] = rng.uniform(0.1, 0.4, (n_samples, n_vox, n_fibers))
+    samples[:, :, layout.theta] = rng.uniform(0.2, np.pi - 0.2, (n_samples, n_vox, n_fibers))
+    samples[:, :, layout.phi] = rng.uniform(0, 2 * np.pi, (n_samples, n_vox, n_fibers))
+    affine = np.diag([2.0, 2.0, 2.0, 1.0])
+    return samples, mask, layout, affine
+
+
+class TestSampleArchive:
+    def test_round_trip(self, tmp_path):
+        samples, mask, layout, affine = make_archive_inputs()
+        path = tmp_path / "samples.npz"
+        save_samples(path, samples, mask, layout, 0.05, affine)
+        back = load_samples(path)
+        assert back.n_samples == 3
+        assert back.n_voxels == 3
+        assert back.layout.n_fibers == 2
+        assert back.f_threshold == 0.05
+        np.testing.assert_allclose(back.affine, affine)
+        # float32 storage: agreement to single precision.
+        np.testing.assert_allclose(back.samples, samples, rtol=1e-6)
+
+    def test_to_fields(self, tmp_path):
+        samples, mask, layout, affine = make_archive_inputs()
+        path = tmp_path / "samples.npz"
+        save_samples(path, samples, mask, layout, 0.05, affine)
+        fields = load_samples(path).to_fields()
+        assert len(fields) == 3
+        assert fields[0].shape3 == mask.shape
+        assert np.all(fields[0].f[~mask] == 0.0)
+        assert fields[0].f[mask].max() > 0.05
+
+    def test_save_validation(self, tmp_path):
+        samples, mask, layout, affine = make_archive_inputs()
+        with pytest.raises(IOFormatError, match="voxels"):
+            save_samples(
+                tmp_path / "x.npz", samples[:, :2], mask, layout, 0.05, affine
+            )
+        with pytest.raises(IOFormatError, match="parameters"):
+            save_samples(
+                tmp_path / "x.npz", samples[..., :5], mask, layout, 0.05, affine
+            )
+        with pytest.raises(IOFormatError):
+            save_samples(
+                tmp_path / "x.npz", samples[0], mask, layout, 0.05, affine
+            )
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(IOFormatError, match="exist"):
+            load_samples(tmp_path / "nope.npz")
+
+    def test_load_missing_keys(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, samples=np.zeros((1, 1, 9)))
+        with pytest.raises(IOFormatError, match="missing"):
+            load_samples(path)

@@ -1,0 +1,148 @@
+"""Tests for tracking extensions: explicit headings, bidirectional seeding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrackingError
+from repro.models.fields import FiberField
+from repro.tracking import (
+    ConnectivityAccumulator,
+    ProbtrackConfig,
+    SegmentedTracker,
+    TerminationCriteria,
+    UniformStrategy,
+    paper_strategy_b,
+    probabilistic_streamlining,
+    seeds_from_mask,
+)
+
+
+def uniform_x_field(shape=(20, 8, 8), f=0.6):
+    fr = np.zeros(shape + (2,))
+    fr[..., 0] = f
+    dirs = np.zeros(shape + (2, 3))
+    dirs[..., 0, 0] = 1.0
+    return FiberField(f=fr, directions=dirs, mask=np.ones(shape, bool))
+
+
+class TestExplicitHeadings:
+    def test_headings_control_direction(self):
+        field = uniform_x_field()
+        crit = TerminationCriteria(max_steps=200, step_length=0.5)
+        seeds = np.array([[10.0, 4.0, 4.0]])
+        tracker = SegmentedTracker()
+        fwd = tracker.run(
+            [field], seeds, crit, paper_strategy_b(),
+            headings=np.array([[1.0, 0.0, 0.0]]),
+        )
+        bwd = tracker.run(
+            [field], seeds, crit, paper_strategy_b(),
+            headings=np.array([[-1.0, 0.0, 0.0]]),
+        )
+        # Forward has ~9 voxels of track, backward ~10 (grid 20 long).
+        assert fwd.lengths[0, 0] != bwd.lengths[0, 0]
+        assert fwd.lengths[0, 0] + bwd.lengths[0, 0] == pytest.approx(
+            (20 - 1) / 0.5, abs=4
+        )
+
+    def test_headings_shape_validated(self):
+        field = uniform_x_field()
+        crit = TerminationCriteria(max_steps=10)
+        with pytest.raises(TrackingError, match="headings"):
+            SegmentedTracker().run(
+                [field], np.zeros((2, 3)), crit, paper_strategy_b(),
+                headings=np.zeros((3, 3)),
+            )
+
+    def test_heading_signs_flip_defaults(self):
+        field = uniform_x_field()
+        crit = TerminationCriteria(max_steps=200, step_length=0.5)
+        seeds = np.array([[10.0, 4.0, 4.0], [10.0, 5.0, 5.0]])
+        tracker = SegmentedTracker()
+        plus = tracker.run(
+            [field], seeds, crit, paper_strategy_b(),
+            heading_signs=np.array([1.0, 1.0]),
+        )
+        minus = tracker.run(
+            [field], seeds, crit, paper_strategy_b(),
+            heading_signs=np.array([-1.0, -1.0]),
+        )
+        assert not np.array_equal(plus.lengths, minus.lengths)
+
+    def test_heading_signs_shape_validated(self):
+        field = uniform_x_field()
+        crit = TerminationCriteria(max_steps=10)
+        with pytest.raises(TrackingError, match="heading_signs"):
+            SegmentedTracker().run(
+                [field], np.zeros((2, 3)), crit, paper_strategy_b(),
+                heading_signs=np.ones(3),
+            )
+
+
+class TestBidirectional:
+    def test_doubles_threads_and_covers_both_senses(self):
+        field = uniform_x_field()
+        cfg = ProbtrackConfig(
+            criteria=TerminationCriteria(max_steps=200, step_length=0.5),
+            strategy=UniformStrategy(20),
+            bidirectional=True,
+        )
+        seeds = np.array([[10.0, 4.0, 4.0]])
+        res = probabilistic_streamlining([field], config=cfg, seeds=seeds)
+        assert res.run.n_seeds == 2  # two launch threads for one seed
+        total = res.run.lengths[0].sum()
+        assert total == pytest.approx((20 - 1) / 0.5, abs=4)
+
+    def test_connectivity_merges_senses(self):
+        field = uniform_x_field()
+        cfg_bi = ProbtrackConfig(
+            criteria=TerminationCriteria(max_steps=200, step_length=0.5),
+            strategy=UniformStrategy(20),
+            bidirectional=True,
+        )
+        cfg_uni = ProbtrackConfig(
+            criteria=cfg_bi.criteria,
+            strategy=UniformStrategy(20),
+            bidirectional=False,
+        )
+        seeds = np.array([[10.0, 4.0, 4.0]])
+        bi = probabilistic_streamlining([field], config=cfg_bi, seeds=seeds)
+        uni = probabilistic_streamlining([field], config=cfg_uni, seeds=seeds)
+        p_bi = bi.connectivity_probability
+        p_uni = uni.connectivity_probability
+        assert p_bi.shape == (1, int(np.prod(field.shape3)))
+        # Bidirectional reaches a superset of voxels from the same seed.
+        assert p_bi.nnz > p_uni.nnz
+        assert bi.connectivity.n_samples == 1
+
+    def test_bidirectional_on_mask_seeds(self):
+        field = uniform_x_field()
+        cfg = ProbtrackConfig(
+            criteria=TerminationCriteria(max_steps=100, step_length=0.5),
+            strategy=UniformStrategy(20),
+            bidirectional=True,
+        )
+        mask = np.zeros(field.shape3, bool)
+        mask[5, 4, 4] = mask[10, 4, 4] = True
+        res = probabilistic_streamlining([field], config=cfg, seed_mask=mask)
+        assert res.run.n_seeds == 4
+        assert res.connectivity.n_seeds == 2
+
+
+class TestSeedMapAccumulator:
+    def test_seed_map_folds_rows(self):
+        acc = ConnectivityAccumulator(2, 10, seed_map=np.array([0, 1, 0, 1]))
+        acc.begin_sample()
+        acc.visit(np.array([0, 2]), np.array([3, 4]))  # both map to seed 0
+        acc.end_sample()
+        p = acc.probability()
+        assert p[0, 3] == 1.0 and p[0, 4] == 1.0
+        assert p[1].nnz == 0
+
+    def test_seed_map_validation(self):
+        with pytest.raises(TrackingError):
+            ConnectivityAccumulator(2, 10, seed_map=np.array([0, 5]))
+        acc = ConnectivityAccumulator(2, 10, seed_map=np.array([0, 1]))
+        acc.begin_sample()
+        with pytest.raises(TrackingError, match="seed_map range"):
+            acc.visit(np.array([2]), np.array([0]))

@@ -1,0 +1,116 @@
+"""Unit tests for repro.io.volume."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.io import Volume
+
+
+def make_vol(shape=(4, 5, 6), voxel=(2.0, 2.0, 2.5)):
+    return Volume.from_voxel_sizes(np.zeros(shape), voxel)
+
+
+class TestConstruction:
+    def test_basic(self):
+        v = Volume(np.zeros((3, 3, 3)))
+        assert v.shape3 == (3, 3, 3)
+        assert v.n_voxels == 27
+        np.testing.assert_allclose(v.affine, np.eye(4))
+
+    def test_4d_payload(self):
+        v = Volume(np.zeros((3, 3, 3, 32)))
+        assert v.shape3 == (3, 3, 3)
+        assert v.data.shape == (3, 3, 3, 32)
+
+    def test_rejects_2d(self):
+        with pytest.raises(DataError, match="3 dimensions"):
+            Volume(np.zeros((3, 3)))
+
+    def test_rejects_bad_affine_shape(self):
+        with pytest.raises(DataError, match="4x4"):
+            Volume(np.zeros((3, 3, 3)), affine=np.eye(3))
+
+    def test_rejects_nonfinite_affine(self):
+        aff = np.eye(4)
+        aff[0, 0] = np.nan
+        with pytest.raises(DataError, match="non-finite"):
+            Volume(np.zeros((3, 3, 3)), affine=aff)
+
+    def test_rejects_bad_bottom_row(self):
+        aff = np.eye(4)
+        aff[3, 0] = 1.0
+        with pytest.raises(DataError, match="bottom row"):
+            Volume(np.zeros((3, 3, 3)), affine=aff)
+
+    def test_voxel_sizes(self):
+        v = make_vol(voxel=(2.0, 2.0, 2.5))
+        np.testing.assert_allclose(v.voxel_sizes, [2.0, 2.0, 2.5])
+
+
+class TestCoordinates:
+    def test_round_trip(self):
+        v = make_vol()
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 3, size=(50, 3))
+        back = v.world_to_voxel(v.voxel_to_world(pts))
+        np.testing.assert_allclose(back, pts, atol=1e-12)
+
+    def test_scaling(self):
+        v = make_vol(voxel=(2.0, 2.0, 2.5))
+        np.testing.assert_allclose(
+            v.voxel_to_world(np.array([1.0, 1.0, 1.0])), [2.0, 2.0, 2.5]
+        )
+
+    def test_translation(self):
+        aff = np.eye(4)
+        aff[:3, 3] = [10, 20, 30]
+        v = Volume(np.zeros((3, 3, 3)), affine=aff)
+        np.testing.assert_allclose(v.voxel_to_world(np.zeros(3)), [10, 20, 30])
+
+    def test_rejects_bad_trailing_dim(self):
+        v = make_vol()
+        with pytest.raises(DataError):
+            v.voxel_to_world(np.zeros((5, 2)))
+        with pytest.raises(DataError):
+            v.world_to_voxel(np.zeros((5, 4)))
+
+    def test_contains(self):
+        v = make_vol(shape=(4, 5, 6))
+        inside = np.array([[0.0, 0.0, 0.0], [3.4, 4.4, 5.4], [-0.5, 0, 0]])
+        outside = np.array([[3.6, 0, 0], [0, 4.6, 0], [0, 0, -0.6]])
+        assert v.contains(inside).all()
+        assert not v.contains(outside).any()
+
+
+class TestIndexing:
+    def test_flat_round_trip(self):
+        v = make_vol(shape=(4, 5, 6))
+        ijk = np.array([[0, 0, 0], [3, 4, 5], [1, 2, 3]])
+        flat = v.flat_index(ijk)
+        np.testing.assert_array_equal(v.unravel_index(flat), ijk)
+
+    def test_flat_index_row_major(self):
+        v = make_vol(shape=(4, 5, 6))
+        assert v.flat_index(np.array([0, 0, 1])) == 1
+        assert v.flat_index(np.array([0, 1, 0])) == 6
+        assert v.flat_index(np.array([1, 0, 0])) == 30
+
+    def test_out_of_bounds_rejected(self):
+        v = make_vol(shape=(4, 5, 6))
+        with pytest.raises(DataError):
+            v.flat_index(np.array([4, 0, 0]))
+        with pytest.raises(DataError):
+            v.unravel_index(np.array([120]))
+
+
+class TestConvenience:
+    def test_with_data_shares_affine(self):
+        v = make_vol()
+        w = v.with_data(np.ones((2, 2, 2)))
+        np.testing.assert_allclose(w.affine, v.affine)
+        assert w.shape3 == (2, 2, 2)
+
+    def test_astype(self):
+        v = make_vol()
+        assert v.astype(np.float32).data.dtype == np.float32
