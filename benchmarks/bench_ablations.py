@@ -15,7 +15,7 @@ import numpy as np
 
 from benchmarks.conftest import emit
 from repro.analysis import render_table
-from repro.gpu.presets import NVIDIA_WARP32, PHENOM_X4, RADEON_5870
+from repro.gpu.presets import NVIDIA_WARP32, RADEON_5870
 from repro.gpu.occupancy import utilization, wasted_lane_iterations
 from repro.mcmc import MCMCConfig, MCMCSampler
 from repro.models import LogPosterior

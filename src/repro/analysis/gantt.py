@@ -9,7 +9,7 @@ terminal (the Chrome-trace exporter covers the interactive case).
 from __future__ import annotations
 
 from repro.errors import DeviceError
-from repro.gpu.timeline import Timeline, _RESOURCES
+from repro.gpu.timeline import Timeline
 from repro.gpu.trace_export import timeline_to_trace_events
 
 __all__ = ["render_gantt"]

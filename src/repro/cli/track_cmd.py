@@ -60,6 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="segmentation strategy")
     p.add_argument("--bidirectional", action="store_true",
                    help="launch each seed in both senses")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the sample loop "
+                        "(results are bit-identical for any count)")
     p.add_argument("--min-export-steps", type=int, default=100,
                    help="length floor for exported .trk fibers")
     return p
@@ -82,6 +85,7 @@ def main(argv: list[str] | None = None) -> int:
         criteria=criteria,
         strategy=_STRATEGIES[args.strategy](),
         bidirectional=args.bidirectional,
+        n_workers=args.workers,
     )
     pt = probabilistic_streamlining(fields, config=cfg)
     run = pt.run

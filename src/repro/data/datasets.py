@@ -15,7 +15,7 @@ grid proportionally so unit tests and quick benchmarks stay fast; the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass
 
 import numpy as np
 

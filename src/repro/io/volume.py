@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import DataError
+from repro.utils.voxels import flat_voxel_index, in_bounds_mask
 
 __all__ = ["Volume"]
 
@@ -98,11 +99,11 @@ class Volume:
     def flat_index(self, ijk: np.ndarray) -> np.ndarray:
         """Row-major flat voxel index for integer coordinates ``(..., 3)``."""
         ijk = np.asarray(ijk)
-        nx, ny, nz = self.shape3
-        i, j, k = ijk[..., 0], ijk[..., 1], ijk[..., 2]
-        if np.any((i < 0) | (i >= nx) | (j < 0) | (j >= ny) | (k < 0) | (k >= nz)):
+        if not np.all(in_bounds_mask(ijk, self.shape3)):
             raise DataError("integer voxel coordinates out of bounds")
-        return (i * ny + j) * nz + k
+        return flat_voxel_index(
+            ijk[..., 0], ijk[..., 1], ijk[..., 2], self.shape3
+        )
 
     def unravel_index(self, flat: np.ndarray) -> np.ndarray:
         """Inverse of :meth:`flat_index`."""

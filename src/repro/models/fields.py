@@ -75,3 +75,36 @@ class FiberField:
     def memory_bytes(self) -> int:
         """Bytes this field occupies (the per-sample GPU image footprint)."""
         return self.f.nbytes + self.directions.nbytes + self.mask.nbytes
+
+    def flat_views(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Packed C-contiguous flat views for fast voxel gathers.
+
+        Returns ``(f2, d2, mask_flat)`` with shapes ``(n_vox, N)``,
+        ``(n_vox, N, 3)`` and ``(n_vox,)`` — the layout a GPU binds as
+        read-only images, so a trilinear corner gather is one flat
+        ``take`` instead of three-axis fancy indexing.  Built lazily and
+        cached; the field is treated as immutable once tracking starts
+        (mutate ``f``/``directions``/``mask`` only before first use).
+        """
+        cache = getattr(self, "_flat_cache", None)
+        if cache is None:
+            n_vox = int(np.prod(self.shape3))
+            cache = (
+                np.ascontiguousarray(self.f.reshape(n_vox, self.n_fibers)),
+                np.ascontiguousarray(
+                    self.directions.reshape(n_vox, self.n_fibers, 3)
+                ),
+                np.ascontiguousarray(self.mask.reshape(n_vox)),
+            )
+            self._flat_cache = cache
+        return cache
+
+    def __getstate__(self) -> dict:
+        # The flat cache holds views of f/directions/mask; pickling it
+        # would ship every volume twice (workers rebuild it lazily).
+        state = dict(self.__dict__)
+        state.pop("_flat_cache", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)

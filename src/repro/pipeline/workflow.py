@@ -8,7 +8,7 @@ lengths, the connectivity matrix, and both stages' modeled speedups.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -56,6 +56,7 @@ def run_workflow(
     probtrack_config: ProbtrackConfig | None = None,
     seed_mask: np.ndarray | None = None,
     fit_mask: np.ndarray | None = None,
+    n_workers: int | None = None,
 ) -> WorkflowResult:
     """Run both stages on a phantom acquisition.
 
@@ -63,9 +64,18 @@ def run_workflow(
     mask — the paper likewise samples only "valid (white matter)"
     voxels); it defaults to the phantom's full valid mask.  ``seed_mask``
     restricts stage-2 seeding (default: fitted voxels with a surviving
-    population).
+    population).  ``n_workers`` overrides the tracking stage's process
+    count (results are bit-identical for any value; see
+    :mod:`repro.runtime`).
     """
     mask = phantom.mask if fit_mask is None else np.asarray(fit_mask, dtype=bool)
     bp = bedpost(phantom.dwi, phantom.gtab, mask, config=bedpost_config)
+    if n_workers is not None:
+        probtrack_config = replace(
+            probtrack_config
+            if probtrack_config is not None
+            else ProbtrackConfig(),
+            n_workers=n_workers,
+        )
     pt = tracto(bp, config=probtrack_config, seed_mask=seed_mask)
     return WorkflowResult(bedpost=bp, probtrack=pt)

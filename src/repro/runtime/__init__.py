@@ -1,0 +1,24 @@
+"""Sample-parallel execution backends for the tracking stage.
+
+See :mod:`repro.runtime.backend` for the determinism contract: the
+process backend's merged output is bit-identical to the serial path for
+any worker count.
+"""
+
+from repro.runtime.backend import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ShardTask,
+    make_backend,
+)
+from repro.runtime.merge import merge_shard_results
+
+__all__ = [
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ShardTask",
+    "make_backend",
+    "merge_shard_results",
+]

@@ -1,0 +1,292 @@
+"""Execution backends: where the sample loop actually runs.
+
+The paper's tracking stage is embarrassingly parallel across posterior
+sample volumes — streamlines never communicate, and per-sample outputs
+(length rows, visit sets, modeled events) combine by concatenation.
+:class:`SerialBackend` is the plain in-process loop the library always
+had; :class:`ProcessBackend` shards the sample list across a pool of
+worker processes, runs the *same* :class:`SegmentedTracker` code on each
+contiguous shard, and merges the outputs deterministically.
+
+Determinism contract
+--------------------
+For any worker count, ``lengths``, ``reasons``, connectivity counts, and
+per-kind timeline totals are **bit-identical** to the serial path:
+
+* samples are sharded contiguously (:func:`partition_seeds`), and each
+  shard is told its global ``sample_offset`` — so every per-sample
+  computation, label, and stream parity matches the serial run;
+* the ``"sorted"`` order policy depends on the first sample's lengths,
+  so the backend runs sample 0 in-parent first and hands its length row
+  to every shard as the explicit ``sort_key`` — each shard then applies
+  the exact permutation the serial path would;
+* merging concatenates rows/events/launches in global sample order and
+  folds worker connectivity pair-sets in that same order (integer count
+  addition is associative), so even float summation order is preserved.
+
+Workers are plain top-level functions over picklable work units
+(:class:`ShardTask`); the pool uses the ``fork`` start method where the
+platform offers it, falling back to the default method otherwise.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TrackingError
+from repro.gpu.multigpu import partition_seeds
+from repro.tracking.connectivity import ConnectivityAccumulator
+from repro.tracking.criteria import TerminationCriteria
+from repro.tracking.executor import SegmentedTracker, TrackingRunResult
+from repro.tracking.segmentation import SegmentationStrategy
+from repro.runtime.merge import merge_shard_results
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "ShardTask",
+    "make_backend",
+]
+
+
+class ExecutionBackend(ABC):
+    """Strategy for executing a tracking run over sample volumes."""
+
+    @abstractmethod
+    def run(
+        self,
+        tracker: SegmentedTracker,
+        fields: list,
+        seeds: np.ndarray,
+        criteria: TerminationCriteria,
+        strategy: SegmentationStrategy,
+        connectivity: ConnectivityAccumulator | None = None,
+        order: str = "natural",
+        overlap: bool = False,
+        headings: np.ndarray | None = None,
+        heading_signs: np.ndarray | None = None,
+    ) -> TrackingRunResult:
+        """Track every seed through every sample volume."""
+
+
+class SerialBackend(ExecutionBackend):
+    """The in-process sample loop — delegates to the tracker directly."""
+
+    def run(
+        self,
+        tracker: SegmentedTracker,
+        fields: list,
+        seeds: np.ndarray,
+        criteria: TerminationCriteria,
+        strategy: SegmentationStrategy,
+        connectivity: ConnectivityAccumulator | None = None,
+        order: str = "natural",
+        overlap: bool = False,
+        headings: np.ndarray | None = None,
+        heading_signs: np.ndarray | None = None,
+    ) -> TrackingRunResult:
+        return tracker.run(
+            fields,
+            seeds,
+            criteria,
+            strategy,
+            connectivity=connectivity,
+            order=order,
+            overlap=overlap,
+            headings=headings,
+            heading_signs=heading_signs,
+        )
+
+
+@dataclass
+class ShardTask:
+    """One worker's picklable work unit: a contiguous sample shard."""
+
+    tracker: SegmentedTracker
+    fields: list
+    seeds: np.ndarray
+    criteria: TerminationCriteria
+    strategy: SegmentationStrategy
+    order: str
+    overlap: bool
+    headings: np.ndarray | None
+    heading_signs: np.ndarray | None
+    sort_key: np.ndarray | None
+    sample_offset: int
+    #: (n_seeds, n_voxels, seed_map) when the parent accumulates
+    #: connectivity; None otherwise.
+    connectivity_spec: tuple[int, int, np.ndarray | None] | None
+
+
+def _run_shard(task: ShardTask) -> tuple[TrackingRunResult, list[np.ndarray] | None]:
+    """Worker entry point: run one shard, return its result + visit pairs.
+
+    Top-level (hence picklable under every start method) and free of
+    parent state: the worker rebuilds its own accumulator and ships back
+    the per-sample deduplicated pair arrays for the parent to absorb.
+    """
+    acc = None
+    if task.connectivity_spec is not None:
+        n_seeds, n_voxels, seed_map = task.connectivity_spec
+        acc = ConnectivityAccumulator(n_seeds, n_voxels, seed_map=seed_map)
+    result = task.tracker.run(
+        task.fields,
+        task.seeds,
+        task.criteria,
+        task.strategy,
+        connectivity=acc,
+        order=task.order,
+        overlap=task.overlap,
+        headings=task.headings,
+        heading_signs=task.heading_signs,
+        sort_key=task.sort_key,
+        sample_offset=task.sample_offset,
+    )
+    return result, (acc.sample_pairs() if acc is not None else None)
+
+
+def _pool_context() -> mp.context.BaseContext:
+    """``fork`` where available (cheap, inherits loaded NumPy), else default."""
+    if "fork" in mp.get_all_start_methods():
+        return mp.get_context("fork")
+    return mp.get_context()
+
+
+class ProcessBackend(ExecutionBackend):
+    """Shard sample volumes across worker processes, merge deterministically.
+
+    Parameters
+    ----------
+    n_workers:
+        Pool size.  Shards never outnumber samples; a run with a single
+        (shardable) sample degrades to the serial path.
+    """
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+
+    def run(
+        self,
+        tracker: SegmentedTracker,
+        fields: list,
+        seeds: np.ndarray,
+        criteria: TerminationCriteria,
+        strategy: SegmentationStrategy,
+        connectivity: ConnectivityAccumulator | None = None,
+        order: str = "natural",
+        overlap: bool = False,
+        headings: np.ndarray | None = None,
+        heading_signs: np.ndarray | None = None,
+    ) -> TrackingRunResult:
+        if not fields:
+            raise TrackingError("need at least one sample volume")
+        if connectivity is not None and not (
+            hasattr(connectivity, "sample_pairs") and hasattr(connectivity, "absorb")
+        ):
+            raise TrackingError(
+                "the process backend requires a mergeable connectivity "
+                "accumulator (sample_pairs()/absorb()); got "
+                f"{type(connectivity).__name__}"
+            )
+
+        serial = SerialBackend()
+        t0 = time.perf_counter()
+
+        # Phase 1 ("sorted" only): the permutation of samples 1.. depends
+        # on sample 0's measured lengths, so sample 0 runs in-parent and
+        # its row becomes every shard's explicit sort_key.
+        phase0: TrackingRunResult | None = None
+        sort_key = None
+        shard_fields = fields
+        first_shard_sample = 0
+        if order == "sorted":
+            phase0 = serial.run(
+                tracker,
+                fields[:1],
+                seeds,
+                criteria,
+                strategy,
+                connectivity=connectivity,
+                order=order,
+                overlap=overlap,
+                headings=headings,
+                heading_signs=heading_signs,
+            )
+            sort_key = phase0.lengths[0]
+            shard_fields = fields[1:]
+            first_shard_sample = 1
+            if not shard_fields:
+                phase0.wall_seconds = time.perf_counter() - t0
+                return phase0
+
+        n_shards = min(self.n_workers, len(shard_fields))
+        tasks = []
+        for sl in partition_seeds(len(shard_fields), n_shards):
+            tasks.append(
+                ShardTask(
+                    tracker=tracker,
+                    fields=shard_fields[sl],
+                    seeds=seeds,
+                    criteria=criteria,
+                    strategy=strategy,
+                    order=order,
+                    overlap=overlap,
+                    headings=headings,
+                    heading_signs=heading_signs,
+                    sort_key=sort_key,
+                    sample_offset=first_shard_sample + sl.start,
+                    connectivity_spec=(
+                        (
+                            connectivity.n_seeds,
+                            connectivity.n_voxels,
+                            connectivity.seed_map,
+                        )
+                        if connectivity is not None
+                        else None
+                    ),
+                )
+            )
+
+        if n_shards == 1 and phase0 is None:
+            # One shard, nothing to fork for: run it here (bit-identical
+            # by construction, and the merge would be a no-op anyway).
+            shard_outputs = [_run_shard(tasks[0])]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=n_shards, mp_context=_pool_context()
+            ) as pool:
+                shard_outputs = list(pool.map(_run_shard, tasks))
+
+        parts = [phase0] if phase0 is not None else []
+        for result, pairs in shard_outputs:
+            parts.append(result)
+            if connectivity is not None:
+                connectivity.absorb(pairs)
+
+        return merge_shard_results(
+            parts, tracker.host, wall_seconds=time.perf_counter() - t0
+        )
+
+
+def make_backend(n_workers: int | None) -> ExecutionBackend:
+    """Backend for a worker count: serial for <= 1, process pool above.
+
+    ``0`` (and ``None``) mean "serial"; pass
+    :func:`repro.utils.parallel.default_workers` explicitly to size the
+    pool from the machine.  Negative counts are rejected rather than
+    silently degraded — they are always a caller bug.
+    """
+    if n_workers is not None and n_workers < 0:
+        raise ConfigurationError(f"n_workers must be >= 0, got {n_workers}")
+    if n_workers is None or n_workers <= 1:
+        return SerialBackend()
+    return ProcessBackend(n_workers)

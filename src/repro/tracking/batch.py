@@ -23,8 +23,14 @@ import numpy as np
 from repro.errors import TrackingError
 from repro.models.fields import FiberField
 from repro.tracking.criteria import StopReason, TerminationCriteria
-from repro.tracking.direction import choose_direction
-from repro.tracking.interpolate import nearest_lookup, trilinear_lookup
+from repro.tracking.direction import _choose_direction_core
+from repro.tracking.interpolate import (
+    Scratch,
+    nearest_lookup,
+    trilinear_lookup,
+    trilinear_lookup_reference,
+)
+from repro.utils.voxels import flat_voxel_index
 
 __all__ = ["BatchState", "BatchTracker"]
 
@@ -109,11 +115,12 @@ class BatchTracker:
         criteria: TerminationCriteria,
         interpolation: str = "trilinear",
     ) -> None:
-        if interpolation not in ("trilinear", "nearest"):
+        if interpolation not in ("trilinear", "trilinear-reference", "nearest"):
             raise TrackingError(f"unknown interpolation {interpolation!r}")
         self.field = field
         self.criteria = criteria
         self.interpolation = interpolation
+        self._scratch = Scratch()
 
     def init_state(self, seeds: np.ndarray, headings: np.ndarray) -> BatchState:
         """Fresh state from ``(n, 3)`` seeds and initial headings.
@@ -155,37 +162,53 @@ class BatchTracker:
         if n_iterations < 0:
             raise TrackingError(f"n_iterations must be >= 0, got {n_iterations}")
         crit = self.criteria
-        nx, ny, nz = self.field.shape3
+        shape3 = self.field.shape3
+        nx, ny, nz = shape3
+        _, _, mask_flat = self.field.flat_views()
+        off_limits = ~mask_flat
         executed = np.zeros(state.n_threads, dtype=np.int64)
+        lo = np.zeros(3, dtype=np.int64)
+        hi = np.array([nx - 1, ny - 1, nz - 1], dtype=np.int64)
+        sc = self._scratch
 
+        # Visits are buffered and emitted once per segment (the readback
+        # granularity of the modeled kernel) instead of per iteration.
+        visit_threads: list[np.ndarray] = []
+        visit_voxels: list[np.ndarray] = []
+
+        # The active set only shrinks inside a segment, and only through
+        # the writes below — track it incrementally instead of rescanning
+        # the reason array every iteration.
+        idx = np.flatnonzero(state.active)
         for _ in range(n_iterations):
-            act = state.active
-            if not act.any():
+            if idx.size == 0:
                 break
-            idx = np.flatnonzero(act)
             executed[idx] += 1
-            pos = state.positions[idx]
-            head = state.headings[idx]
+            m = idx.size
+            pos = np.take(state.positions, idx, axis=0, out=sc.get("pos", (m, 3)))
+            head = np.take(state.headings, idx, axis=0, out=sc.get("head", (m, 3)))
 
             if self.interpolation == "trilinear":
-                f, dirs = trilinear_lookup(self.field, pos, reference=head)
+                f, dirs = trilinear_lookup(self.field, pos, reference=head, scratch=sc)
+            elif self.interpolation == "trilinear-reference":
+                f, dirs = trilinear_lookup_reference(self.field, pos, reference=head)
             else:
                 f, dirs = nearest_lookup(self.field, pos)
-            chosen, dot = choose_direction(f, dirs, head, crit.f_threshold)
+            chosen, dot, any_ok = _choose_direction_core(
+                f, dirs, head, crit.f_threshold
+            )
 
-            no_dir = ~(f > crit.f_threshold).any(axis=1)
+            no_dir = ~any_ok
             sharp = ~no_dir & (dot < crit.min_dot)
 
             new_pos = pos + crit.step_length * chosen
             vox = np.rint(new_pos).astype(np.int64)
-            oob = (
-                (vox[:, 0] < 0) | (vox[:, 0] >= nx)
-                | (vox[:, 1] < 0) | (vox[:, 1] >= ny)
-                | (vox[:, 2] < 0) | (vox[:, 2] >= nz)
-            )
+            cv = np.minimum(np.maximum(vox, lo), hi)
+            # Clipping moved a coordinate iff the step left the grid.
+            oob = (vox != cv).any(axis=1)
             oob &= ~(no_dir | sharp)
-            cv = np.clip(vox, 0, [nx - 1, ny - 1, nz - 1])
-            off_mask = ~self.field.mask[cv[:, 0], cv[:, 1], cv[:, 2]]
+            flat = flat_voxel_index(cv[:, 0], cv[:, 1], cv[:, 2], shape3)
+            off_mask = off_limits[flat]
             off_mask &= ~(no_dir | sharp | oob)
 
             stopped = no_dir | sharp | oob | off_mask
@@ -204,10 +227,16 @@ class BatchTracker:
             state.reason[mov[hit_budget]] = StopReason.MAX_STEPS
 
             if visit_callback is not None and mov.size:
-                flat = (
-                    vox[ok][:, 0] * ny + vox[ok][:, 1]
-                ) * nz + vox[ok][:, 2]
-                visit_callback(state.origin[mov], flat)
+                # ok-rows are in bounds, so the clipped flat index equals
+                # the unclipped one the visit contract specifies.
+                visit_threads.append(state.origin[mov])
+                visit_voxels.append(flat[ok])
+            idx = mov[~hit_budget]
+
+        if visit_callback is not None and visit_threads:
+            visit_callback(
+                np.concatenate(visit_threads), np.concatenate(visit_voxels)
+            )
         return executed
 
     def run_to_completion(

@@ -54,18 +54,50 @@ def choose_direction(
         raise TrackingError(
             f"heading must be ({f.shape[0]}, 3), got {heading.shape}"
         )
-    dots = np.einsum("nkj,nj->nk", directions, heading)  # (n, N)
+    chosen, abs_dot, _ = _choose_direction_core(f, directions, heading, f_threshold)
+    return chosen, abs_dot
+
+
+_ROWS = np.arange(0)
+
+
+def _rows(m: int) -> np.ndarray:
+    """A cached ``arange(m)`` (the row index of every fancy lookup)."""
+    global _ROWS
+    if _ROWS.size < m:
+        _ROWS = np.arange(max(m, 256))
+    return _ROWS[:m]
+
+
+def _choose_direction_core(
+    f: np.ndarray,
+    directions: np.ndarray,
+    heading: np.ndarray,
+    f_threshold: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Validation-free selection core shared by the batch and scalar paths.
+
+    Returns ``(chosen, abs_dot, any_ok)`` — the extra ``any_ok`` mask
+    (``(n,)``, True where some population clears the fraction floor) is
+    exactly the tracker's NO_DIRECTION test, computed here once so the
+    hot loop does not re-reduce ``f``.
+    """
+    # Unrolled dot products (n, N): einsum's generic loop is several
+    # times slower at tracking batch sizes.
+    dots = directions[..., 0] * heading[:, None, 0]
+    dots += directions[..., 1] * heading[:, None, 1]
+    dots += directions[..., 2] * heading[:, None, 2]
     eligible = f > f_threshold
     score = np.where(eligible, np.abs(dots), -1.0)
     best = np.argmax(score, axis=1)  # (n,)
-    rows = np.arange(f.shape[0])
+    rows = _rows(f.shape[0])
     best_dot = dots[rows, best]
     best_dir = directions[rows, best]
     any_ok = eligible.any(axis=1)
     sign = np.where(best_dot < 0.0, -1.0, 1.0)
     chosen = np.where(any_ok[:, None], best_dir * sign[:, None], 0.0)
     abs_dot = np.where(any_ok, np.abs(best_dot), 0.0)
-    return chosen, abs_dot
+    return chosen, abs_dot, any_ok
 
 
 def initial_directions(

@@ -67,6 +67,10 @@ class TrackingRunResult:
         High-water device memory (sample images + thread state) — the
         quantity that forces the paper to serialize samples (§ IV-B) and
         that doubles under the Fig 8 overlap scheme.
+    worker_walls:
+        Per-shard wall-clock seconds when the run was executed by the
+        process backend (empty for serial runs).  ``max(worker_walls)``
+        is the parallel critical path.
     """
 
     lengths: np.ndarray
@@ -76,6 +80,7 @@ class TrackingRunResult:
     cpu_seconds: float = 0.0
     wall_seconds: float = 0.0
     peak_device_bytes: int = 0
+    worker_walls: list[float] = dc_field(default_factory=list)
 
     @property
     def n_samples(self) -> int:
@@ -156,6 +161,8 @@ class SegmentedTracker:
         overlap: bool = False,
         headings: np.ndarray | None = None,
         heading_signs: np.ndarray | None = None,
+        sort_key: np.ndarray | None = None,
+        sample_offset: int = 0,
     ) -> TrackingRunResult:
         """Track every seed through every sample volume.
 
@@ -188,11 +195,32 @@ class SegmentedTracker:
             per-sample default headings — the mechanism behind
             bidirectional seeding (duplicate the seed list with opposite
             signs).  Ignored when ``headings`` is given.
+        sort_key:
+            Explicit ``(n_seeds,)`` key for the ``"sorted"`` order policy
+            instead of this run's own first-sample lengths.  The process
+            execution backend passes the globally-first sample's lengths
+            here so every shard applies the *same* permutation the serial
+            path would.
+        sample_offset:
+            Global index of ``fields[0]`` when this call runs a shard of
+            a larger sample list.  Event labels, overlap stream parity,
+            and the sorted-order condition all use the global sample
+            index, so per-shard outputs are bit-identical to the
+            corresponding slice of a serial run.
         """
         if not fields:
             raise TrackingError("need at least one sample volume")
         if order not in ("natural", "sorted"):
             raise ConfigurationError(f"unknown order policy {order!r}")
+        if sample_offset < 0:
+            raise ConfigurationError(
+                f"sample_offset must be >= 0, got {sample_offset}"
+            )
+        if order == "sorted" and sample_offset > 0 and sort_key is None:
+            raise ConfigurationError(
+                "a shard starting past sample 0 needs the global sort_key "
+                "to reproduce the serial 'sorted' permutation"
+            )
         seeds = np.asarray(seeds, dtype=np.float64)
         if seeds.ndim != 2 or seeds.shape[1] != 3:
             raise TrackingError(f"seeds must be (n, 3), got {seeds.shape}")
@@ -218,17 +246,18 @@ class SegmentedTracker:
         resident_images = 2 if overlap else 1
 
         for s, field in enumerate(fields):
-            stream = (s % 2) if overlap else 0
+            g = s + sample_offset  # global sample index
+            stream = (g % 2) if overlap else 0
             while len(image_handles) >= resident_images:
                 memory.free(image_handles.pop(0))
             image_handles.append(
                 memory.alloc(
-                    DeviceBuffer(f"sample{s}:images", _field_image_bytes(field))
+                    DeviceBuffer(f"sample{g}:images", _field_image_bytes(field))
                 )
             )
             timeline.add(
                 "transfer",
-                f"sample{s}:images",
+                f"sample{g}:images",
                 transfer_time(_field_image_bytes(field), self.device),
                 stream=stream,
             )
@@ -252,9 +281,11 @@ class SegmentedTracker:
                     h = h * signs[:, None]
             state = tracker.init_state(seeds, h)
 
-            if order == "sorted" and s > 0:
-                # Fig 4: schedule by the first sample's measured loads.
-                permutation = np.argsort(lengths[0], kind="stable")
+            if order == "sorted" and g > 0:
+                # Fig 4: schedule by the first sample's measured loads
+                # (shards receive that row explicitly as sort_key).
+                key = lengths[0] if sort_key is None else sort_key
+                permutation = np.argsort(key, kind="stable")
                 state = BatchState(
                     positions=state.positions[permutation].copy(),
                     headings=state.headings[permutation].copy(),
@@ -281,16 +312,16 @@ class SegmentedTracker:
                     break
                 timeline.add(
                     "transfer",
-                    f"sample{s}:seg{i}:down",
+                    f"sample{g}:seg{i}:down",
                     transfer_time(state.payload_bytes_down(), self.device),
                     stream=stream,
                 )
                 executed = tracker.run_segment(state, seg_iters, visit_cb)
                 k_sec = kernel_time(executed, self.device)
-                timeline.add("kernel", f"sample{s}:seg{i}", k_sec, stream=stream)
+                timeline.add("kernel", f"sample{g}:seg{i}", k_sec, stream=stream)
                 launches.append(
                     KernelLaunch(
-                        label=f"sample{s}:seg{i}",
+                        label=f"sample{g}:seg{i}",
                         n_threads=state.n_threads,
                         max_iterations=seg_iters,
                         executed_iterations=int(executed.sum()),
@@ -299,13 +330,13 @@ class SegmentedTracker:
                 )
                 timeline.add(
                     "transfer",
-                    f"sample{s}:seg{i}:up",
+                    f"sample{g}:seg{i}:up",
                     transfer_time(state.payload_bytes_up(), self.device),
                     stream=stream,
                 )
                 timeline.add(
                     "reduction",
-                    f"sample{s}:seg{i}:compact",
+                    f"sample{g}:seg{i}:compact",
                     reduction_time(state.n_threads, self.host),
                     stream=stream,
                 )

@@ -13,16 +13,41 @@ at the streamline's continuous position.  Two modes are provided:
 Out-of-bounds positions clamp to the edge voxel, matching
 ``CLK_ADDRESS_CLAMP_TO_EDGE``; the tracker terminates such threads via its
 bounds criterion, so clamping only affects the final partial step.
+
+Hot path
+--------
+The production implementation gathers all 8 corners from the field's
+packed flat views (:meth:`~repro.models.fields.FiberField.flat_views`):
+the six clipped axis index arrays are computed once per call, combined
+into flat row-major indices, and both ``f`` and ``directions`` are read
+with single contiguous ``take`` ops — instead of eight rounds of
+three-axis fancy indexing.  A :class:`Scratch` arena lets the lockstep
+tracker reuse the per-call corner buffers across iterations.  The
+corner-by-corner accumulation order is unchanged, so results are
+bit-identical to :func:`trilinear_lookup_reference` (the pre-optimization
+implementation, kept for benchmarking and as an executable spec).
+
+The packed views stay ``float64``: the paper's GPU images are float32,
+but this reproduction asserts *exact* CPU/lockstep agreement in its test
+suite, and a float32 cast would perturb results at ~1e-8 (see DESIGN.md).
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
 from repro.errors import TrackingError
 from repro.models.fields import FiberField
+from repro.utils.voxels import flat_voxel_index
 
-__all__ = ["nearest_lookup", "trilinear_lookup"]
+__all__ = [
+    "Scratch",
+    "nearest_lookup",
+    "trilinear_lookup",
+    "trilinear_lookup_reference",
+]
 
 
 def _check_points(points: np.ndarray) -> np.ndarray:
@@ -30,6 +55,71 @@ def _check_points(points: np.ndarray) -> np.ndarray:
     if pts.ndim != 2 or pts.shape[1] != 3:
         raise TrackingError(f"points must be (n, 3), got {pts.shape}")
     return pts
+
+
+class Scratch:
+    """Reusable per-call buffers keyed by name.
+
+    ``get(name, shape)`` returns a C-contiguous float64 view of a cached
+    allocation, reallocating only when the requested size exceeds
+    capacity — so a tracking segment's shrinking active set reuses one
+    allocation instead of reallocating every iteration.
+    """
+
+    def __init__(self) -> None:
+        self._bufs: dict[str, np.ndarray] = {}
+
+    def get(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
+        buf = self._bufs.get(name)
+        need = math.prod(shape)
+        if buf is None or buf.size < need:
+            buf = np.empty(max(need, 1), dtype=np.float64)
+            self._bufs[name] = buf
+        return buf[:need].reshape(shape)
+
+
+#: Corner offsets along the (2, n, 3) low/high axis of `_corner_indices`.
+_CORNER_OFF = np.array([[[0]], [[1]]], dtype=np.int64)
+
+
+def _corner_indices(
+    pts: np.ndarray, shape3: tuple[int, int, int]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Clipped flat indices and weights of the 8 surrounding corners.
+
+    Returns ``(flat, w, frac)``: ``flat`` is ``(8, n)`` int64 and ``w``
+    ``(8, n)`` float64, corner ``c`` at offset bit pattern
+    ``(c & 1, (c >> 1) & 1, (c >> 2) & 1)``; ``frac`` is the ``(n, 3)``
+    in-cell offset.  Built from per-axis low/high pairs broadcast over a
+    ``(z, y, x)``-ordered cube, so the whole corner fan costs a handful
+    of vector ops instead of eight rounds of three-axis arithmetic.
+    """
+    nx, ny, nz = shape3
+    n = pts.shape[0]
+    base_f = np.floor(pts)
+    frac = pts - base_f
+    base = base_f.astype(np.int64)
+    # Clip both corner planes of all three axes at once: (2, n, 3), row 0
+    # the low corner, row 1 the high corner.
+    bb = np.maximum(base[None, :, :] + _CORNER_OFF, 0)
+    np.minimum(bb, np.array([nx - 1, ny - 1, nz - 1]), out=bb)
+    x, y, z = bb[..., 0], bb[..., 1], bb[..., 2]
+    # flat = (x * ny + y) * nz + z; broadcasting (z, y, x) puts corner c
+    # at flat row c = xbit + 2*ybit + 4*zbit after the C-order reshape.
+    flat = (
+        (x * (ny * nz))[None, None, :, :]
+        + (y * nz)[None, :, None, :]
+        + z[:, None, None, :]
+    ).reshape(8, n)
+
+    ww = np.empty((2, n, 3))
+    ww[1] = frac
+    np.subtract(1.0, frac, out=ww[0])
+    wx, wy, wz = ww[..., 0], ww[..., 1], ww[..., 2]
+    w = (
+        wx[None, None, :, :] * wy[None, :, None, :] * wz[:, None, None, :]
+    ).reshape(8, n)
+    return flat, w, frac
 
 
 def nearest_lookup(
@@ -43,18 +133,19 @@ def nearest_lookup(
     pts = _check_points(points)
     nx, ny, nz = field.shape3
     idx = np.rint(pts).astype(np.int64)
-    idx[:, 0] = np.clip(idx[:, 0], 0, nx - 1)
-    idx[:, 1] = np.clip(idx[:, 1], 0, ny - 1)
-    idx[:, 2] = np.clip(idx[:, 2], 0, nz - 1)
-    f = field.f[idx[:, 0], idx[:, 1], idx[:, 2]]
-    dirs = field.directions[idx[:, 0], idx[:, 1], idx[:, 2]]
-    return f, dirs
+    ix = np.minimum(np.maximum(idx[:, 0], 0), nx - 1)
+    iy = np.minimum(np.maximum(idx[:, 1], 0), ny - 1)
+    iz = np.minimum(np.maximum(idx[:, 2], 0), nz - 1)
+    f2, d2, _ = field.flat_views()
+    flat = flat_voxel_index(ix, iy, iz, field.shape3)
+    return f2[flat], d2[flat]
 
 
 def trilinear_lookup(
     field: FiberField,
     points: np.ndarray,
     reference: np.ndarray | None = None,
+    scratch: Scratch | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """8-corner trilinear ``(f, directions)`` interpolation.
 
@@ -70,12 +161,113 @@ def trilinear_lookup(
         alignment (usually the current heading).  Without it, corner
         directions are aligned to the first corner's direction per
         population.
+    scratch:
+        Optional :class:`Scratch` arena; pass one to reuse the corner
+        buffers across calls (the lockstep tracker does, per segment).
 
     Returns
     -------
     (f, directions):
         ``f`` is ``(n, N)``; ``directions`` is ``(n, N, 3)``, renormalized
-        to unit length where non-zero.
+        to unit length where non-zero.  ``f`` and ``directions`` are
+        freshly allocated (never scratch views), so callers may keep them.
+    """
+    pts = _check_points(points)
+    n = pts.shape[0]
+    if reference is not None:
+        ref = np.asarray(reference, dtype=np.float64)
+        if ref.shape != (n, 3):
+            raise TrackingError(f"reference must be ({n}, 3), got {ref.shape}")
+    else:
+        ref = None
+    return _trilinear_packed(field, pts, ref, scratch)
+
+
+def _trilinear_packed(
+    field: FiberField,
+    pts: np.ndarray,
+    ref: np.ndarray | None,
+    scratch: Scratch | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validation-free trilinear core over the packed flat views.
+
+    The scalar reference tracker calls this directly with ``(1, 3)``
+    arrays — the same code path as the lockstep batch, so scalar and
+    batch interpolation agree bitwise by construction.
+    """
+    n = pts.shape[0]
+    n_fib = field.n_fibers
+    f2, d2, _ = field.flat_views()
+    flat, w, _ = _corner_indices(pts, field.shape3)
+    sc = scratch if scratch is not None else Scratch()
+
+    # One contiguous gather for all 8 corners of both images.
+    cf = sc.get("cf", (8, n, n_fib))
+    cd = sc.get("cd", (8, n, n_fib, 3))
+    flat_all = flat.reshape(8 * n)
+    np.take(f2, flat_all, axis=0, out=cf.reshape(8 * n, n_fib))
+    np.take(d2, flat_all, axis=0, out=cd.reshape(8 * n, n_fib, 3))
+
+    # Axial sign alignment for every corner at once.  The dot products
+    # are unrolled over the 3 components (einsum's generic loop is ~4x
+    # slower at tracking batch sizes); only the *sign* of the dot is
+    # consumed, so its last-ulp accumulation order cannot matter short
+    # of a dot within one ulp of zero.
+    sign = sc.get("sign", (8, n, n_fib))
+    tmp = sc.get("tmp", (8, n, n_fib))
+    if ref is not None:
+        r = ref[None, :, None, :]
+        np.multiply(cd[..., 0], r[..., 0], out=sign)
+        np.multiply(cd[..., 1], r[..., 1], out=tmp)
+        sign += tmp
+        np.multiply(cd[..., 2], r[..., 2], out=tmp)
+        sign += tmp
+    else:
+        r = cd[0][None]
+        np.multiply(cd[..., 0], r[..., 0], out=sign)
+        np.multiply(cd[..., 1], r[..., 1], out=tmp)
+        sign += tmp
+        np.multiply(cd[..., 2], r[..., 2], out=tmp)
+        sign += tmp
+    np.sign(sign, out=sign)
+    np.copyto(sign, 1.0, where=sign == 0.0)
+
+    # Weighted corner accumulation; the reductions over the 8-corner
+    # axis run in corner order, matching the reference loop.
+    wf = sc.get("wf", (8, n, n_fib))
+    np.multiply(w[:, :, None], cf, out=wf)
+    f_out = wf.sum(axis=0)
+    np.multiply(wf, sign, out=wf)
+    wfd = sc.get("wfd", (8, n, n_fib, 3))
+    np.multiply(wf[..., None], cd, out=wfd)
+    d_out = wfd.sum(axis=0)
+
+    # Renormalize: x*x is bitwise abs(x)**2, so this matches the
+    # reference path's np.linalg.norm over the 3-vector exactly.
+    nrm = sc.get("nrm", (n, n_fib))
+    np.multiply(d_out[..., 0], d_out[..., 0], out=nrm)
+    np.multiply(d_out[..., 1], d_out[..., 1], out=tmp[0])
+    nrm += tmp[0]
+    np.multiply(d_out[..., 2], d_out[..., 2], out=tmp[0])
+    nrm += tmp[0]
+    np.sqrt(nrm, out=nrm)
+    ok = nrm > 1e-12
+    np.divide(d_out, nrm[:, :, None], out=d_out, where=ok[:, :, None])
+    np.copyto(d_out, 0.0, where=~ok[:, :, None])
+    return f_out, d_out
+
+
+def trilinear_lookup_reference(
+    field: FiberField,
+    points: np.ndarray,
+    reference: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pre-optimization trilinear implementation (executable spec).
+
+    Eight separate rounds of three-axis fancy indexing — kept as the
+    behavioral reference the packed gather must match bit-for-bit, and as
+    the "before" side of ``benchmarks/bench_parallel_scaling.py``'s
+    kernel-pass measurement.
     """
     pts = _check_points(points)
     n = pts.shape[0]
@@ -90,13 +282,11 @@ def trilinear_lookup(
     if reference is not None:
         ref = np.asarray(reference, dtype=np.float64)
         if ref.shape != (n, 3):
-            raise TrackingError(
-                f"reference must be ({n}, 3), got {ref.shape}"
-            )
+            raise TrackingError(f"reference must be ({n}, 3), got {ref.shape}")
     else:
         ref = None
 
-    ref_dirs = None  # lazily fixed from the first corner when no reference
+    ref_dirs = None
     for corner in range(8):
         ox, oy, oz = corner & 1, (corner >> 1) & 1, (corner >> 2) & 1
         ix = np.clip(base[:, 0] + ox, 0, nx - 1)

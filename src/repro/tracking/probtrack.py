@@ -43,6 +43,10 @@ class ProbtrackConfig:
     #: default behaviour; the paper does not specify).  Thread count and
     #: the modeled workload double; connectivity merges the two passes.
     bidirectional: bool = False
+    #: Worker processes for the sample loop (1 = serial).  The process
+    #: backend's merged output is bit-identical to serial for any count
+    #: (see :mod:`repro.runtime`).
+    n_workers: int = 1
 
 
 @dataclass
@@ -129,7 +133,13 @@ def probabilistic_streamlining(
     tracker = SegmentedTracker(
         device=cfg.device, host=cfg.host, interpolation=cfg.interpolation
     )
-    run = tracker.run(
+    # Imported here: repro.runtime depends on repro.tracking, so a
+    # module-level import would be circular.
+    from repro.runtime import make_backend
+
+    backend = make_backend(cfg.n_workers)
+    run = backend.run(
+        tracker,
         fields,
         launch_seeds,
         cfg.criteria,

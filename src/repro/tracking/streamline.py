@@ -8,15 +8,16 @@ baseline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import TrackingError
 from repro.models.fields import FiberField
 from repro.tracking.criteria import StopReason, TerminationCriteria
-from repro.tracking.direction import choose_direction
-from repro.tracking.interpolate import nearest_lookup, trilinear_lookup
+from repro.tracking.direction import _choose_direction_core
+from repro.tracking.interpolate import Scratch, _trilinear_packed, nearest_lookup
+from repro.utils.voxels import flat_voxel_index, in_bounds_mask
 
 __all__ = ["Streamline", "track_streamline"]
 
@@ -58,15 +59,9 @@ class Streamline:
 
     def visited_voxels(self, shape3: tuple[int, int, int]) -> np.ndarray:
         """Unique flat indices of voxels this path passes through."""
-        nx, ny, nz = shape3
         idx = np.rint(self.points).astype(np.int64)
-        ok = (
-            (idx[:, 0] >= 0) & (idx[:, 0] < nx)
-            & (idx[:, 1] >= 0) & (idx[:, 1] < ny)
-            & (idx[:, 2] >= 0) & (idx[:, 2] < nz)
-        )
-        idx = idx[ok]
-        flat = (idx[:, 0] * ny + idx[:, 1]) * nz + idx[:, 2]
+        idx = idx[in_bounds_mask(idx, shape3)]
+        flat = flat_voxel_index(idx[:, 0], idx[:, 1], idx[:, 2], shape3)
         return np.unique(flat)
 
 
@@ -97,37 +92,42 @@ def track_streamline(
     seed = np.asarray(seed, dtype=np.float64).reshape(3)
     heading = np.asarray(heading, dtype=np.float64).reshape(3)
 
-    nx, ny, nz = field.shape3
-    pos = seed.copy()
-    points = [pos.copy()]
+    shape3 = field.shape3
+    _, _, mask_flat = field.flat_views()
+    # Fast scalar path: one reusable (1, 3) view pair routed through the
+    # same packed-gather cores as the lockstep batch — no per-step array
+    # wrapping/validation, and bitwise-identical interpolation.
+    p = np.empty((1, 3))
+    h = np.empty((1, 3))
+    p[0] = seed
+    h[0] = heading
+    scratch = Scratch()
+    trilinear = interpolation == "trilinear"
+    points = [seed.copy()]
     reason = StopReason.MAX_STEPS
     for _ in range(criteria.max_steps):
-        p = pos[None, :]
-        h = heading[None, :]
-        if interpolation == "trilinear":
-            f, dirs = trilinear_lookup(field, p, reference=h)
+        if trilinear:
+            f, dirs = _trilinear_packed(field, p, h, scratch)
         else:
             f, dirs = nearest_lookup(field, p)
-        chosen, dot = choose_direction(f, dirs, h, criteria.f_threshold)
-        if not (f[0] > criteria.f_threshold).any():
+        chosen, dot, any_ok = _choose_direction_core(
+            f, dirs, h, criteria.f_threshold
+        )
+        if not any_ok[0]:
             reason = StopReason.NO_DIRECTION
             break
         if dot[0] < criteria.min_dot:
             reason = StopReason.ANGLE
             break
-        new_pos = pos + criteria.step_length * chosen[0]
+        new_pos = p[0] + criteria.step_length * chosen[0]
         idx = np.rint(new_pos).astype(np.int64)
-        if (
-            idx[0] < 0 or idx[0] >= nx
-            or idx[1] < 0 or idx[1] >= ny
-            or idx[2] < 0 or idx[2] >= nz
-        ):
+        if not in_bounds_mask(idx, shape3):
             reason = StopReason.OUT_OF_BOUNDS
             break
-        if not field.mask[idx[0], idx[1], idx[2]]:
+        if not mask_flat[flat_voxel_index(idx[0], idx[1], idx[2], shape3)]:
             reason = StopReason.OUT_OF_MASK
             break
-        pos = new_pos
-        heading = chosen[0]
-        points.append(pos.copy())
+        p[0] = new_pos
+        h[0] = chosen[0]
+        points.append(new_pos.copy())
     return Streamline(points=np.array(points), reason=reason)

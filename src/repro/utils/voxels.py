@@ -1,0 +1,42 @@
+"""Flat voxel indexing — the one place the row-major index math lives.
+
+Every consumer of the ``(ix * ny + iy) * nz + iz`` convention (streamline
+visit extraction, the batch kernel's visit emission, connectivity rows,
+NIfTI volume indexing, the packed-field gather) routes through these
+helpers so the convention cannot silently drift between copies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["flat_voxel_index", "in_bounds_mask", "clip_to_grid"]
+
+
+def flat_voxel_index(
+    i: np.ndarray, j: np.ndarray, k: np.ndarray, shape3: tuple[int, int, int]
+) -> np.ndarray:
+    """Row-major flat index for integer voxel coordinates.
+
+    No bounds handling: callers either clip first (:func:`clip_to_grid`)
+    or filter with :func:`in_bounds_mask`.  Accepts scalars or arrays.
+    """
+    _, ny, nz = shape3
+    return (i * ny + j) * nz + k
+
+
+def in_bounds_mask(ijk: np.ndarray, shape3: tuple[int, int, int]) -> np.ndarray:
+    """Boolean mask of rows of ``(..., 3)`` integer coords inside the grid."""
+    nx, ny, nz = shape3
+    i, j, k = ijk[..., 0], ijk[..., 1], ijk[..., 2]
+    return (
+        (i >= 0) & (i < nx)
+        & (j >= 0) & (j < ny)
+        & (k >= 0) & (k < nz)
+    )
+
+
+def clip_to_grid(ijk: np.ndarray, shape3: tuple[int, int, int]) -> np.ndarray:
+    """Integer coords clamped to the grid (``CLAMP_TO_EDGE`` semantics)."""
+    nx, ny, nz = shape3
+    return np.clip(ijk, 0, np.array([nx - 1, ny - 1, nz - 1]))

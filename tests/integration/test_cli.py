@@ -118,3 +118,26 @@ class TestTrackCommand:
         n_uni = uni.shape[-1] if uni.ndim > 1 else uni.shape[0]
         n_bi = bi.shape[-1] if bi.ndim > 1 else bi.shape[0]
         assert n_bi == 2 * n_uni
+
+    def test_workers_flag_bit_identical(self, workdir):
+        rc = track_main(
+            [
+                str(workdir / "data" / "bedpost"),
+                "--output-dir", str(workdir / "track_par"),
+                "--step", "0.4",
+                "--threshold", "0.7",
+                "--max-steps", "100",
+                "--strategy", "a20",
+                "--min-export-steps", "5",
+                "--workers", "2",
+            ]
+        )
+        assert rc == 0
+        serial = np.loadtxt(workdir / "data" / "bedpost" / "track" / "lengths.txt")
+        par = np.loadtxt(workdir / "track_par" / "lengths.txt")
+        assert np.array_equal(serial, par)
+        d_serial = read_nifti(
+            workdir / "data" / "bedpost" / "track" / "density.nii.gz"
+        )
+        d_par = read_nifti(workdir / "track_par" / "density.nii.gz")
+        assert np.array_equal(d_serial.data, d_par.data)

@@ -20,7 +20,6 @@ from repro.errors import DataError, TrackingError
 from repro.models.fields import FiberField
 from repro.tracking import (
     SegmentedTracker,
-    StopReason,
     TerminationCriteria,
     paper_strategy_b,
     seeds_from_mask,

@@ -5,7 +5,6 @@ import pytest
 
 from repro import __version__
 from repro.data import straight_bundle, rasterize_bundles
-from repro.errors import TrackingError
 from repro.mcmc.sampler import MCMCResult
 from repro.models import MultiFiberModel
 from repro.models.base import DiffusionModel

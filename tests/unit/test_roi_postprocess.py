@@ -10,7 +10,6 @@ from repro.tracking import (
     SegmentedTracker,
     TargetCounter,
     TerminationCriteria,
-    UniformStrategy,
     VisitFanout,
     box_roi,
     density_map,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import IOFormatError
-from repro.io.samples import SampleArchive, load_samples, save_samples
+from repro.io.samples import load_samples, save_samples
 from repro.models.posterior import ParameterLayout
 
 

@@ -5,7 +5,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.analysis.compare import RunComparison, compare_lengths, dice_overlap
+from repro.analysis.compare import compare_lengths, dice_overlap
 from repro.data.loaders import load_acquisition
 from repro.errors import ConfigurationError, DataError, DeviceError
 from repro.gpu import Timeline

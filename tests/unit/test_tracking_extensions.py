@@ -13,7 +13,6 @@ from repro.tracking import (
     UniformStrategy,
     paper_strategy_b,
     probabilistic_streamlining,
-    seeds_from_mask,
 )
 
 

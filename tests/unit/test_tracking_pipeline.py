@@ -5,7 +5,7 @@ import pytest
 
 from repro.data import arc_bundle, rasterize_bundles, straight_bundle
 from repro.errors import ConfigurationError, DataError, TrackingError
-from repro.gpu import RADEON_5870, PHENOM_X4
+from repro.gpu import PHENOM_X4
 from repro.models.fields import FiberField
 from repro.tracking import (
     ConnectivityAccumulator,
