@@ -40,6 +40,8 @@ def render_gantt(
 
     rows = {r: ["."] * width for r in _ROWS}
     for e in events:
+        if e["tid"] not in _TID_TO_ROW:
+            continue  # e.g. supervisor retry events — not a GPU resource
         row = rows[_TID_TO_ROW[e["tid"]]]
         start = int(e["ts"] * scale)
         stop = max(start + 1, int((e["ts"] + e["dur"]) * scale))

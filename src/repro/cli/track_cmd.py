@@ -63,6 +63,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes for the sample loop "
                         "(results are bit-identical for any count)")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="supervised retries per failed shard before "
+                        "re-sharding / serial fallback")
+    p.add_argument("--shard-timeout", type=float, default=None, metavar="S",
+                   help="per-shard attempt deadline in seconds "
+                        "(default: no hang watchdog)")
+    p.add_argument("--inject-fault", default=None, metavar="SPEC",
+                   help="DEV ONLY: deterministic fault injection, e.g. "
+                        "'crash:0' (shard 0's first attempt crashes), "
+                        "'hang:1:*', 'corrupt:s2'; recovery keeps output "
+                        "bit-identical to a clean run")
     p.add_argument("--min-export-steps", type=int, default=100,
                    help="length floor for exported .trk fibers")
     return p
@@ -81,11 +92,24 @@ def main(argv: list[str] | None = None) -> int:
         min_dot=args.threshold,
         step_length=args.step,
     )
+    fault_plan = None
+    if args.inject_fault is not None:
+        from repro.runtime.faults import FaultPlan
+
+        # Dev-only: bound injected hangs so a forgotten --shard-timeout
+        # cannot wedge the command for an hour.
+        fault_plan = FaultPlan.parse(
+            args.inject_fault,
+            hang_seconds=args.shard_timeout * 4 if args.shard_timeout else 30.0,
+        )
     cfg = ProbtrackConfig(
         criteria=criteria,
         strategy=_STRATEGIES[args.strategy](),
         bidirectional=args.bidirectional,
         n_workers=args.workers,
+        max_retries=args.max_retries,
+        shard_timeout_s=args.shard_timeout,
+        fault_plan=fault_plan,
     )
     pt = probabilistic_streamlining(fields, config=cfg)
     run = pt.run
@@ -123,6 +147,8 @@ def main(argv: list[str] | None = None) -> int:
         f"wrote {len(long_lines)} fibers >= {args.min_export_steps} steps "
         f"to {out / 'fibers.trk'}"
     )
+    if run.supervision is not None and run.supervision.n_failures:
+        print(f"fault tolerance: {run.supervision.summary()}")
     return 0
 
 

@@ -21,6 +21,13 @@ __all__ = [
     "TrackingError",
     "DeviceError",
     "IOFormatError",
+    "ShardError",
+    "ShardCrashError",
+    "ShardTimeoutError",
+    "ShardResultError",
+    "PoolExhaustedError",
+    "FAILURE_KINDS",
+    "classify_shard_failure",
 ]
 
 
@@ -54,3 +61,71 @@ class DeviceError(ReproError, RuntimeError):
 
 class IOFormatError(ReproError, ValueError):
     """A file being read or written does not conform to its format."""
+
+
+class ShardError(ReproError, RuntimeError):
+    """One supervised shard attempt failed (base of the failure taxonomy).
+
+    The runtime supervisor classifies every shard failure into exactly
+    one concrete subclass — crash, timeout, or corrupt result — so retry
+    policies, reports, and tests can dispatch on failure *kind* rather
+    than on exception strings.
+
+    Attributes
+    ----------
+    shard:
+        Index of the failed shard task (0-based, in task order).
+    attempt:
+        Which execution attempt failed (0 = first try).
+    """
+
+    kind = "error"
+
+    def __init__(self, message: str, shard: int = -1, attempt: int = 0) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.attempt = attempt
+
+
+class ShardCrashError(ShardError):
+    """The worker process died or raised before delivering a result."""
+
+    kind = "crash"
+
+
+class ShardTimeoutError(ShardError):
+    """The worker exceeded its per-shard deadline and was killed."""
+
+    kind = "timeout"
+
+
+class ShardResultError(ShardError):
+    """The worker returned, but its payload failed validation."""
+
+    kind = "corrupt"
+
+
+class PoolExhaustedError(ShardError):
+    """Every retry of a shard failed and serial fallback is disabled."""
+
+    kind = "exhausted"
+
+
+#: Failure-kind string -> the taxonomy class the supervisor raises/records.
+FAILURE_KINDS = {
+    "crash": ShardCrashError,
+    "timeout": ShardTimeoutError,
+    "corrupt": ShardResultError,
+}
+
+
+def classify_shard_failure(exc: BaseException) -> str:
+    """Map an exception to its taxonomy kind string.
+
+    :class:`ShardError` subclasses carry their own ``kind``; anything
+    else (a worker raising arbitrary Python errors) is a ``"crash"`` —
+    the worker failed to produce a result through its own fault.
+    """
+    if isinstance(exc, ShardError):
+        return exc.kind
+    return "crash"

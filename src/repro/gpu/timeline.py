@@ -17,11 +17,18 @@ from repro.errors import DeviceError
 __all__ = ["Event", "Timeline"]
 
 #: Event kinds and the resource each occupies in overlap mode.
+#: ``retry`` events (failed supervised shard attempts) occupy the
+#: supervisor row: they model recovery overhead, not GPU work, and are
+#: excluded from the Table II/IV totals by default (see :meth:`totals`).
 _RESOURCES = {
     "kernel": "device",
     "transfer": "bus",
     "reduction": "host",
+    "retry": "supervisor",
 }
+
+#: The paper's time-decomposition columns (Tables II and IV).
+_TABLE_KINDS = ("kernel", "transfer", "reduction")
 
 
 @dataclass(frozen=True)
@@ -61,10 +68,15 @@ class Timeline:
         return sum(e.seconds for e in self.events if kind is None or e.kind == kind)
 
     def totals(self) -> dict[str, float]:
-        """Per-kind serial totals: the Table II/IV column set."""
-        out = {k: 0.0 for k in _RESOURCES}
+        """Per-kind serial totals: the Table II/IV column set.
+
+        Always contains the kernel/transfer/reduction columns; other
+        kinds (e.g. ``retry``) appear only when such events exist, so
+        fault-free timelines keep the paper's exact column set.
+        """
+        out = {k: 0.0 for k in _TABLE_KINDS}
         for e in self.events:
-            out[e.kind] += e.seconds
+            out[e.kind] = out.get(e.kind, 0.0) + e.seconds
         return out
 
     def serial_end(self) -> float:

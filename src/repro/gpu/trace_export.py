@@ -22,7 +22,10 @@ from repro.gpu.timeline import Timeline, _RESOURCES
 __all__ = ["timeline_to_trace_events", "write_chrome_trace"]
 
 #: Stable thread ids per resource row in the trace viewer.
-_RESOURCE_TID = {"device": 0, "bus": 1, "host": 2}
+_RESOURCE_TID = {"device": 0, "bus": 1, "host": 2, "supervisor": 3}
+
+#: Rows always present in the viewer; others appear only when used.
+_CORE_RESOURCES = ("device", "bus", "host")
 
 
 def timeline_to_trace_events(
@@ -76,6 +79,7 @@ def write_chrome_trace(
 ) -> None:
     """Write a ``chrome://tracing`` / Perfetto JSON file."""
     events = timeline_to_trace_events(timeline, schedule)
+    used = {_RESOURCES[e.kind] for e in timeline.events}
     meta = [
         {
             "name": "thread_name",
@@ -85,6 +89,7 @@ def write_chrome_trace(
             "args": {"name": res},
         }
         for res, tid in _RESOURCE_TID.items()
+        if res in _CORE_RESOURCES or res in used
     ]
     Path(path).write_text(
         json.dumps({"traceEvents": meta + events, "displayTimeUnit": "ms"})

@@ -47,6 +47,19 @@ class WorkflowResult:
             f"  modeled CPU     {p.cpu_seconds:10.2f} s",
             f"  modeled speedup {p.speedup:10.1f} x",
         ]
+        sup = p.supervision
+        if sup is not None:
+            lines.append("fault tolerance (supervised shards)")
+            lines.append(f"  shards          {sup.n_shards}")
+            lines.append(f"  failed attempts {sup.n_failures}")
+            lines.append(f"  retries         {sup.n_retries}")
+            lines.append(f"  re-shards       {len(sup.reshards)}")
+            lines.append(f"  serial fallback {len(sup.fallbacks)}")
+            for a in sup.failed_attempts():
+                lines.append(
+                    f"    shard {a.shard} attempt {a.attempt}: {a.outcome}"
+                    f" after {a.seconds:.3f} s (via {a.via})"
+                )
         return "\n".join(lines)
 
 

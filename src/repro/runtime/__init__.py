@@ -2,7 +2,11 @@
 
 See :mod:`repro.runtime.backend` for the determinism contract: the
 process backend's merged output is bit-identical to the serial path for
-any worker count.
+any worker count — and, via :mod:`repro.runtime.supervisor`, under any
+recovered shard failure (crash, hang, corrupt result) as well.
+:mod:`repro.runtime.faults` provides the deterministic fault-injection
+plans the chaos tests and the dev-only ``repro-track --inject-fault``
+flag use to prove that.
 """
 
 from repro.runtime.backend import (
@@ -12,7 +16,17 @@ from repro.runtime.backend import (
     ShardTask,
     make_backend,
 )
+from repro.runtime.faults import FaultPlan, FaultSpec
 from repro.runtime.merge import merge_shard_results
+from repro.runtime.supervisor import (
+    InlineLauncher,
+    ProcessLauncher,
+    RetryPolicy,
+    ShardAttempt,
+    ShardRunner,
+    ShardSupervisor,
+    SupervisorReport,
+)
 
 __all__ = [
     "ExecutionBackend",
@@ -21,4 +35,13 @@ __all__ = [
     "ShardTask",
     "make_backend",
     "merge_shard_results",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "ShardAttempt",
+    "ShardRunner",
+    "ShardSupervisor",
+    "SupervisorReport",
+    "ProcessLauncher",
+    "InlineLauncher",
 ]

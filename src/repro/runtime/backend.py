@@ -27,25 +27,45 @@ per-kind timeline totals are **bit-identical** to the serial path:
 Workers are plain top-level functions over picklable work units
 (:class:`ShardTask`); the pool uses the ``fork`` start method where the
 platform offers it, falling back to the default method otherwise.
+
+Fault tolerance
+---------------
+Shards no longer fail atomically: :class:`ProcessBackend` hands its
+tasks to a :class:`~repro.runtime.supervisor.ShardSupervisor`, which
+adds per-shard timeouts, classified failures
+(:mod:`repro.errors` taxonomy), deterministic retry/backoff,
+re-sharding of persistently failing work, and an in-parent serial
+fallback.  Because :func:`_run_shard` is a pure function of its task,
+*where* a shard finally succeeds cannot change its payload — so the
+recovered merge stays bit-identical to a clean run.  See
+:mod:`repro.runtime.supervisor` and :mod:`repro.runtime.faults`.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import logging
 import multiprocessing as mp
 import time
 from abc import ABC, abstractmethod
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConfigurationError, TrackingError
+from repro.errors import ConfigurationError, ShardResultError, TrackingError
 from repro.gpu.multigpu import partition_seeds
 from repro.tracking.connectivity import ConnectivityAccumulator
 from repro.tracking.criteria import TerminationCriteria
 from repro.tracking.executor import SegmentedTracker, TrackingRunResult
 from repro.tracking.segmentation import SegmentationStrategy
+from repro.runtime.faults import FaultPlan
 from repro.runtime.merge import merge_shard_results
+from repro.runtime.supervisor import (
+    ProcessLauncher,
+    RetryPolicy,
+    ShardRunner,
+    ShardSupervisor,
+)
 
 __all__ = [
     "ExecutionBackend",
@@ -54,6 +74,8 @@ __all__ = [
     "ShardTask",
     "make_backend",
 ]
+
+log = logging.getLogger(__name__)
 
 
 class ExecutionBackend(ABC):
@@ -159,20 +181,118 @@ def _pool_context() -> mp.context.BaseContext:
     return mp.get_context()
 
 
+# -- supervisor seams --------------------------------------------------------
+# Top-level (picklable) hooks the ShardSupervisor uses to run, check,
+# split, and (under fault injection only) corrupt shard payloads.
+
+
+def _shard_samples(task: ShardTask) -> range:
+    """Global sample indices a task covers (for sample-targeted faults)."""
+    return range(task.sample_offset, task.sample_offset + len(task.fields))
+
+
+def _split_shard_task(task: ShardTask) -> list[ShardTask]:
+    """Re-shard: one single-sample subtask per field, offsets preserved."""
+    return [
+        dataclasses.replace(
+            task, fields=task.fields[i : i + 1], sample_offset=task.sample_offset + i
+        )
+        for i in range(len(task.fields))
+    ]
+
+
+def _validate_shard_payload(task: ShardTask, payload) -> None:
+    """Reject payloads that cannot be a genuine ``_run_shard`` output.
+
+    A real payload always passes (the checks restate ``_run_shard``'s
+    own postconditions), so validation can never misclassify an honest
+    shard — it only catches corrupted or truncated results before they
+    would silently poison the deterministic merge.
+    """
+    def _bad(msg: str) -> ShardResultError:
+        return ShardResultError(f"corrupt shard payload: {msg}")
+
+    if not isinstance(payload, tuple) or len(payload) != 2:
+        raise _bad(f"expected (result, pairs) tuple, got {type(payload).__name__}")
+    result, pairs = payload
+    n_samples, n_seeds = len(task.fields), task.seeds.shape[0]
+    lengths = getattr(result, "lengths", None)
+    reasons = getattr(result, "reasons", None)
+    if not isinstance(lengths, np.ndarray) or lengths.shape != (n_samples, n_seeds):
+        raise _bad(
+            f"lengths must be ({n_samples}, {n_seeds}), got "
+            f"{getattr(lengths, 'shape', None)}"
+        )
+    if not isinstance(reasons, np.ndarray) or reasons.shape != lengths.shape:
+        raise _bad("reasons shape does not match lengths")
+    if lengths.min(initial=0) < 0:
+        raise _bad("negative streamline lengths")
+    if lengths.max(initial=0) > task.criteria.max_steps:
+        raise _bad(f"lengths exceed the {task.criteria.max_steps}-step budget")
+    if task.connectivity_spec is not None:
+        if not isinstance(pairs, list) or len(pairs) != n_samples:
+            raise _bad(
+                f"expected {n_samples} per-sample visit-pair arrays, "
+                f"got {len(pairs) if isinstance(pairs, list) else type(pairs).__name__}"
+            )
+    elif pairs is not None:
+        raise _bad("unexpected visit pairs for a connectivity-free run")
+
+
+def _corrupt_payload(payload):
+    """Fault injection ``corrupt``: mangle a real payload detectably.
+
+    Negated lengths and a dropped visit-pair row model bit-rot in the
+    result channel; ``_validate_shard_payload`` must catch both.
+    """
+    result, pairs = payload
+    result.lengths = -result.lengths - 1
+    if pairs is not None and len(pairs) > 0:
+        pairs = pairs[:-1]
+    return result, pairs
+
+
 class ProcessBackend(ExecutionBackend):
     """Shard sample volumes across worker processes, merge deterministically.
 
     Parameters
     ----------
     n_workers:
-        Pool size.  Shards never outnumber samples; a run with a single
-        (shardable) sample degrades to the serial path.
+        Pool size.  Shards never outnumber samples — a larger request is
+        clamped to the shardable sample count (logged once per backend);
+        a run with a single (shardable) sample degrades to the serial
+        path.
+    max_retries:
+        Supervised retries per shard before re-sharding / fallback.
+    shard_timeout_s:
+        Per-attempt deadline (None disables the hang watchdog).
+    fallback_to_serial:
+        Run exhausted shards in-parent instead of raising
+        :class:`~repro.errors.PoolExhaustedError`.
+    fault_plan:
+        Dev/test-only deterministic fault injection
+        (:class:`~repro.runtime.faults.FaultPlan`); None in production.
+    retry_seed:
+        Seed for the deterministic backoff jitter.
     """
 
-    def __init__(self, n_workers: int) -> None:
+    def __init__(
+        self,
+        n_workers: int,
+        max_retries: int = 2,
+        shard_timeout_s: float | None = None,
+        fallback_to_serial: bool = True,
+        fault_plan: FaultPlan | None = None,
+        retry_seed: int = 0,
+    ) -> None:
         if n_workers < 1:
             raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = n_workers
+        self.policy = RetryPolicy(max_retries=max_retries, seed=retry_seed)
+        self.shard_timeout_s = shard_timeout_s
+        self.fallback_to_serial = fallback_to_serial
+        self.fault_plan = fault_plan
+        self._clamp_logged = False
 
     def run(
         self,
@@ -229,6 +349,13 @@ class ProcessBackend(ExecutionBackend):
                 return phase0
 
         n_shards = min(self.n_workers, len(shard_fields))
+        if self.n_workers > len(shard_fields) and not self._clamp_logged:
+            log.info(
+                "clamping n_workers=%d to %d shardable sample(s)",
+                self.n_workers,
+                len(shard_fields),
+            )
+            self._clamp_logged = True
         tasks = []
         for sl in partition_seeds(len(shard_fields), n_shards):
             tasks.append(
@@ -256,15 +383,32 @@ class ProcessBackend(ExecutionBackend):
                 )
             )
 
-        if n_shards == 1 and phase0 is None:
+        report = None
+        if n_shards == 1 and phase0 is None and self.fault_plan is None:
             # One shard, nothing to fork for: run it here (bit-identical
             # by construction, and the merge would be a no-op anyway).
             shard_outputs = [_run_shard(tasks[0])]
         else:
-            with ProcessPoolExecutor(
-                max_workers=n_shards, mp_context=_pool_context()
-            ) as pool:
-                shard_outputs = list(pool.map(_run_shard, tasks))
+            supervisor = ShardSupervisor(
+                policy=self.policy,
+                shard_timeout_s=self.shard_timeout_s,
+                fallback_to_serial=self.fallback_to_serial,
+                fault_plan=self.fault_plan,
+                max_workers=n_shards,
+                launcher=ProcessLauncher(_pool_context()),
+            )
+            runner = ShardRunner(
+                run=_run_shard,
+                validate=_validate_shard_payload,
+                split=_split_shard_task,
+                corrupt=_corrupt_payload,
+                samples=_shard_samples,
+            )
+            per_task, report = supervisor.run_tasks(tasks, runner)
+            # Flatten in task order; re-sharded tasks contribute their
+            # subtask payloads in sample order, so global sample order —
+            # and therefore the deterministic merge — is preserved.
+            shard_outputs = [out for parts in per_task for out in parts]
 
         parts = [phase0] if phase0 is not None else []
         for result, pairs in shard_outputs:
@@ -273,20 +417,41 @@ class ProcessBackend(ExecutionBackend):
                 connectivity.absorb(pairs)
 
         return merge_shard_results(
-            parts, tracker.host, wall_seconds=time.perf_counter() - t0
+            parts,
+            tracker.host,
+            wall_seconds=time.perf_counter() - t0,
+            supervision=report,
         )
 
 
-def make_backend(n_workers: int | None) -> ExecutionBackend:
+def make_backend(
+    n_workers: int | None,
+    max_retries: int = 2,
+    shard_timeout_s: float | None = None,
+    fallback_to_serial: bool = True,
+    fault_plan: FaultPlan | None = None,
+    retry_seed: int = 0,
+) -> ExecutionBackend:
     """Backend for a worker count: serial for <= 1, process pool above.
 
     ``0`` (and ``None``) mean "serial"; pass
     :func:`repro.utils.parallel.default_workers` explicitly to size the
     pool from the machine.  Negative counts are rejected rather than
-    silently degraded — they are always a caller bug.
+    silently degraded — they are always a caller bug.  Worker counts
+    exceeding the shardable sample count are clamped at run time (the
+    pool never outnumbers the work).  The remaining knobs configure the
+    process backend's fault-tolerance layer and are ignored by the
+    serial path (which has no workers to supervise).
     """
     if n_workers is not None and n_workers < 0:
         raise ConfigurationError(f"n_workers must be >= 0, got {n_workers}")
     if n_workers is None or n_workers <= 1:
         return SerialBackend()
-    return ProcessBackend(n_workers)
+    return ProcessBackend(
+        n_workers,
+        max_retries=max_retries,
+        shard_timeout_s=shard_timeout_s,
+        fallback_to_serial=fallback_to_serial,
+        fault_plan=fault_plan,
+        retry_seed=retry_seed,
+    )

@@ -26,6 +26,15 @@ so merging is pure concatenation in global sample order:
 Connectivity counts are merged separately via
 :meth:`ConnectivityAccumulator.absorb` (see ``backend.py``); integer
 count addition is associative, so those too are exact.
+
+Supervision (retries, re-shards, serial fallbacks) is surfaced two ways:
+the :class:`~repro.runtime.supervisor.SupervisorReport` rides on the
+merged result's ``supervision`` field, and every *failed* attempt is
+appended to the merged timeline as a ``"retry"`` event carrying the
+attempt's measured wall seconds.  Retry events live on dedicated
+negative streams and the ``"supervisor"`` resource, so they never
+perturb the kernel/transfer/reduction totals of the bit-identity
+contract.
 """
 
 from __future__ import annotations
@@ -43,6 +52,7 @@ def merge_shard_results(
     parts: list[TrackingRunResult],
     host: HostSpec,
     wall_seconds: float,
+    supervision=None,
 ) -> TrackingRunResult:
     """Merge shard results (already in global sample order) into one.
 
@@ -52,11 +62,16 @@ def merge_shard_results(
         One :class:`TrackingRunResult` per shard, ordered so that
         concatenating their sample rows reproduces the global sample
         order.  (The backend guarantees this: shards are contiguous
-        slices of the field list.)
+        slices of the field list; a re-sharded task contributes its
+        single-sample parts in sample order.)
     host:
         The host model, for recomputing the scalar-CPU comparison time.
     wall_seconds:
         The parent's measured wall-clock for the whole parallel run.
+    supervision:
+        Optional :class:`~repro.runtime.supervisor.SupervisorReport`
+        from the fault-tolerance layer; failed attempts become
+        ``"retry"`` timeline events.
     """
     if not parts:
         raise ValueError("nothing to merge")
@@ -75,6 +90,17 @@ def merge_shard_results(
             )
         launches.extend(part.launches)
 
+    if supervision is not None:
+        for a in supervision.failed_attempts():
+            # Negative streams + the "supervisor" resource: visible in
+            # traces, invisible to the kernel/transfer/reduction totals.
+            timeline.add(
+                "retry",
+                f"shard{a.shard}:attempt{a.attempt}:{a.outcome}",
+                a.seconds,
+                stream=-(a.shard + 1),
+            )
+
     return TrackingRunResult(
         lengths=lengths,
         reasons=reasons,
@@ -84,4 +110,5 @@ def merge_shard_results(
         wall_seconds=wall_seconds,
         peak_device_bytes=max(p.peak_device_bytes for p in parts),
         worker_walls=[p.wall_seconds for p in parts],
+        supervision=supervision,
     )

@@ -1,0 +1,634 @@
+"""Shard supervision: timeouts, retries, re-sharding, serial fallback.
+
+PR 1's process backend ran its shards through a bare
+``ProcessPoolExecutor`` — one crashed or hung worker killed the whole
+tracking run.  :class:`ShardSupervisor` replaces that with a supervised
+pool built for long sweeps:
+
+* every shard runs in its **own worker process** with an optional
+  per-shard deadline (``shard_timeout_s``), so a hung worker is killed
+  and retried instead of stalling the run;
+* failures are classified into the :mod:`repro.errors` taxonomy —
+  :class:`~repro.errors.ShardCrashError` (process died or raised),
+  :class:`~repro.errors.ShardTimeoutError` (deadline exceeded),
+  :class:`~repro.errors.ShardResultError` (payload failed validation);
+* failed shards are retried up to ``RetryPolicy.max_retries`` times with
+  capped exponential backoff and **seeded, deterministic jitter** — the
+  same seed always yields the same delay schedule, so chaos tests are
+  reproducible;
+* a shard that exhausts its retries is **re-sharded**: split into
+  single-sample subtasks, each given one fresh process attempt on the
+  surviving pool (a fault pinned to one sample no longer poisons its
+  shard-mates);
+* work that still fails degrades to an **in-parent serial run** of the
+  very same task (the plain :class:`~repro.runtime.backend.SerialBackend`
+  code path), unless ``fallback_to_serial=False``, in which case
+  :class:`~repro.errors.PoolExhaustedError` propagates.
+
+Determinism: a shard task is a pure function of its inputs, so *where*
+it finally succeeds — first try, third retry, re-shard, or in-parent —
+cannot change its payload.  The supervisor additionally returns outputs
+indexed by task order (never completion order), so the backend's merge
+remains bit-identical to a clean serial run.
+
+Fault injection (:class:`~repro.runtime.faults.FaultPlan`) is applied by
+the *worker entry point*, never by the in-parent fallback: the fallback
+runs the real code, which is what guarantees forward progress.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _conn_wait
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import (
+    ConfigurationError,
+    PoolExhaustedError,
+    ShardCrashError,
+    ShardError,
+    ShardResultError,
+    ShardTimeoutError,
+)
+from repro.runtime.faults import FaultPlan, FaultSpec
+
+__all__ = [
+    "RetryPolicy",
+    "ShardAttempt",
+    "ShardRunner",
+    "SupervisorReport",
+    "ShardSupervisor",
+    "ProcessLauncher",
+    "InlineLauncher",
+    "classify_outcome",
+]
+
+#: Cap on a single blocking poll, so queued retries start on time even
+#: while another shard is mid-flight.
+_POLL_CAP_S = 0.5
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic, seeded jitter.
+
+    The delay before retry ``attempt`` (1-based) of shard ``shard`` is::
+
+        min(max_delay_s, base_delay_s * 2**(attempt-1)) * (1 - jitter * u)
+
+    where ``u ~ U[0, 1)`` is drawn from ``default_rng([seed, shard,
+    attempt])`` — a pure function of the policy seed and the retry
+    coordinates, so the whole schedule is reproducible and two shards
+    never share jitter.
+    """
+
+    max_retries: int = 2
+    base_delay_s: float = 0.05
+    max_delay_s: float = 1.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ConfigurationError("backoff delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.seed < 0:
+            raise ConfigurationError(f"seed must be >= 0, got {self.seed}")
+
+    def delay(self, shard: int, attempt: int) -> float:
+        """Seconds to wait before launching retry ``attempt`` (>= 1)."""
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        base = min(self.max_delay_s, self.base_delay_s * 2.0 ** (attempt - 1))
+        u = float(np.random.default_rng([self.seed, shard, attempt]).random())
+        return base * (1.0 - self.jitter * u)
+
+    def schedule(self, shard: int) -> list[float]:
+        """The full deterministic delay schedule for one shard."""
+        return [self.delay(shard, a) for a in range(1, self.max_retries + 1)]
+
+
+@dataclass(frozen=True)
+class ShardAttempt:
+    """One recorded execution attempt of one shard.
+
+    ``via`` records the execution stage: ``"pool"`` (supervised worker
+    process), ``"reshard"`` (single-sample subtask after retry
+    exhaustion), or ``"serial"`` (in-parent fallback).
+    """
+
+    shard: int
+    attempt: int
+    outcome: str  # "ok" | "crash" | "timeout" | "corrupt"
+    seconds: float
+    via: str = "pool"
+    backoff_s: float = 0.0
+
+
+@dataclass
+class SupervisorReport:
+    """What the supervisor did: every attempt, re-shard, and fallback."""
+
+    n_shards: int = 0
+    attempts: list[ShardAttempt] = field(default_factory=list)
+    reshards: list[int] = field(default_factory=list)
+    fallbacks: list[int] = field(default_factory=list)
+
+    @property
+    def n_retries(self) -> int:
+        """Worker-process launches beyond each shard's first attempt."""
+        return sum(1 for a in self.attempts if a.attempt > 0 and a.via != "serial")
+
+    @property
+    def n_failures(self) -> int:
+        return sum(1 for a in self.attempts if a.outcome != "ok")
+
+    def failure_counts(self) -> dict[str, int]:
+        """Failures by taxonomy kind (crash / timeout / corrupt)."""
+        out: dict[str, int] = {}
+        for a in self.attempts:
+            if a.outcome != "ok":
+                out[a.outcome] = out.get(a.outcome, 0) + 1
+        return out
+
+    def failed_attempts(self) -> list[ShardAttempt]:
+        return [a for a in self.attempts if a.outcome != "ok"]
+
+    def summary(self) -> str:
+        """One-line account, e.g. for CLI output."""
+        if not self.n_failures:
+            return f"{self.n_shards} shards, no failures"
+        kinds = ", ".join(
+            f"{n} {k}" for k, n in sorted(self.failure_counts().items())
+        )
+        return (
+            f"{self.n_shards} shards: recovered {self.n_failures} failed "
+            f"attempts ({kinds}); {self.n_retries} retries, "
+            f"{len(self.reshards)} re-shards, "
+            f"{len(self.fallbacks)} serial fallbacks"
+        )
+
+
+@dataclass(frozen=True)
+class ShardRunner:
+    """How the supervisor executes, checks, and splits one task.
+
+    ``run`` must be a **top-level, picklable** function (it crosses the
+    process boundary under every start method) and a *pure* function of
+    its task — that purity is the whole determinism argument.
+    """
+
+    run: Callable[[Any], Any]
+    validate: Callable[[Any, Any], None] | None = None
+    split: Callable[[Any], list[Any]] | None = None
+    corrupt: Callable[[Any], Any] | None = None
+    samples: Callable[[Any], range] | None = None
+
+    def sample_range(self, task: Any) -> range:
+        return self.samples(task) if self.samples is not None else range(0)
+
+
+class _Job:
+    """Mutable bookkeeping for one in-flight (or queued) attempt."""
+
+    __slots__ = (
+        "shard", "task", "samples", "attempt", "stage", "slot",
+        "not_before", "backoff_s", "process", "conn", "started", "deadline",
+    )
+
+    def __init__(self, shard, task, samples, attempt, stage, slot,
+                 not_before=0.0, backoff_s=0.0):
+        self.shard = shard
+        self.task = task
+        self.samples = samples
+        self.attempt = attempt
+        self.stage = stage  # "pool" | "reshard"
+        self.slot = slot    # (task_index, part_index)
+        self.not_before = not_before
+        self.backoff_s = backoff_s
+        self.process = None
+        self.conn = None
+        self.started = 0.0
+        self.deadline = None
+
+
+def _worker_entry(conn, run_fn, corrupt_fn, task, fault_kind, hang_seconds):
+    """Worker process entry: apply any injected fault, run, ship payload.
+
+    Crashes are simulated with ``os._exit`` (no exception, no cleanup —
+    the closest a test can get to a segfault); hangs sleep until the
+    supervisor's deadline kills the process; corruption runs the *real*
+    task and then mangles the payload, exercising result validation.
+    """
+    try:
+        if fault_kind == "hang":
+            time.sleep(hang_seconds)
+        if fault_kind == "crash":
+            os._exit(13)
+        payload = run_fn(task)
+        if fault_kind == "corrupt" and corrupt_fn is not None:
+            payload = corrupt_fn(payload)
+        conn.send(("ok", payload))
+    except BaseException as exc:  # noqa: BLE001 — report, then die
+        try:
+            conn.send(("raise", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+class ProcessLauncher:
+    """Run attempts in dedicated worker processes (the real launcher)."""
+
+    def __init__(self, ctx) -> None:
+        self.ctx = ctx
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+    def start(self, job: _Job, runner: ShardRunner,
+              fault: FaultSpec | None, hang_seconds: float,
+              timeout_s: float | None) -> None:
+        recv_conn, send_conn = self.ctx.Pipe(duplex=False)
+        proc = self.ctx.Process(
+            target=_worker_entry,
+            args=(
+                send_conn,
+                runner.run,
+                runner.corrupt,
+                job.task,
+                fault.kind if fault is not None else None,
+                hang_seconds,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        send_conn.close()
+        job.process = proc
+        job.conn = recv_conn
+        job.started = self.now()
+        job.deadline = None if timeout_s is None else job.started + timeout_s
+
+    def poll(self, jobs: list[_Job], timeout: float | None) -> list[tuple]:
+        """Wait for activity; return ``(job, outcome, payload_or_msg)``.
+
+        ``outcome`` is ``"ok"``, ``"crash"``, or ``"timeout"`` — result
+        validation (the ``"corrupt"`` classification) is the
+        supervisor's job, not the launcher's.
+        """
+        handles = [j.conn for j in jobs] + [j.process.sentinel for j in jobs]
+        _conn_wait(handles, timeout=timeout)
+        finished = []
+        now = self.now()
+        for job in jobs:
+            outcome = None
+            payload = None
+            if job.conn.poll():
+                try:
+                    tag, body = job.conn.recv()
+                except (EOFError, OSError):
+                    tag, body = "raise", "result pipe closed unexpectedly"
+                if tag == "ok":
+                    outcome, payload = "ok", body
+                else:
+                    outcome, payload = "crash", body
+            elif not job.process.is_alive():
+                outcome, payload = "crash", f"worker exit code {job.process.exitcode}"
+            elif job.deadline is not None and now >= job.deadline:
+                job.process.kill()
+                outcome = "timeout"
+                payload = f"no result within {job.deadline - job.started:.3f}s"
+            if outcome is not None:
+                self._reap(job)
+                finished.append((job, outcome, payload))
+        return finished
+
+    def _reap(self, job: _Job) -> None:
+        """Join, close, and forget a job's process — idempotent."""
+        try:
+            job.process.join(timeout=1.0)
+            if job.process.is_alive():
+                job.process.kill()
+                job.process.join(timeout=1.0)
+        except ValueError:
+            pass  # process object already closed
+        finally:
+            try:
+                job.conn.close()
+            except Exception:
+                pass
+            try:
+                job.process.close()
+            except ValueError:
+                pass  # still running after kill — leave it to the OS
+
+    def abort(self, jobs: list[_Job]) -> None:
+        for job in jobs:
+            try:
+                job.process.kill()
+            except Exception:
+                pass
+            self._reap(job)
+
+
+class InlineLauncher:
+    """Synchronous scripted launcher for unit tests — no processes.
+
+    ``script`` maps ``(shard, attempt)`` to an outcome: ``"ok"``,
+    ``"crash"``, ``"timeout"``, or ``"corrupt"`` (missing keys mean
+    "ok").  Time is simulated: ``sleep`` advances a fake clock, so
+    backoff schedules can be asserted without real waiting.
+    """
+
+    def __init__(self, script: dict[tuple[int, int], str] | None = None) -> None:
+        self.script = dict(script or {})
+        self.clock = 0.0
+        self.launches: list[tuple[int, int, str]] = []
+        self.slept: list[float] = []
+        self._pending: list[tuple[_Job, ShardRunner]] = []
+
+    def now(self) -> float:
+        return self.clock
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            self.slept.append(seconds)
+            self.clock += seconds
+
+    def start(self, job, runner, fault, hang_seconds, timeout_s) -> None:
+        kind = self.script.get((job.shard, job.attempt), "ok")
+        if fault is not None:  # a FaultPlan overrides the script
+            kind = fault.kind if fault.kind != "hang" else "timeout"
+        self.launches.append((job.shard, job.attempt, kind))
+        job.started = self.clock
+        self._pending.append((job, runner, kind))
+
+    def poll(self, jobs, timeout) -> list[tuple]:
+        finished = []
+        for job, runner, kind in self._pending:
+            if kind == "ok":
+                finished.append((job, "ok", runner.run(job.task)))
+            elif kind == "corrupt":
+                payload = runner.run(job.task)
+                if runner.corrupt is not None:
+                    payload = runner.corrupt(payload)
+                finished.append((job, "ok", payload))
+            else:
+                finished.append((job, kind, f"scripted {kind}"))
+            self.clock += 0.001
+        self._pending = []
+        return finished
+
+    def abort(self, jobs) -> None:
+        self._pending = []
+
+
+class ShardSupervisor:
+    """Run shard tasks under timeout/retry/fallback supervision.
+
+    Parameters
+    ----------
+    policy:
+        Retry/backoff policy (deterministic; see :class:`RetryPolicy`).
+    shard_timeout_s:
+        Per-attempt deadline; ``None`` disables the watchdog.
+    fallback_to_serial:
+        Run exhausted work in-parent (guaranteed forward progress) vs.
+        raising :class:`~repro.errors.PoolExhaustedError`.
+    fault_plan:
+        Injected faults for tests / the dev CLI flag; ``None`` in
+        production.
+    max_workers:
+        Concurrent attempt cap (usually the backend's pool size).
+    launcher:
+        Execution seam — :class:`ProcessLauncher` in production,
+        :class:`InlineLauncher` in unit tests.
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy | None = None,
+        shard_timeout_s: float | None = None,
+        fallback_to_serial: bool = True,
+        fault_plan: FaultPlan | None = None,
+        max_workers: int = 1,
+        launcher=None,
+    ) -> None:
+        if shard_timeout_s is not None and shard_timeout_s <= 0:
+            raise ConfigurationError(
+                f"shard_timeout_s must be > 0 or None, got {shard_timeout_s}"
+            )
+        if max_workers < 1:
+            raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.shard_timeout_s = shard_timeout_s
+        self.fallback_to_serial = fallback_to_serial
+        self.fault_plan = fault_plan
+        self.max_workers = max_workers
+        self.launcher = launcher
+
+    # -- public entry -------------------------------------------------------
+
+    def run_tasks(
+        self, tasks: list[Any], runner: ShardRunner
+    ) -> tuple[list[list[Any]], SupervisorReport]:
+        """Execute every task; return per-task payload parts + report.
+
+        ``outputs[i]`` is the ordered list of payloads reassembling task
+        ``i`` (one element normally; several if the task was re-sharded).
+        Output order is task order regardless of completion order.
+        """
+        if self.launcher is None:
+            raise ConfigurationError("ShardSupervisor needs a launcher")
+        report = SupervisorReport(n_shards=len(tasks))
+        outputs: list[dict[int, Any]] = [{} for _ in tasks]
+        queue: deque[_Job] = deque(
+            _Job(
+                shard=i,
+                task=task,
+                samples=runner.sample_range(task),
+                attempt=0,
+                stage="pool",
+                slot=(i, 0),
+            )
+            for i, task in enumerate(tasks)
+        )
+        running: list[_Job] = []
+        try:
+            while queue or running:
+                now = self.launcher.now()
+                self._start_eligible(queue, running, runner, now, outputs, report)
+                if running:
+                    finished = self.launcher.poll(
+                        running, self._poll_timeout(queue, running, now)
+                    )
+                    # Drop the whole batch from the running set *before*
+                    # handling: poll() already reaped these jobs, and
+                    # _handle may raise (PoolExhaustedError), after which
+                    # abort() must only see genuinely in-flight jobs.
+                    for job, _, _ in finished:
+                        running.remove(job)
+                    for job, outcome, payload in finished:
+                        self._handle(
+                            job, outcome, payload, runner, queue, outputs, report
+                        )
+                elif queue:
+                    nxt = min(j.not_before for j in queue)
+                    self.launcher.sleep(max(0.0, nxt - now))
+        except BaseException:
+            self.launcher.abort(running)
+            raise
+        return [
+            [parts[k] for k in sorted(parts)] for parts in outputs
+        ], report
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _start_eligible(self, queue, running, runner, now, outputs, report) -> None:
+        if not queue:
+            return
+        eligible = [j for j in queue if j.not_before <= now]
+        for job in eligible:
+            if len(running) >= self.max_workers:
+                break
+            queue.remove(job)
+            fault = None
+            if self.fault_plan is not None:
+                fault = self.fault_plan.lookup(job.shard, job.samples, job.attempt)
+            hang = (
+                self.fault_plan.hang_seconds
+                if self.fault_plan is not None
+                else 0.0
+            )
+            try:
+                self.launcher.start(
+                    job, runner, fault, hang, self.shard_timeout_s
+                )
+            except OSError as exc:
+                # Could not even spawn a worker (fd/pid pressure): treat
+                # it as a crash of this attempt so the ladder — retry,
+                # re-shard, serial fallback — still applies.
+                job.started = now
+                self._handle(job, "crash", f"spawn failed: {exc}", runner,
+                             queue, outputs, report)
+                continue
+            running.append(job)
+
+    def _poll_timeout(self, queue, running, now) -> float:
+        bounds = [_POLL_CAP_S]
+        for job in running:
+            if job.deadline is not None:
+                bounds.append(max(0.0, job.deadline - now))
+        for job in queue:
+            bounds.append(max(0.0, job.not_before - now))
+        return min(bounds)
+
+    # -- outcome handling ---------------------------------------------------
+
+    def _handle(self, job, outcome, payload, runner, queue, outputs, report):
+        now = self.launcher.now()
+        seconds = max(0.0, now - job.started)
+        if outcome == "ok":
+            error = self._validate(job, payload, runner)
+            if error is None:
+                report.attempts.append(ShardAttempt(
+                    shard=job.shard, attempt=job.attempt, outcome="ok",
+                    seconds=seconds, via=job.stage, backoff_s=job.backoff_s,
+                ))
+                outputs[job.slot[0]][job.slot[1]] = payload
+                return
+            outcome, payload = "corrupt", str(error)
+        report.attempts.append(ShardAttempt(
+            shard=job.shard, attempt=job.attempt, outcome=outcome,
+            seconds=seconds, via=job.stage, backoff_s=job.backoff_s,
+        ))
+        self._escalate(job, outcome, str(payload), runner, queue, outputs, report)
+
+    def _validate(self, job, payload, runner) -> ShardResultError | None:
+        if runner.validate is None:
+            return None
+        try:
+            runner.validate(job.task, payload)
+        except ShardResultError as exc:
+            return exc
+        except Exception as exc:  # validator found garbage it couldn't parse
+            return ShardResultError(
+                f"shard {job.shard} payload failed validation: {exc}",
+                shard=job.shard, attempt=job.attempt,
+            )
+        return None
+
+    def _escalate(self, job, outcome, message, runner, queue, outputs, report):
+        """Failed attempt: retry, re-shard, or fall back to serial."""
+        retry_budget_left = job.stage == "pool" and job.attempt < self.policy.max_retries
+        if retry_budget_left:
+            backoff = self.policy.delay(job.shard, job.attempt + 1)
+            queue.append(_Job(
+                shard=job.shard, task=job.task, samples=job.samples,
+                attempt=job.attempt + 1, stage=job.stage, slot=job.slot,
+                not_before=self.launcher.now() + backoff, backoff_s=backoff,
+            ))
+            return
+        if (
+            job.stage == "pool"
+            and runner.split is not None
+            and len(job.samples) > 1
+        ):
+            # Retry budget exhausted: re-shard onto the surviving pool —
+            # one single-sample subtask each, one fresh attempt apiece.
+            subtasks = runner.split(job.task)
+            report.reshards.append(job.shard)
+            outputs[job.slot[0]].pop(job.slot[1], None)
+            for k, sub in enumerate(subtasks):
+                queue.append(_Job(
+                    shard=job.shard, task=sub,
+                    samples=runner.sample_range(sub),
+                    attempt=job.attempt + 1, stage="reshard",
+                    slot=(job.slot[0], k),
+                ))
+            return
+        if not self.fallback_to_serial:
+            raise PoolExhaustedError(
+                f"shard {job.shard} failed every attempt (last: {outcome}: "
+                f"{message}) and serial fallback is disabled",
+                shard=job.shard, attempt=job.attempt,
+            )
+        # Guaranteed forward progress: run the real task in-parent (no
+        # fault injection — the fallback IS the serial code path).
+        t0 = self.launcher.now()
+        payload = runner.run(job.task)
+        report.attempts.append(ShardAttempt(
+            shard=job.shard, attempt=job.attempt + 1, outcome="ok",
+            seconds=max(0.0, self.launcher.now() - t0), via="serial",
+        ))
+        report.fallbacks.append(job.shard)
+        outputs[job.slot[0]][job.slot[1]] = payload
+
+
+def classify_outcome(outcome: str, shard: int, attempt: int,
+                     message: str = "") -> ShardError:
+    """Build the taxonomy exception for a recorded failure outcome."""
+    cls = {
+        "crash": ShardCrashError,
+        "timeout": ShardTimeoutError,
+        "corrupt": ShardResultError,
+    }.get(outcome, ShardError)
+    return cls(message or outcome, shard=shard, attempt=attempt)

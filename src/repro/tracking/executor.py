@@ -71,6 +71,12 @@ class TrackingRunResult:
         Per-shard wall-clock seconds when the run was executed by the
         process backend (empty for serial runs).  ``max(worker_walls)``
         is the parallel critical path.
+    supervision:
+        The :class:`~repro.runtime.supervisor.SupervisorReport` when the
+        run was executed by the supervised process backend (None for
+        serial runs): every shard attempt, retry, re-shard, and serial
+        fallback.  Typed loosely to keep :mod:`repro.tracking` free of a
+        dependency on :mod:`repro.runtime`.
     """
 
     lengths: np.ndarray
@@ -81,6 +87,7 @@ class TrackingRunResult:
     wall_seconds: float = 0.0
     peak_device_bytes: int = 0
     worker_walls: list[float] = dc_field(default_factory=list)
+    supervision: object | None = None
 
     @property
     def n_samples(self) -> int:

@@ -47,6 +47,21 @@ class ProbtrackConfig:
     #: backend's merged output is bit-identical to serial for any count
     #: (see :mod:`repro.runtime`).
     n_workers: int = 1
+    #: Supervised retries per failed shard before re-sharding / fallback
+    #: (process backend only; retries replay a pure function, so results
+    #: stay bit-identical).
+    max_retries: int = 2
+    #: Per-shard attempt deadline in seconds; None disables the hang
+    #: watchdog.
+    shard_timeout_s: float | None = None
+    #: After retries and re-sharding are exhausted, run the failing work
+    #: in-parent (guaranteed completion) instead of raising
+    #: :class:`~repro.errors.PoolExhaustedError`.
+    fallback_to_serial: bool = True
+    #: Dev/test-only deterministic fault injection
+    #: (:class:`~repro.runtime.faults.FaultPlan`); keep None in
+    #: production.
+    fault_plan: object | None = None
 
 
 @dataclass
@@ -137,7 +152,13 @@ def probabilistic_streamlining(
     # module-level import would be circular.
     from repro.runtime import make_backend
 
-    backend = make_backend(cfg.n_workers)
+    backend = make_backend(
+        cfg.n_workers,
+        max_retries=cfg.max_retries,
+        shard_timeout_s=cfg.shard_timeout_s,
+        fallback_to_serial=cfg.fallback_to_serial,
+        fault_plan=cfg.fault_plan,
+    )
     run = backend.run(
         tracker,
         fields,

@@ -119,6 +119,35 @@ class TestTrackCommand:
         n_bi = bi.shape[-1] if bi.ndim > 1 else bi.shape[0]
         assert n_bi == 2 * n_uni
 
+    def test_inject_fault_recovers_bit_identical(self, workdir, capsys):
+        """``--inject-fault crash:0`` exits 0, reports the recovery, and
+        produces output identical to the clean run."""
+        rc = track_main(
+            [
+                str(workdir / "data" / "bedpost"),
+                "--output-dir", str(workdir / "track_fault"),
+                "--step", "0.4",
+                "--threshold", "0.7",
+                "--max-steps", "100",
+                "--strategy", "a20",
+                "--min-export-steps", "5",
+                "--workers", "2",
+                "--inject-fault", "crash:0",
+            ]
+        )
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "fault tolerance:" in printed
+        assert "1 crash" in printed and "1 retries" in printed
+        clean = np.loadtxt(workdir / "data" / "bedpost" / "track" / "lengths.txt")
+        faulted = np.loadtxt(workdir / "track_fault" / "lengths.txt")
+        assert np.array_equal(clean, faulted)
+        d_clean = read_nifti(
+            workdir / "data" / "bedpost" / "track" / "density.nii.gz"
+        )
+        d_faulted = read_nifti(workdir / "track_fault" / "density.nii.gz")
+        assert np.array_equal(d_clean.data, d_faulted.data)
+
     def test_workers_flag_bit_identical(self, workdir):
         rc = track_main(
             [

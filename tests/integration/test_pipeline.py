@@ -127,6 +127,32 @@ class TestWorkflow:
         assert "speedup" in report
         assert pt.run.total_steps > 0
 
+    def test_workflow_report_surfaces_fault_recovery(self):
+        ph = dataset1(scale=0.14, snr=40.0)
+        bp_cfg = BedpostConfig(
+            mcmc=MCMCConfig(n_burnin=40, n_samples=4, sample_interval=1)
+        )
+        from repro.pipeline import bedpost as bp_fn
+        from repro.pipeline.workflow import WorkflowResult
+        from repro.runtime.faults import FaultPlan
+
+        bp = bp_fn(ph.dwi, ph.gtab, ph.wm_mask, bp_cfg)
+        pt = tracto(
+            bp,
+            config=ProbtrackConfig(
+                criteria=TerminationCriteria(
+                    max_steps=60, min_dot=0.7, step_length=0.4
+                ),
+                strategy=UniformStrategy(10),
+                n_workers=2,
+                fault_plan=FaultPlan.parse("crash:0"),
+            ),
+        )
+        report = WorkflowResult(bedpost=bp, probtrack=pt).report()
+        assert "fault tolerance (supervised shards)" in report
+        assert "retries         1" in report
+        assert "shard 0 attempt 0: crash" in report
+
     def test_run_workflow_helper(self, small_phantom):
         # run_workflow() accepts a Phantom; build one from the fixture.
         from repro.data.phantoms import Phantom

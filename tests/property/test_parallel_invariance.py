@@ -89,3 +89,19 @@ def test_single_sample_degrades_to_serial(fields):
     assert np.array_equal(serial.run.lengths, parallel.run.lengths)
     diff = serial.connectivity.probability() != parallel.connectivity.probability()
     assert diff.nnz == 0
+
+
+def test_workers_exceeding_samples_clamped_and_logged(fields, caplog):
+    """Regression: n_workers > n_samples must clamp, log once, and stay
+    bit-identical — never spawn idle workers or fail."""
+    import logging
+
+    serial = run(fields[:3], 1)
+    with caplog.at_level(logging.INFO, logger="repro.runtime.backend"):
+        parallel = run(fields[:3], 8)
+    clamp_logs = [m for m in caplog.messages if "clamping n_workers" in m]
+    assert len(clamp_logs) == 1
+    assert np.array_equal(serial.run.lengths, parallel.run.lengths)
+    assert np.array_equal(serial.run.reasons, parallel.run.reasons)
+    diff = serial.connectivity.probability() != parallel.connectivity.probability()
+    assert diff.nnz == 0
