@@ -25,7 +25,13 @@ from repro.analysis.projection import (
     project_tracking_times,
     segment_executed,
 )
-from repro.analysis.compare import RunComparison, compare_lengths, dice_overlap
+from repro.analysis.compare import (
+    ManifestDiff,
+    RunComparison,
+    compare_lengths,
+    compare_manifests,
+    dice_overlap,
+)
 from repro.analysis.gantt import render_gantt
 from repro.analysis.sweeps import SweepPoint, criteria_sweep, strategy_sweep
 
@@ -48,8 +54,10 @@ __all__ = [
     "ProjectedTimes",
     "project_tracking_times",
     "segment_executed",
+    "ManifestDiff",
     "RunComparison",
     "compare_lengths",
+    "compare_manifests",
     "dice_overlap",
     "render_gantt",
     "SweepPoint",

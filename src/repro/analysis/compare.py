@@ -14,8 +14,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.telemetry import deterministic_sections
 
-__all__ = ["RunComparison", "compare_lengths", "dice_overlap"]
+__all__ = [
+    "RunComparison",
+    "ManifestDiff",
+    "compare_lengths",
+    "compare_manifests",
+    "dice_overlap",
+]
 
 
 @dataclass(frozen=True)
@@ -67,6 +74,58 @@ def compare_lengths(
         length_correlation=corr,
         mean_abs_diff=mad,
         identical_reasons=same_reasons,
+    )
+
+
+@dataclass(frozen=True)
+class ManifestDiff:
+    """Workload agreement between two telemetry run manifests.
+
+    Only the deterministic sections (counters + histograms) are
+    compared — those are the quantities the bit-identity contract says
+    must match for the same workload regardless of worker count.
+
+    Attributes
+    ----------
+    identical:
+        True when every deterministic counter and histogram agrees.
+    counter_diffs:
+        ``name -> (a_value, b_value)`` for counters that differ
+        (missing counters appear as 0 on the absent side).
+    histogram_diffs:
+        Names of histograms whose edges or bucket counts differ.
+    """
+
+    identical: bool
+    counter_diffs: dict
+    histogram_diffs: list
+
+
+def compare_manifests(doc_a: dict, doc_b: dict) -> ManifestDiff:
+    """Diff the deterministic sections of two run manifests.
+
+    Parameters
+    ----------
+    doc_a / doc_b:
+        Manifest dicts (e.g. from
+        :func:`repro.telemetry.load_manifest`); both are validated.
+    """
+    a, b = deterministic_sections(doc_a), deterministic_sections(doc_b)
+    counter_diffs = {}
+    for name in sorted(set(a["counters"]) | set(b["counters"])):
+        va = a["counters"].get(name, 0)
+        vb = b["counters"].get(name, 0)
+        if va != vb:
+            counter_diffs[name] = (va, vb)
+    histogram_diffs = [
+        name
+        for name in sorted(set(a["histograms"]) | set(b["histograms"]))
+        if a["histograms"].get(name) != b["histograms"].get(name)
+    ]
+    return ManifestDiff(
+        identical=not counter_diffs and not histogram_diffs,
+        counter_diffs=counter_diffs,
+        histogram_diffs=histogram_diffs,
     )
 
 

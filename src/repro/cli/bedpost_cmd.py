@@ -22,11 +22,13 @@ import numpy as np
 from repro.io import Volume, read_bvals_bvecs, read_nifti, write_nifti
 from repro.mcmc import MCMCConfig
 from repro.pipeline import BedpostConfig, bedpost
+from repro.telemetry import MetricsRegistry, use_registry, write_manifest
 
 __all__ = ["build_parser", "main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-bedpost`` argument parser (exposed for docs and tests)."""
     p = argparse.ArgumentParser(
         prog="repro-bedpost",
         description="Fit the Bayesian multi-fiber model by MCMC (stage 1).",
@@ -46,10 +48,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--noise-model", choices=["gaussian", "rician"],
                    default="gaussian")
     p.add_argument("--seed", type=int, default=0, help="chain RNG seed")
+    p.add_argument("--metrics-out", type=Path, default=None, metavar="JSON",
+                   help="write a telemetry run manifest (proposal/accept "
+                        "counters, stage spans) to this path")
     return p
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Entry point: fit the model over the acquisition, return 0."""
     args = build_parser().parse_args(argv)
     data_dir = args.data_dir
     dwi = read_nifti(data_dir / "dwi.nii.gz")
@@ -70,7 +76,11 @@ def main(argv: list[str] | None = None) -> int:
         ard=args.ard,
         noise_model=args.noise_model,
     )
-    result = bedpost(dwi, gtab, mask, cfg)
+    # A fresh registry per invocation keeps the manifest scoped to this
+    # run (the process default would accumulate across library reuse).
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        result = bedpost(dwi, gtab, mask, cfg)
 
     out = args.output_dir or (data_dir / "bedpost")
     out.mkdir(parents=True, exist_ok=True)
@@ -90,6 +100,21 @@ def main(argv: list[str] | None = None) -> int:
         vol = np.zeros(dwi.shape3, dtype=np.float32)
         vol.reshape(-1)[mask.reshape(-1)] = mean[:, 3 + j]
         write_nifti(out / f"mean_f{j + 1}.nii.gz", Volume(vol, dwi.affine))
+
+    if args.metrics_out is not None:
+        write_manifest(
+            args.metrics_out,
+            registry,
+            meta={
+                "command": "repro-bedpost",
+                "n_fibers": args.fibers,
+                "n_burnin": args.burnin,
+                "n_samples": args.samples,
+                "noise_model": args.noise_model,
+                "seed": args.seed,
+            },
+        )
+        print(f"wrote telemetry manifest to {args.metrics_out}")
 
     print(
         f"fit {result.n_voxels} voxels, {args.samples} samples "

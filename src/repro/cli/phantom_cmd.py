@@ -22,6 +22,7 @@ __all__ = ["build_parser", "main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-phantom`` argument parser (exposed for docs and tests)."""
     p = argparse.ArgumentParser(
         prog="repro-phantom",
         description="Generate a synthetic DWI phantom (paper dataset replica).",
@@ -44,6 +45,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Entry point: synthesize and write the phantom files, return 0."""
     args = build_parser().parse_args(argv)
     maker = dataset1 if args.dataset == "dataset1" else dataset2
     phantom = maker(

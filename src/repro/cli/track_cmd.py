@@ -8,7 +8,9 @@ fiber fields, tracks every seed, and writes:
   fibers, the paper's Figs 11/12 view);
 * ``lengths.txt`` — per-(sample, seed) step counts;
 * a timing report with the modeled kernel/reduction/transfer split and
-  speedup.
+  speedup;
+* optionally a telemetry run manifest (``--metrics-out``) and a Chrome
+  trace with modeled + measured rows (``--trace-out``).
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ import numpy as np
 
 from repro.baselines import cpu_probabilistic_tracking
 from repro.io import Volume, write_nifti, write_trk
+from repro.telemetry import MetricsRegistry, use_registry, write_manifest
 from repro.tracking import (
     ProbtrackConfig,
     TerminationCriteria,
@@ -42,6 +45,7 @@ _STRATEGIES = {
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-track`` argument parser (exposed for docs and tests)."""
     p = argparse.ArgumentParser(
         prog="repro-track",
         description="Probabilistic streamlining over bedpost samples (stage 2).",
@@ -76,10 +80,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "bit-identical to a clean run")
     p.add_argument("--min-export-steps", type=int, default=100,
                    help="length floor for exported .trk fibers")
+    p.add_argument("--metrics-out", type=Path, default=None, metavar="JSON",
+                   help="write a telemetry run manifest (counters, "
+                        "histograms, timers, spans) to this path")
+    p.add_argument("--trace-out", type=Path, default=None, metavar="JSON",
+                   help="write a chrome://tracing / Perfetto trace of the "
+                        "modeled schedule plus measured host spans")
     return p
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Entry point: track the saved samples, write outputs, return 0."""
     args = build_parser().parse_args(argv)
     from repro.io.samples import load_samples
 
@@ -111,7 +122,11 @@ def main(argv: list[str] | None = None) -> int:
         shard_timeout_s=args.shard_timeout,
         fault_plan=fault_plan,
     )
-    pt = probabilistic_streamlining(fields, config=cfg)
+    # A fresh registry per invocation keeps the manifest scoped to this
+    # run (the process default would accumulate across library reuse).
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        pt = probabilistic_streamlining(fields, config=cfg)
     run = pt.run
 
     out = args.output_dir or (args.bedpost_dir / "track")
@@ -137,6 +152,25 @@ def main(argv: list[str] | None = None) -> int:
         dims=fields[0].shape3,
         affine=affine,
     )
+
+    if args.metrics_out is not None:
+        write_manifest(
+            args.metrics_out,
+            registry,
+            meta={
+                "command": "repro-track",
+                "strategy": args.strategy,
+                "n_workers": args.workers,
+                "max_steps": args.max_steps,
+                "bidirectional": bool(args.bidirectional),
+            },
+        )
+        print(f"wrote telemetry manifest to {args.metrics_out}")
+    if args.trace_out is not None:
+        from repro.gpu.trace_export import write_chrome_trace
+
+        write_chrome_trace(args.trace_out, run.timeline, spans=registry.spans)
+        print(f"wrote chrome trace to {args.trace_out}")
 
     print(
         f"tracked {run.n_seeds} threads x {run.n_samples} samples: "

@@ -21,6 +21,7 @@ __all__ = [
     "TrackingError",
     "DeviceError",
     "IOFormatError",
+    "TelemetryError",
     "ShardError",
     "ShardCrashError",
     "ShardTimeoutError",
@@ -61,6 +62,10 @@ class DeviceError(ReproError, RuntimeError):
 
 class IOFormatError(ReproError, ValueError):
     """A file being read or written does not conform to its format."""
+
+
+class TelemetryError(ReproError, ValueError):
+    """The telemetry layer was misused (bad metric, invalid manifest)."""
 
 
 class ShardError(ReproError, RuntimeError):

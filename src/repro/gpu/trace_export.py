@@ -9,6 +9,11 @@ The serial schedule places events back to back; the overlapped schedule
 replays the same list-scheduling rule as
 :meth:`Timeline.overlapped_end`, so the exported picture matches the
 reported end time exactly.
+
+Measured telemetry spans (:class:`~repro.telemetry.SpanRecord`) can be
+merged into the same trace on dedicated ``measured:*`` rows, putting the
+*modeled* device schedule and the *measured* host wall-clock side by
+side in one viewer.
 """
 
 from __future__ import annotations
@@ -19,13 +24,22 @@ from pathlib import Path
 from repro.errors import DeviceError
 from repro.gpu.timeline import Timeline, _RESOURCES
 
-__all__ = ["timeline_to_trace_events", "write_chrome_trace"]
+__all__ = [
+    "timeline_to_trace_events",
+    "spans_to_trace_events",
+    "write_chrome_trace",
+]
 
 #: Stable thread ids per resource row in the trace viewer.
 _RESOURCE_TID = {"device": 0, "bus": 1, "host": 2, "supervisor": 3}
 
 #: Rows always present in the viewer; others appear only when used.
 _CORE_RESOURCES = ("device", "bus", "host")
+
+#: First thread id for measured host-span rows: ``measured:main`` gets
+#: tid 16, ``measured:worker1`` tid 17, etc. — far from the modeled
+#: resource rows so the two groups sort apart in the viewer.
+_MEASURED_TID_BASE = 16
 
 
 def timeline_to_trace_events(
@@ -74,10 +88,75 @@ def _event(e, start_s: float) -> dict:
     }
 
 
+def _span_field(s, name, default=None):
+    """Read ``name`` from a span given as a dataclass or a snapshot dict."""
+    if isinstance(s, dict):
+        return s.get(name, default)
+    return getattr(s, name, default)
+
+
+def spans_to_trace_events(spans) -> list[dict]:
+    """Chrome trace events for measured telemetry spans.
+
+    Each span lands on a per-origin row: ``measured:main`` for spans
+    recorded in the parent process, ``measured:workerN`` for spans
+    merged back from shard ``N``'s snapshot.  Start offsets are rebased
+    so the earliest span starts at t=0, aligning the measured rows with
+    the modeled schedule's origin.
+
+    Parameters
+    ----------
+    spans:
+        A sequence of :class:`~repro.telemetry.SpanRecord` objects or
+        equivalent snapshot/manifest dicts.
+    """
+    spans = list(spans)
+    if not spans:
+        return []
+    t0 = min(float(_span_field(s, "start_s", 0.0)) for s in spans)
+    events = []
+    for s in spans:
+        worker = int(_span_field(s, "worker", 0) or 0)
+        events.append(
+            {
+                "name": _span_field(s, "name"),
+                "cat": "measured",
+                "ph": "X",
+                "ts": (float(_span_field(s, "start_s", 0.0)) - t0) * 1e6,
+                "dur": float(_span_field(s, "wall_s", 0.0)) * 1e6,
+                "pid": 0,
+                "tid": _MEASURED_TID_BASE + worker,
+                "args": {
+                    "cpu_s": float(_span_field(s, "cpu_s", 0.0)),
+                    "worker": worker,
+                    **dict(_span_field(s, "attrs", {}) or {}),
+                },
+            }
+        )
+    return events
+
+
 def write_chrome_trace(
-    path: str | Path, timeline: Timeline, schedule: str = "overlapped"
+    path: str | Path,
+    timeline: Timeline,
+    schedule: str = "overlapped",
+    spans=None,
 ) -> None:
-    """Write a ``chrome://tracing`` / Perfetto JSON file."""
+    """Write a ``chrome://tracing`` / Perfetto JSON file.
+
+    Parameters
+    ----------
+    path:
+        Output file.
+    timeline:
+        The modeled event timeline to lay out.
+    schedule:
+        ``"serial"`` or ``"overlapped"`` placement of modeled events.
+    spans:
+        Optional measured telemetry spans
+        (:attr:`~repro.telemetry.MetricsRegistry.spans` or manifest
+        dicts) merged in on ``measured:*`` rows.
+    """
     events = timeline_to_trace_events(timeline, schedule)
     used = {_RESOURCES[e.kind] for e in timeline.events}
     meta = [
@@ -91,6 +170,21 @@ def write_chrome_trace(
         for res, tid in _RESOURCE_TID.items()
         if res in _CORE_RESOURCES or res in used
     ]
+    if spans is not None:
+        span_events = spans_to_trace_events(spans)
+        events += span_events
+        for tid in sorted({ev["tid"] for ev in span_events}):
+            worker = tid - _MEASURED_TID_BASE
+            name = "measured:main" if worker == 0 else f"measured:worker{worker}"
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": name},
+                }
+            )
     Path(path).write_text(
         json.dumps({"traceEvents": meta + events, "displayTimeUnit": "ms"})
     )

@@ -15,6 +15,7 @@ from typing import Callable
 import numpy as np
 
 from repro.rng.tausworthe import HybridTaus
+from repro.telemetry import get_registry
 
 __all__ = ["mh_parameter_update"]
 
@@ -73,4 +74,10 @@ def mh_parameter_update(
 
     params[accepted, param_index] = proposal[accepted, param_index]
     current_lp[accepted] = prop_lp[accepted]
+
+    # Proposal/accept counts are pure functions of the chain, so they
+    # belong to the manifest's deterministic section.
+    registry = get_registry()
+    registry.count("mcmc.proposals", params.shape[0])
+    registry.count("mcmc.accepts", int(np.count_nonzero(accepted)))
     return accepted, current_lp

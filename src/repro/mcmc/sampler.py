@@ -27,6 +27,7 @@ from repro.models.fields import FiberField
 from repro.models.posterior import LogPosterior
 from repro.rng.streams import seed_streams
 from repro.rng.tausworthe import HybridTaus
+from repro.telemetry import get_registry
 from repro.utils.geometry import spherical_to_cartesian
 
 __all__ = ["MCMCConfig", "MCMCResult", "MCMCSampler"]
@@ -222,21 +223,38 @@ class MCMCSampler:
                 )
             end_loop = stop_after_loop
 
+        registry = get_registry()
         t0 = time.perf_counter()
-        for loop in range(start_loop + 1, end_loop + 1):
-            for p_idx in range(n_par):
-                accepted, lp = mh_parameter_update(
-                    posterior, params, lp, p_idx, proposals.sigma[:, p_idx], rng
-                )
-                proposals.record(p_idx, accepted)
-            if loop % cfg.adapt_every == 0:
-                rates = proposals.adapt()
-                acceptance_history.append(float(rates.mean()))
-            if loop > cfg.n_burnin:
-                since = loop - cfg.n_burnin
-                if since % cfg.sample_interval == 0 and taken < cfg.n_samples:
-                    samples[taken] = params
-                    taken += 1
+
+        def _run_loops(lo: int, hi: int, stage: str) -> None:
+            """Run loops ``lo..hi`` inclusive under an ``mcmc.<stage>`` span."""
+            nonlocal lp, taken
+            if lo > hi:
+                return
+            with registry.span(f"mcmc.{stage}", loops=hi - lo + 1, n_voxels=n_vox):
+                for loop in range(lo, hi + 1):
+                    for p_idx in range(n_par):
+                        accepted, lp = mh_parameter_update(
+                            posterior, params, lp, p_idx,
+                            proposals.sigma[:, p_idx], rng,
+                        )
+                        proposals.record(p_idx, accepted)
+                    registry.count("mcmc.loops", 1)
+                    if loop % cfg.adapt_every == 0:
+                        rates = proposals.adapt()
+                        acceptance_history.append(float(rates.mean()))
+                        registry.count("mcmc.adaptations", 1)
+                    if loop > cfg.n_burnin:
+                        since = loop - cfg.n_burnin
+                        if since % cfg.sample_interval == 0 and taken < cfg.n_samples:
+                            samples[taken] = params
+                            taken += 1
+                            registry.count("mcmc.samples_recorded", 1)
+
+        # Fig 2's two phases, each under its own measured span.
+        burn_end = min(end_loop, cfg.n_burnin)
+        _run_loops(start_loop + 1, burn_end, "burnin")
+        _run_loops(max(start_loop + 1, burn_end + 1), end_loop, "sampling")
 
         out_checkpoint = None
         if end_loop < cfg.n_loops:

@@ -24,6 +24,7 @@ from repro.mcmc.sampler import MCMCConfig, MCMCResult, MCMCSampler
 from repro.models.fields import FiberField
 from repro.models.posterior import LogPosterior, ParameterLayout
 from repro.models.priors import MultiFiberPriors
+from repro.telemetry import get_registry
 
 __all__ = ["BedpostConfig", "BedpostResult", "bedpost", "modeled_mcmc_times"]
 
@@ -140,25 +141,28 @@ def bedpost(
     t0 = time.perf_counter()
     from repro.rng.streams import seed_streams
 
+    registry = get_registry()
     for start in range(0, n_vox, cfg.block_voxels):
         stop = min(start + cfg.block_voxels, n_vox)
         block = flat[sel_idx[start:stop]]
-        post = LogPosterior(
-            gtab,
-            block,
-            priors=priors,
-            n_fibers=cfg.n_fibers,
-            noise_model=cfg.noise_model,
-        )
-        # Per-voxel streams: lane v of the full problem, regardless of
-        # blocking, so blocked and unblocked runs agree exactly.
-        full_rng = seed_streams(n_vox, seed=cfg.mcmc.seed)
-        from repro.rng.tausworthe import HybridTaus
+        with registry.span("bedpost.block", start=start, n_voxels=stop - start):
+            post = LogPosterior(
+                gtab,
+                block,
+                priors=priors,
+                n_fibers=cfg.n_fibers,
+                noise_model=cfg.noise_model,
+            )
+            # Per-voxel streams: lane v of the full problem, regardless
+            # of blocking, so blocked and unblocked runs agree exactly.
+            full_rng = seed_streams(n_vox, seed=cfg.mcmc.seed)
+            from repro.rng.tausworthe import HybridTaus
 
-        block_rng = HybridTaus(full_rng.state[start:stop])
-        res: MCMCResult = sampler.run(post, rng=block_rng)
-        all_samples[:, start:stop, :] = res.samples
-        histories.append(np.asarray(res.acceptance_history))
+            block_rng = HybridTaus(full_rng.state[start:stop])
+            res: MCMCResult = sampler.run(post, rng=block_rng)
+            all_samples[:, start:stop, :] = res.samples
+            histories.append(np.asarray(res.acceptance_history))
+    registry.count("bedpost.voxels_fit", n_vox)
     wall = time.perf_counter() - t0
 
     pooled = MCMCResult(

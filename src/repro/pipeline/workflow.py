@@ -15,6 +15,7 @@ import numpy as np
 from repro.data.phantoms import Phantom
 from repro.pipeline.bedpost import BedpostConfig, BedpostResult, bedpost
 from repro.pipeline.tracto import tracto
+from repro.telemetry import MetricsRegistry, get_registry
 from repro.tracking.probtrack import ProbtrackConfig, ProbtrackResult
 
 __all__ = ["WorkflowResult", "run_workflow"]
@@ -26,6 +27,9 @@ class WorkflowResult:
 
     bedpost: BedpostResult
     probtrack: ProbtrackResult
+    #: The registry that was active during the run (telemetry source for
+    #: :meth:`report` and for building a run manifest).
+    metrics: MetricsRegistry | None = None
 
     def report(self) -> str:
         """Human-readable two-stage summary (modeled times)."""
@@ -60,6 +64,10 @@ class WorkflowResult:
                     f"    shard {a.shard} attempt {a.attempt}: {a.outcome}"
                     f" after {a.seconds:.3f} s (via {a.via})"
                 )
+        if self.metrics is not None:
+            lines.append("telemetry (measured on this host)")
+            for row in self.metrics.summary().splitlines():
+                lines.append(f"  {row}")
         return "\n".join(lines)
 
 
@@ -81,8 +89,10 @@ def run_workflow(
     count (results are bit-identical for any value; see
     :mod:`repro.runtime`).
     """
+    registry = get_registry()
     mask = phantom.mask if fit_mask is None else np.asarray(fit_mask, dtype=bool)
-    bp = bedpost(phantom.dwi, phantom.gtab, mask, config=bedpost_config)
+    with registry.span("workflow.bedpost"):
+        bp = bedpost(phantom.dwi, phantom.gtab, mask, config=bedpost_config)
     if n_workers is not None:
         probtrack_config = replace(
             probtrack_config
@@ -90,5 +100,6 @@ def run_workflow(
             else ProbtrackConfig(),
             n_workers=n_workers,
         )
-    pt = tracto(bp, config=probtrack_config, seed_mask=seed_mask)
-    return WorkflowResult(bedpost=bp, probtrack=pt)
+    with registry.span("workflow.tracto"):
+        pt = tracto(bp, config=probtrack_config, seed_mask=seed_mask)
+    return WorkflowResult(bedpost=bp, probtrack=pt, metrics=registry)

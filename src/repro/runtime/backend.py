@@ -60,6 +60,7 @@ from repro.tracking.executor import SegmentedTracker, TrackingRunResult
 from repro.tracking.segmentation import SegmentationStrategy
 from repro.runtime.faults import FaultPlan
 from repro.runtime.merge import merge_shard_results
+from repro.telemetry import MetricsRegistry, get_registry, use_registry
 from repro.runtime.supervisor import (
     ProcessLauncher,
     RetryPolicy,
@@ -114,6 +115,7 @@ class SerialBackend(ExecutionBackend):
         headings: np.ndarray | None = None,
         heading_signs: np.ndarray | None = None,
     ) -> TrackingRunResult:
+        """Run the whole sample list in this process."""
         return tracker.run(
             fields,
             seeds,
@@ -147,31 +149,40 @@ class ShardTask:
     connectivity_spec: tuple[int, int, np.ndarray | None] | None
 
 
-def _run_shard(task: ShardTask) -> tuple[TrackingRunResult, list[np.ndarray] | None]:
-    """Worker entry point: run one shard, return its result + visit pairs.
+def _run_shard(
+    task: ShardTask,
+) -> tuple[TrackingRunResult, list[np.ndarray] | None, dict]:
+    """Worker entry point: run one shard; return result, visits, metrics.
 
     Top-level (hence picklable under every start method) and free of
     parent state: the worker rebuilds its own accumulator and ships back
     the per-sample deduplicated pair arrays for the parent to absorb.
+    The shard's telemetry runs against a **fresh local registry** (never
+    the fork-inherited parent state) whose snapshot rides back with the
+    payload, so the parent can merge shard metrics in task order — the
+    same discipline that keeps lengths/connectivity bit-identical.
     """
     acc = None
     if task.connectivity_spec is not None:
         n_seeds, n_voxels, seed_map = task.connectivity_spec
         acc = ConnectivityAccumulator(n_seeds, n_voxels, seed_map=seed_map)
-    result = task.tracker.run(
-        task.fields,
-        task.seeds,
-        task.criteria,
-        task.strategy,
-        connectivity=acc,
-        order=task.order,
-        overlap=task.overlap,
-        headings=task.headings,
-        heading_signs=task.heading_signs,
-        sort_key=task.sort_key,
-        sample_offset=task.sample_offset,
-    )
-    return result, (acc.sample_pairs() if acc is not None else None)
+    local = MetricsRegistry()
+    with use_registry(local):
+        result = task.tracker.run(
+            task.fields,
+            task.seeds,
+            task.criteria,
+            task.strategy,
+            connectivity=acc,
+            order=task.order,
+            overlap=task.overlap,
+            headings=task.headings,
+            heading_signs=task.heading_signs,
+            sort_key=task.sort_key,
+            sample_offset=task.sample_offset,
+        )
+    pairs = acc.sample_pairs() if acc is not None else None
+    return result, pairs, local.snapshot()
 
 
 def _pool_context() -> mp.context.BaseContext:
@@ -212,9 +223,13 @@ def _validate_shard_payload(task: ShardTask, payload) -> None:
     def _bad(msg: str) -> ShardResultError:
         return ShardResultError(f"corrupt shard payload: {msg}")
 
-    if not isinstance(payload, tuple) or len(payload) != 2:
-        raise _bad(f"expected (result, pairs) tuple, got {type(payload).__name__}")
-    result, pairs = payload
+    if not isinstance(payload, tuple) or len(payload) != 3:
+        raise _bad(
+            f"expected (result, pairs, metrics) tuple, got {type(payload).__name__}"
+        )
+    result, pairs, metrics = payload
+    if not isinstance(metrics, dict):
+        raise _bad(f"metrics snapshot must be a dict, got {type(metrics).__name__}")
     n_samples, n_seeds = len(task.fields), task.seeds.shape[0]
     lengths = getattr(result, "lengths", None)
     reasons = getattr(result, "reasons", None)
@@ -243,13 +258,16 @@ def _corrupt_payload(payload):
     """Fault injection ``corrupt``: mangle a real payload detectably.
 
     Negated lengths and a dropped visit-pair row model bit-rot in the
-    result channel; ``_validate_shard_payload`` must catch both.
+    result channel; ``_validate_shard_payload`` must catch both.  The
+    metrics snapshot passes through untouched — a corrupt payload is
+    discarded wholesale, metrics included, so nothing of it can leak
+    into the merged registry.
     """
-    result, pairs = payload
+    result, pairs, metrics = payload
     result.lengths = -result.lengths - 1
     if pairs is not None and len(pairs) > 0:
         pairs = pairs[:-1]
-    return result, pairs
+    return result, pairs, metrics
 
 
 class ProcessBackend(ExecutionBackend):
@@ -307,6 +325,7 @@ class ProcessBackend(ExecutionBackend):
         headings: np.ndarray | None = None,
         heading_signs: np.ndarray | None = None,
     ) -> TrackingRunResult:
+        """Shard the samples, run them under supervision, merge in order."""
         if not fields:
             raise TrackingError("need at least one sample volume")
         if connectivity is not None and not (
@@ -319,6 +338,7 @@ class ProcessBackend(ExecutionBackend):
             )
 
         serial = SerialBackend()
+        registry = get_registry()
         t0 = time.perf_counter()
 
         # Phase 1 ("sorted" only): the permutation of samples 1.. depends
@@ -349,13 +369,15 @@ class ProcessBackend(ExecutionBackend):
                 return phase0
 
         n_shards = min(self.n_workers, len(shard_fields))
-        if self.n_workers > len(shard_fields) and not self._clamp_logged:
-            log.info(
-                "clamping n_workers=%d to %d shardable sample(s)",
-                self.n_workers,
-                len(shard_fields),
-            )
-            self._clamp_logged = True
+        if self.n_workers > len(shard_fields):
+            registry.count("runtime.worker_clamps", 1, deterministic=False)
+            if not self._clamp_logged:
+                log.info(
+                    "clamping n_workers=%d to %d shardable sample(s)",
+                    self.n_workers,
+                    len(shard_fields),
+                )
+                self._clamp_logged = True
         tasks = []
         for sl in partition_seeds(len(shard_fields), n_shards):
             tasks.append(
@@ -384,44 +406,50 @@ class ProcessBackend(ExecutionBackend):
             )
 
         report = None
-        if n_shards == 1 and phase0 is None and self.fault_plan is None:
-            # One shard, nothing to fork for: run it here (bit-identical
-            # by construction, and the merge would be a no-op anyway).
-            shard_outputs = [_run_shard(tasks[0])]
-        else:
-            supervisor = ShardSupervisor(
-                policy=self.policy,
-                shard_timeout_s=self.shard_timeout_s,
-                fallback_to_serial=self.fallback_to_serial,
-                fault_plan=self.fault_plan,
-                max_workers=n_shards,
-                launcher=ProcessLauncher(_pool_context()),
-            )
-            runner = ShardRunner(
-                run=_run_shard,
-                validate=_validate_shard_payload,
-                split=_split_shard_task,
-                corrupt=_corrupt_payload,
-                samples=_shard_samples,
-            )
-            per_task, report = supervisor.run_tasks(tasks, runner)
-            # Flatten in task order; re-sharded tasks contribute their
-            # subtask payloads in sample order, so global sample order —
-            # and therefore the deterministic merge — is preserved.
-            shard_outputs = [out for parts in per_task for out in parts]
+        with registry.span("runtime.shards", n_shards=n_shards, order=order):
+            if n_shards == 1 and phase0 is None and self.fault_plan is None:
+                # One shard, nothing to fork for: run it here (bit-identical
+                # by construction, and the merge would be a no-op anyway).
+                shard_outputs = [_run_shard(tasks[0])]
+            else:
+                supervisor = ShardSupervisor(
+                    policy=self.policy,
+                    shard_timeout_s=self.shard_timeout_s,
+                    fallback_to_serial=self.fallback_to_serial,
+                    fault_plan=self.fault_plan,
+                    max_workers=n_shards,
+                    launcher=ProcessLauncher(_pool_context()),
+                )
+                runner = ShardRunner(
+                    run=_run_shard,
+                    validate=_validate_shard_payload,
+                    split=_split_shard_task,
+                    corrupt=_corrupt_payload,
+                    samples=_shard_samples,
+                )
+                per_task, report = supervisor.run_tasks(tasks, runner)
+                # Flatten in task order; re-sharded tasks contribute their
+                # subtask payloads in sample order, so global sample order —
+                # and therefore the deterministic merge — is preserved.
+                shard_outputs = [out for parts in per_task for out in parts]
 
+        # Fold shard telemetry into the parent registry *in task order*:
+        # integer counter/bucket addition in a fixed order is what keeps
+        # the manifest's deterministic section bit-identical to serial.
         parts = [phase0] if phase0 is not None else []
-        for result, pairs in shard_outputs:
+        for slot, (result, pairs, metrics) in enumerate(shard_outputs):
             parts.append(result)
             if connectivity is not None:
                 connectivity.absorb(pairs)
+            registry.merge_snapshot(metrics, worker=slot + 1)
 
-        return merge_shard_results(
-            parts,
-            tracker.host,
-            wall_seconds=time.perf_counter() - t0,
-            supervision=report,
-        )
+        with registry.span("runtime.merge", n_parts=len(parts)):
+            return merge_shard_results(
+                parts,
+                tracker.host,
+                wall_seconds=time.perf_counter() - t0,
+                supervision=report,
+            )
 
 
 def make_backend(

@@ -141,6 +141,7 @@ class FaultPlan:
 
 
 def _parse_int(text: str, context: str) -> int:
+    """Parse an int from a fault spec, raising ConfigurationError on junk."""
     try:
         return int(text)
     except ValueError:

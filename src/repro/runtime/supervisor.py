@@ -56,6 +56,7 @@ from repro.errors import (
     ShardTimeoutError,
 )
 from repro.runtime.faults import FaultPlan, FaultSpec
+from repro.telemetry import get_registry
 
 __all__ = [
     "RetryPolicy",
@@ -151,6 +152,7 @@ class SupervisorReport:
 
     @property
     def n_failures(self) -> int:
+        """Total failed attempts across every shard."""
         return sum(1 for a in self.attempts if a.outcome != "ok")
 
     def failure_counts(self) -> dict[str, int]:
@@ -162,6 +164,7 @@ class SupervisorReport:
         return out
 
     def failed_attempts(self) -> list[ShardAttempt]:
+        """The attempts that did not return a valid payload."""
         return [a for a in self.attempts if a.outcome != "ok"]
 
     def summary(self) -> str:
@@ -195,6 +198,7 @@ class ShardRunner:
     samples: Callable[[Any], range] | None = None
 
     def sample_range(self, task: Any) -> range:
+        """Global sample indices covered by ``task`` (empty if unknown)."""
         return self.samples(task) if self.samples is not None else range(0)
 
 
@@ -258,15 +262,18 @@ class ProcessLauncher:
         self.ctx = ctx
 
     def now(self) -> float:
+        """Monotonic wall-clock, the time base for deadlines/backoff."""
         return time.monotonic()
 
     def sleep(self, seconds: float) -> None:
+        """Block for a backoff delay (no-op for non-positive delays)."""
         if seconds > 0:
             time.sleep(seconds)
 
     def start(self, job: _Job, runner: ShardRunner,
               fault: FaultSpec | None, hang_seconds: float,
               timeout_s: float | None) -> None:
+        """Spawn a worker process for one attempt and arm its deadline."""
         recv_conn, send_conn = self.ctx.Pipe(duplex=False)
         proc = self.ctx.Process(
             target=_worker_entry,
@@ -341,6 +348,7 @@ class ProcessLauncher:
                 pass  # still running after kill — leave it to the OS
 
     def abort(self, jobs: list[_Job]) -> None:
+        """Kill and reap every in-flight job (shutdown path)."""
         for job in jobs:
             try:
                 job.process.kill()
@@ -366,14 +374,17 @@ class InlineLauncher:
         self._pending: list[tuple[_Job, ShardRunner]] = []
 
     def now(self) -> float:
+        """The fake clock's current reading."""
         return self.clock
 
     def sleep(self, seconds: float) -> None:
+        """Advance the fake clock; records the delay for assertions."""
         if seconds > 0:
             self.slept.append(seconds)
             self.clock += seconds
 
     def start(self, job, runner, fault, hang_seconds, timeout_s) -> None:
+        """Queue one attempt with its scripted (or injected) outcome."""
         kind = self.script.get((job.shard, job.attempt), "ok")
         if fault is not None:  # a FaultPlan overrides the script
             kind = fault.kind if fault.kind != "hang" else "timeout"
@@ -382,6 +393,7 @@ class InlineLauncher:
         self._pending.append((job, runner, kind))
 
     def poll(self, jobs, timeout) -> list[tuple]:
+        """Resolve every queued attempt synchronously, in start order."""
         finished = []
         for job, runner, kind in self._pending:
             if kind == "ok":
@@ -398,6 +410,7 @@ class InlineLauncher:
         return finished
 
     def abort(self, jobs) -> None:
+        """Drop queued attempts (shutdown path)."""
         self._pending = []
 
 
@@ -496,13 +509,34 @@ class ShardSupervisor:
         except BaseException:
             self.launcher.abort(running)
             raise
+        self._record_telemetry(report)
         return [
             [parts[k] for k in sorted(parts)] for parts in outputs
         ], report
 
+    @staticmethod
+    def _record_telemetry(report: SupervisorReport) -> None:
+        """Fold the run's supervision story into operational counters.
+
+        Retries, timeouts, and fallbacks depend on scheduling accidents
+        (and on injected faults), so every counter here is registered
+        with ``deterministic=False`` — visible in the manifest's ``ops``
+        section, excluded from the bit-identity contract.
+        """
+        registry = get_registry()
+        ops = dict(deterministic=False)
+        registry.count("runtime.shards_supervised", report.n_shards, **ops)
+        registry.count("runtime.shard_attempts", len(report.attempts), **ops)
+        registry.count("runtime.retries", report.n_retries, **ops)
+        registry.count("runtime.reshards", len(report.reshards), **ops)
+        registry.count("runtime.fallbacks", len(report.fallbacks), **ops)
+        for kind, n in report.failure_counts().items():
+            registry.count(f"runtime.failures.{kind}", n, **ops)
+
     # -- scheduling ---------------------------------------------------------
 
     def _start_eligible(self, queue, running, runner, now, outputs, report) -> None:
+        """Launch queued jobs whose backoff elapsed, up to the pool cap."""
         if not queue:
             return
         eligible = [j for j in queue if j.not_before <= now]
@@ -533,6 +567,7 @@ class ShardSupervisor:
             running.append(job)
 
     def _poll_timeout(self, queue, running, now) -> float:
+        """How long the next poll may block: nearest deadline or backoff."""
         bounds = [_POLL_CAP_S]
         for job in running:
             if job.deadline is not None:
@@ -544,6 +579,7 @@ class ShardSupervisor:
     # -- outcome handling ---------------------------------------------------
 
     def _handle(self, job, outcome, payload, runner, queue, outputs, report):
+        """Record one finished attempt; store its payload or escalate."""
         now = self.launcher.now()
         seconds = max(0.0, now - job.started)
         if outcome == "ok":
@@ -563,6 +599,7 @@ class ShardSupervisor:
         self._escalate(job, outcome, str(payload), runner, queue, outputs, report)
 
     def _validate(self, job, payload, runner) -> ShardResultError | None:
+        """Run the payload validator; return the error instead of raising."""
         if runner.validate is None:
             return None
         try:

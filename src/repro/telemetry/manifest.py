@@ -1,0 +1,197 @@
+"""The JSON run manifest: a self-describing record of one run's metrics.
+
+A manifest is the registry's :meth:`~repro.telemetry.MetricsRegistry.snapshot`
+wrapped with a schema tag and free-form run metadata.  It is the machine-
+readable counterpart of ``WorkflowResult.report()`` — benchmarks and the
+``EXPERIMENTS.md`` tables source their numbers from it rather than from
+ad-hoc accumulators (``repro-track --metrics-out run.json`` writes one).
+
+The ``counters`` and ``histograms`` sections are **deterministic**: for
+the same workload they are bit-identical between a serial run and any
+``n_workers`` (see :mod:`repro.telemetry.registry`).  The ``ops``,
+``gauges``, ``timers``, and ``spans`` sections are measured and vary run
+to run.
+
+Examples
+--------
+>>> from repro.telemetry import MetricsRegistry
+>>> reg = MetricsRegistry()
+>>> reg.count("demo.events", 2)
+>>> doc = build_manifest(reg, meta={"command": "doctest"})
+>>> doc["schema"]
+'repro.telemetry.manifest/1'
+>>> roundtrip = manifest_from_json(manifest_to_json(doc))
+>>> roundtrip["counters"]["demo.events"]
+2
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import TelemetryError
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "manifest_to_json",
+    "manifest_from_json",
+    "validate_manifest",
+    "write_manifest",
+    "load_manifest",
+    "deterministic_sections",
+]
+
+#: Schema identifier embedded in (and required of) every manifest.
+MANIFEST_SCHEMA = "repro.telemetry.manifest/1"
+
+#: Top-level keys every valid manifest must carry.
+_REQUIRED_KEYS = (
+    "schema",
+    "meta",
+    "counters",
+    "ops",
+    "gauges",
+    "histograms",
+    "timers",
+    "spans",
+)
+
+
+def build_manifest(registry: MetricsRegistry, meta: dict | None = None) -> dict:
+    """Assemble a manifest dict from a registry.
+
+    Parameters
+    ----------
+    registry:
+        The run's metrics.
+    meta:
+        Free-form, JSON-serializable run metadata (command line, worker
+        count, dataset name, ...).
+
+    Returns
+    -------
+    dict
+        A manifest passing :func:`validate_manifest`.
+    """
+    snap = registry.snapshot()
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "meta": dict(meta or {}),
+        "counters": snap["counters"],
+        "ops": snap["ops"],
+        "gauges": snap["gauges"],
+        "histograms": snap["histograms"],
+        "timers": snap["timers"],
+        "spans": snap["spans"],
+    }
+
+
+def validate_manifest(doc: dict) -> dict:
+    """Check a manifest's schema; return it unchanged if valid.
+
+    Parameters
+    ----------
+    doc:
+        A parsed manifest dict.
+
+    Returns
+    -------
+    dict
+        ``doc``, for chaining.
+
+    Raises
+    ------
+    TelemetryError
+        On a missing key, an unknown schema tag, a non-integer counter,
+        or a histogram whose counts don't line up with its edges.
+    """
+    if not isinstance(doc, dict):
+        raise TelemetryError(f"manifest must be a dict, got {type(doc).__name__}")
+    missing = [k for k in _REQUIRED_KEYS if k not in doc]
+    if missing:
+        raise TelemetryError(f"manifest missing keys: {missing}")
+    if doc["schema"] != MANIFEST_SCHEMA:
+        raise TelemetryError(
+            f"unknown manifest schema {doc['schema']!r} "
+            f"(expected {MANIFEST_SCHEMA!r})"
+        )
+    for section in ("counters", "ops"):
+        for name, value in doc[section].items():
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise TelemetryError(
+                    f"{section}[{name!r}] must be an int, got {value!r}"
+                )
+    for name, h in doc["histograms"].items():
+        if len(h.get("counts", [])) != len(h.get("edges", [])) + 1:
+            raise TelemetryError(
+                f"histogram {name!r}: need len(edges)+1 buckets, got "
+                f"{len(h.get('counts', []))} for {len(h.get('edges', []))} edges"
+            )
+        if sum(h["counts"]) != h.get("n"):
+            raise TelemetryError(
+                f"histogram {name!r}: bucket counts sum to {sum(h['counts'])}, "
+                f"n says {h.get('n')}"
+            )
+    for i, span in enumerate(doc["spans"]):
+        parent = span.get("parent")
+        if parent is not None and not 0 <= parent < i:
+            raise TelemetryError(
+                f"span {i} ({span.get('name')!r}): parent {parent} must "
+                f"point to an earlier span"
+            )
+    return doc
+
+
+def manifest_to_json(doc: dict) -> str:
+    """Serialize a manifest to a stable (sorted-key) JSON string."""
+    return json.dumps(validate_manifest(doc), sort_keys=True, indent=2)
+
+
+def manifest_from_json(text: str) -> dict:
+    """Parse and validate a manifest from its JSON form."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TelemetryError(f"manifest is not valid JSON: {exc}") from exc
+    return validate_manifest(doc)
+
+
+def write_manifest(
+    path: str | Path, registry: MetricsRegistry, meta: dict | None = None
+) -> dict:
+    """Build, validate, and write a manifest; returns the manifest dict.
+
+    Parameters
+    ----------
+    path:
+        Output file path.
+    registry:
+        The run's metrics.
+    meta:
+        Free-form run metadata recorded under ``meta``.
+    """
+    doc = build_manifest(registry, meta=meta)
+    Path(path).write_text(manifest_to_json(doc))
+    return doc
+
+
+def load_manifest(path: str | Path) -> dict:
+    """Read and validate a manifest file."""
+    return manifest_from_json(Path(path).read_text())
+
+
+def deterministic_sections(doc: dict) -> dict:
+    """The bit-identity subset of a manifest.
+
+    Returns
+    -------
+    dict
+        Only the ``counters`` and ``histograms`` sections — the parts
+        guaranteed identical between serial and any-worker runs of the
+        same workload.
+    """
+    validate_manifest(doc)
+    return {"counters": doc["counters"], "histograms": doc["histograms"]}

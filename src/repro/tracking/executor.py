@@ -34,8 +34,13 @@ from repro.tracking.connectivity import ConnectivityAccumulator
 from repro.tracking.direction import initial_directions
 from repro.tracking.interpolate import nearest_lookup
 from repro.tracking.segmentation import SegmentationStrategy
+from repro.telemetry import get_registry
 
-__all__ = ["SegmentedTracker", "TrackingRunResult"]
+__all__ = ["SegmentedTracker", "TrackingRunResult", "STEP_HISTOGRAM_EDGES"]
+
+#: Fixed bucket edges for the streamline-step histogram — fixed so that
+#: serial and sharded runs bucket identically (the paper's Fig 5 bins).
+STEP_HISTOGRAM_EDGES = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000)
 
 
 def _field_image_bytes(field: FiberField) -> int:
@@ -240,6 +245,7 @@ class SegmentedTracker:
         timeline = Timeline()
         launches: list[KernelLaunch] = []
         permutation = np.arange(n_seeds)
+        registry = get_registry()
         t0 = time.perf_counter()
 
         # Device allocations: the per-thread state (persistent) plus the
@@ -305,6 +311,9 @@ class SegmentedTracker:
             # so an all-dead launch still produces a complete result row.
             born_dead = ~state.active
             if born_dead.any():
+                registry.count(
+                    "tracking.born_dead", int(np.count_nonzero(born_dead))
+                )
                 lengths[s, state.origin[born_dead]] = 0
                 reasons[s, state.origin[born_dead]] = state.reason[born_dead]
                 state = state.compact()
@@ -317,40 +326,50 @@ class SegmentedTracker:
             for i, seg_iters in enumerate(segments):
                 if state.n_active == 0:
                     break
-                timeline.add(
-                    "transfer",
-                    f"sample{g}:seg{i}:down",
-                    transfer_time(state.payload_bytes_down(), self.device),
-                    stream=stream,
-                )
-                executed = tracker.run_segment(state, seg_iters, visit_cb)
-                k_sec = kernel_time(executed, self.device)
-                timeline.add("kernel", f"sample{g}:seg{i}", k_sec, stream=stream)
-                launches.append(
-                    KernelLaunch(
-                        label=f"sample{g}:seg{i}",
-                        n_threads=state.n_threads,
-                        max_iterations=seg_iters,
-                        executed_iterations=int(executed.sum()),
-                        seconds=k_sec,
+                with registry.span(
+                    "tracking.segment", sample=g, segment=i, iters=seg_iters
+                ):
+                    timeline.add(
+                        "transfer",
+                        f"sample{g}:seg{i}:down",
+                        transfer_time(state.payload_bytes_down(), self.device),
+                        stream=stream,
                     )
-                )
-                timeline.add(
-                    "transfer",
-                    f"sample{g}:seg{i}:up",
-                    transfer_time(state.payload_bytes_up(), self.device),
-                    stream=stream,
-                )
-                timeline.add(
-                    "reduction",
-                    f"sample{g}:seg{i}:compact",
-                    reduction_time(state.n_threads, self.host),
-                    stream=stream,
-                )
-                finished = ~state.active
-                lengths[s, state.origin[finished]] = state.steps[finished]
-                reasons[s, state.origin[finished]] = state.reason[finished]
-                state = state.compact()
+                    executed = tracker.run_segment(state, seg_iters, visit_cb)
+                    k_sec = kernel_time(executed, self.device)
+                    timeline.add("kernel", f"sample{g}:seg{i}", k_sec, stream=stream)
+                    launches.append(
+                        KernelLaunch(
+                            label=f"sample{g}:seg{i}",
+                            n_threads=state.n_threads,
+                            max_iterations=seg_iters,
+                            executed_iterations=int(executed.sum()),
+                            seconds=k_sec,
+                        )
+                    )
+                    registry.count("tracking.kernel_launches", 1)
+                    registry.count("tracking.steps", int(executed.sum()))
+                    timeline.add(
+                        "transfer",
+                        f"sample{g}:seg{i}:up",
+                        transfer_time(state.payload_bytes_up(), self.device),
+                        stream=stream,
+                    )
+                    timeline.add(
+                        "reduction",
+                        f"sample{g}:seg{i}:compact",
+                        reduction_time(state.n_threads, self.host),
+                        stream=stream,
+                    )
+                    finished = ~state.active
+                    registry.count("tracking.compactions", 1)
+                    registry.count(
+                        "tracking.threads_retired",
+                        int(np.count_nonzero(finished)),
+                    )
+                    lengths[s, state.origin[finished]] = state.steps[finished]
+                    reasons[s, state.origin[finished]] = state.reason[finished]
+                    state = state.compact()
 
             if state.n_active:  # budget covered but threads still active
                 state.reason[:] = StopReason.MAX_STEPS
@@ -359,6 +378,14 @@ class SegmentedTracker:
 
             if connectivity is not None:
                 connectivity.end_sample()
+
+        # Per-row observations: a shard's histogram contributions equal
+        # the serial run's for the same sample rows, so bucket counts
+        # merge bit-identically across any sharding.
+        registry.histogram(
+            "tracking.streamline_steps", STEP_HISTOGRAM_EDGES
+        ).observe_many(lengths)
+        registry.gauge("tracking.peak_device_bytes").set_max(memory.peak_bytes)
 
         result = TrackingRunResult(
             lengths=lengths,

@@ -23,6 +23,7 @@ from repro.tracking.executor import SegmentedTracker, TrackingRunResult
 from repro.tracking.lengths import ExponentialFit, fit_exponential
 from repro.tracking.seeds import seeds_from_mask
 from repro.tracking.segmentation import SegmentationStrategy, table2_strategy
+from repro.telemetry import get_registry
 
 __all__ = ["ProbtrackConfig", "ProbtrackResult", "probabilistic_streamlining"]
 
@@ -118,14 +119,18 @@ def probabilistic_streamlining(
     if not fields:
         raise TrackingError("need at least one sample volume")
     cfg = config if config is not None else ProbtrackConfig()
+    registry = get_registry()
 
-    if seeds is None:
-        if seed_mask is None:
-            seed_mask = fields[0].mask & (fields[0].f[..., 0] > 0)
-        seeds = seeds_from_mask(np.asarray(seed_mask, dtype=bool))
-    seeds = np.asarray(seeds, dtype=np.float64)
+    with registry.span("probtrack.seeds"):
+        if seeds is None:
+            if seed_mask is None:
+                seed_mask = fields[0].mask & (fields[0].f[..., 0] > 0)
+            seeds = seeds_from_mask(np.asarray(seed_mask, dtype=bool))
+        seeds = np.asarray(seeds, dtype=np.float64)
     if seeds.size == 0:
         raise TrackingError("no seeds to track from")
+    registry.count("probtrack.seeds_launched", seeds.shape[0])
+    registry.count("probtrack.samples_tracked", len(fields))
 
     n_seeds = seeds.shape[0]
     launch_seeds = seeds
@@ -159,23 +164,30 @@ def probabilistic_streamlining(
         fallback_to_serial=cfg.fallback_to_serial,
         fault_plan=cfg.fault_plan,
     )
-    run = backend.run(
-        tracker,
-        fields,
-        launch_seeds,
-        cfg.criteria,
-        cfg.strategy,
-        connectivity=accumulator,
+    with registry.span(
+        "probtrack.track",
+        n_workers=cfg.n_workers,
+        strategy=cfg.strategy.name,
         order=cfg.order,
-        overlap=cfg.overlap,
-        heading_signs=heading_signs,
-    )
-    try:
-        fit = fit_exponential(
-            run.lengths.ravel(), truncate_at=float(cfg.criteria.max_steps)
+    ):
+        run = backend.run(
+            tracker,
+            fields,
+            launch_seeds,
+            cfg.criteria,
+            cfg.strategy,
+            connectivity=accumulator,
+            order=cfg.order,
+            overlap=cfg.overlap,
+            heading_signs=heading_signs,
         )
-    except TrackingError:
-        fit = None
+    with registry.span("probtrack.length_fit"):
+        try:
+            fit = fit_exponential(
+                run.lengths.ravel(), truncate_at=float(cfg.criteria.max_steps)
+            )
+        except TrackingError:
+            fit = None
     return ProbtrackResult(
         run=run, connectivity=accumulator, seeds=seeds, length_fit=fit
     )

@@ -26,6 +26,7 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.telemetry import get_registry
 
 __all__ = [
     "SegmentationStrategy",
@@ -56,6 +57,19 @@ class SegmentationStrategy(ABC):
         if max_steps < 1:
             raise ConfigurationError(f"max_steps must be >= 1, got {max_steps}")
 
+    def _record_plan(self, out: list[int]) -> list[int]:
+        """Count a produced plan in the telemetry registry; returns it.
+
+        Plans are recomputed once per ``tracker.run`` call — so a
+        sharded run plans more often than a serial one.  The counts are
+        therefore *operational* metrics, excluded from the manifest's
+        deterministic section.
+        """
+        registry = get_registry()
+        registry.count("segmentation.plans", 1, deterministic=False)
+        registry.count("segmentation.segments_planned", len(out), deterministic=False)
+        return out
+
 
 class UniformStrategy(SegmentationStrategy):
     """``A_k``: every segment runs ``k`` iterations."""
@@ -72,7 +86,7 @@ class UniformStrategy(SegmentationStrategy):
         out = [self.k] * n_full
         if rem:
             out.append(rem)
-        return out
+        return self._record_plan(out)
 
 
 class SingleSegmentStrategy(SegmentationStrategy):
@@ -82,7 +96,7 @@ class SingleSegmentStrategy(SegmentationStrategy):
 
     def segments(self, max_steps: int) -> list[int]:
         self._check_budget(max_steps)
-        return [max_steps]
+        return self._record_plan([max_steps])
 
 
 class IncreasingStrategy(SegmentationStrategy):
@@ -113,7 +127,7 @@ class IncreasingStrategy(SegmentationStrategy):
             out.append(nxt)
             total += nxt
             i += 1
-        return out
+        return self._record_plan(out)
 
 
 def increasing_intervals(

@@ -4,12 +4,19 @@ The benchmark harness attributes time to pipeline stages (kernel /
 reduction / transfer on the simulated device; fit / track on the host).
 :class:`TimingAccumulator` is the host-side ledger; the simulated-device
 ledger lives in :mod:`repro.gpu.timeline` and is *modeled*, not measured.
+
+Since the introduction of :mod:`repro.telemetry`, the accumulator is a
+thin adapter over a :class:`~repro.telemetry.MetricsRegistry` timer
+table: existing benchmarks keep their ``totals``/``counts``/``section``
+API, while new code can hand the accumulator a shared registry so its
+sections land in the run manifest alongside everything else.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+
+from repro.telemetry.registry import MetricsRegistry
 
 __all__ = ["Stopwatch", "TimingAccumulator"]
 
@@ -17,11 +24,20 @@ __all__ = ["Stopwatch", "TimingAccumulator"]
 class Stopwatch:
     """A context-manager stopwatch measuring wall-clock seconds.
 
+    Contract: a :class:`Stopwatch` must be *entered* before it is
+    exited, and never entered twice without an intervening exit.
+    Violations raise :class:`RuntimeError` (they are always caller
+    bugs); a finished stopwatch may be reused for a new measurement.
+
     >>> with Stopwatch() as sw:
     ...     sum(range(1000))
     499500
     >>> sw.elapsed >= 0.0
     True
+    >>> Stopwatch().__exit__(None, None, None)
+    Traceback (most recent call last):
+        ...
+    RuntimeError: Stopwatch.__exit__ called on a stopwatch that was never entered
     """
 
     def __init__(self) -> None:
@@ -29,18 +45,39 @@ class Stopwatch:
         self.elapsed: float = 0.0
 
     def __enter__(self) -> "Stopwatch":
+        """Start timing; raises :class:`RuntimeError` if already running."""
+        if self._start is not None:
+            raise RuntimeError(
+                "Stopwatch.__enter__ called on a stopwatch that is already "
+                "running; exit it first (one measurement at a time)"
+            )
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        assert self._start is not None
+        """Stop timing and record ``elapsed``; raises if never entered."""
+        if self._start is None:
+            raise RuntimeError(
+                "Stopwatch.__exit__ called on a stopwatch that was never entered"
+            )
         self.elapsed = time.perf_counter() - self._start
         self._start = None
 
 
-@dataclass
 class TimingAccumulator:
     """Accumulates named wall-clock durations across repeated sections.
+
+    A thin adapter over a :class:`~repro.telemetry.MetricsRegistry`
+    timer table: each ``add``/``section`` folds into the registry, and
+    ``totals``/``counts`` are read back from it.  By default every
+    accumulator owns a private registry (the historical isolated-ledger
+    behaviour); pass a shared registry to pool sections into a run
+    manifest.
+
+    Parameters
+    ----------
+    registry:
+        Registry receiving the timings; a private one when None.
 
     >>> acc = TimingAccumulator()
     >>> with acc.section("fit"):
@@ -49,13 +86,22 @@ class TimingAccumulator:
     True
     """
 
-    totals: dict[str, float] = field(default_factory=dict)
-    counts: dict[str, int] = field(default_factory=dict)
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    @property
+    def totals(self) -> dict[str, float]:
+        """Accumulated seconds per section name."""
+        return {k: v[0] for k, v in self.registry.timers.items()}
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Number of recorded sections per name."""
+        return {k: v[1] for k, v in self.registry.timers.items()}
 
     def add(self, name: str, seconds: float) -> None:
         """Record ``seconds`` against section ``name``."""
-        self.totals[name] = self.totals.get(name, 0.0) + seconds
-        self.counts[name] = self.counts.get(name, 0) + 1
+        self.registry.add_time(name, seconds)
 
     def section(self, name: str) -> "_Section":
         """Context manager measuring a section and recording it on exit."""
@@ -63,19 +109,20 @@ class TimingAccumulator:
 
     def merge(self, other: "TimingAccumulator") -> None:
         """Fold another accumulator's totals into this one."""
-        for name, seconds in other.totals.items():
-            self.totals[name] = self.totals.get(name, 0.0) + seconds
-            self.counts[name] = self.counts.get(name, 0) + other.counts.get(name, 0)
+        for name, (seconds, count) in other.registry.timers.items():
+            self.registry.add_time(name, seconds, count)
 
     def summary(self) -> str:
         """A fixed-width, sorted-by-time text summary."""
-        if not self.totals:
+        totals = self.totals
+        if not totals:
             return "(no sections recorded)"
+        counts = self.counts
         lines = []
-        width = max(len(k) for k in self.totals)
-        for name, seconds in sorted(self.totals.items(), key=lambda kv: -kv[1]):
+        width = max(len(k) for k in totals)
+        for name, seconds in sorted(totals.items(), key=lambda kv: -kv[1]):
             lines.append(
-                f"{name:<{width}}  {seconds:10.4f} s  x{self.counts.get(name, 0)}"
+                f"{name:<{width}}  {seconds:10.4f} s  x{counts.get(name, 0)}"
             )
         return "\n".join(lines)
 

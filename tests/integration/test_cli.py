@@ -148,6 +148,63 @@ class TestTrackCommand:
         d_faulted = read_nifti(workdir / "track_fault" / "density.nii.gz")
         assert np.array_equal(d_clean.data, d_faulted.data)
 
+    def test_metrics_out_manifest(self, workdir):
+        """``--metrics-out`` writes a valid manifest whose deterministic
+        section is bit-identical between serial and 4-worker runs."""
+        from repro.telemetry import deterministic_sections, load_manifest
+
+        docs = {}
+        for n_workers in (1, 4):
+            out = workdir / f"track_m{n_workers}"
+            rc = track_main(
+                [
+                    str(workdir / "data" / "bedpost"),
+                    "--output-dir", str(out),
+                    "--step", "0.4",
+                    "--threshold", "0.7",
+                    "--max-steps", "100",
+                    "--strategy", "a20",
+                    "--min-export-steps", "5",
+                    "--workers", str(n_workers),
+                    "--metrics-out", str(out / "run.json"),
+                ]
+            )
+            assert rc == 0
+            docs[n_workers] = load_manifest(out / "run.json")
+        for doc in docs.values():
+            assert doc["meta"]["command"] == "repro-track"
+            assert doc["counters"]["tracking.steps"] > 0
+            assert doc["timers"], "stage timers recorded"
+        assert json.dumps(
+            deterministic_sections(docs[1]), sort_keys=True
+        ) == json.dumps(deterministic_sections(docs[4]), sort_keys=True)
+        assert docs[4]["ops"]["runtime.shard_attempts"] >= 1
+
+    def test_trace_out_includes_measured_spans(self, workdir):
+        rc = track_main(
+            [
+                str(workdir / "data" / "bedpost"),
+                "--output-dir", str(workdir / "track_tr"),
+                "--step", "0.4",
+                "--threshold", "0.7",
+                "--max-steps", "100",
+                "--strategy", "a20",
+                "--min-export-steps", "5",
+                "--workers", "2",
+                "--trace-out", str(workdir / "track_tr" / "trace.json"),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads((workdir / "track_tr" / "trace.json").read_text())
+        rows = {e["args"]["name"] for e in doc["traceEvents"] if e["ph"] == "M"}
+        assert {"device", "host", "measured:main"} <= rows
+        assert any(r.startswith("measured:worker") for r in rows)
+        measured = {
+            e["name"] for e in doc["traceEvents"] if e.get("cat") == "measured"
+        }
+        assert "probtrack.track" in measured
+        assert "tracking.segment" in measured
+
     def test_workers_flag_bit_identical(self, workdir):
         rc = track_main(
             [

@@ -1,0 +1,127 @@
+"""Worker-count invariance of the telemetry deterministic section.
+
+The contract of :mod:`repro.telemetry`: counters registered
+``deterministic=True`` and all histograms are pure functions of the
+work performed, so the manifest's deterministic section is bit-identical
+between a serial run and any ``n_workers`` — worker shards count into
+fresh local registries whose snapshots merge in task order.  Measured
+state (timers, spans, gauges, ops counters) is exempt.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import dataset1
+from repro.models.fields import FiberField
+from repro.telemetry import (
+    MetricsRegistry,
+    build_manifest,
+    deterministic_sections,
+    use_registry,
+)
+from repro.tracking import (
+    ProbtrackConfig,
+    TerminationCriteria,
+    probabilistic_streamlining,
+)
+from repro.utils.geometry import normalize
+
+N_SAMPLES = 4
+
+
+@pytest.fixture(scope="module")
+def fields():
+    """Small pseudo-posterior sample volumes (perturbed ground truth)."""
+    phantom = dataset1(scale=0.15, snr=40.0)
+    truth = phantom.truth
+    rng = np.random.default_rng(7)
+    out = []
+    for _ in range(N_SAMPLES):
+        has_fiber = truth.f > 0
+        noise = rng.normal(scale=0.15, size=truth.directions.shape)
+        dirs = normalize(truth.directions + noise * has_fiber[..., None])
+        out.append(
+            FiberField(
+                f=truth.f.copy(),
+                directions=dirs * has_fiber[..., None],
+                mask=truth.mask.copy(),
+            )
+        )
+    return out
+
+
+def run_with_metrics(fields, n_workers, order="natural"):
+    """One tracking run under a fresh registry; returns its manifest."""
+    cfg = ProbtrackConfig(
+        criteria=TerminationCriteria(max_steps=64, min_dot=0.8, step_length=0.2),
+        order=order,
+        n_workers=n_workers,
+    )
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        probabilistic_streamlining(fields, config=cfg)
+    return build_manifest(registry, meta={"n_workers": n_workers})
+
+
+@pytest.mark.parametrize("order", ["natural", "sorted"])
+def test_deterministic_sections_bit_identical(fields, order):
+    serial = run_with_metrics(fields, 1, order)
+    base = json.dumps(deterministic_sections(serial), sort_keys=True)
+    for n_workers in (2, 4):
+        parallel = run_with_metrics(fields, n_workers, order)
+        got = json.dumps(deterministic_sections(parallel), sort_keys=True)
+        assert got == base, f"n_workers={n_workers} drifted from serial"
+
+
+def test_deterministic_counters_cover_the_hot_path(fields):
+    doc = run_with_metrics(fields, 2)
+    for name in (
+        "tracking.steps",
+        "tracking.kernel_launches",
+        "tracking.compactions",
+        "tracking.threads_retired",
+        "probtrack.seeds_launched",
+        "probtrack.samples_tracked",
+    ):
+        assert doc["counters"][name] > 0, name
+    hist = doc["histograms"]["tracking.streamline_steps"]
+    assert sum(hist["counts"]) == hist["n"] > 0
+
+
+def test_worker_spans_merge_into_parent(fields):
+    cfg = ProbtrackConfig(
+        criteria=TerminationCriteria(max_steps=64, min_dot=0.8, step_length=0.2),
+        n_workers=2,
+    )
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        probabilistic_streamlining(fields, config=cfg)
+    workers = {s.worker for s in registry.spans}
+    assert 0 in workers, "parent-side spans present"
+    assert workers - {0}, "worker shard spans merged back"
+    # Every worker span's parent index stays inside the span list.
+    for i, s in enumerate(registry.spans):
+        assert s.parent is None or 0 <= s.parent < i
+
+
+def test_retries_do_not_perturb_deterministic_section(fields):
+    """A crashed-then-retried shard must count its work exactly once."""
+    from repro.runtime.faults import FaultPlan
+
+    serial = run_with_metrics(fields, 1)
+    cfg = ProbtrackConfig(
+        criteria=TerminationCriteria(max_steps=64, min_dot=0.8, step_length=0.2),
+        n_workers=2,
+        fault_plan=FaultPlan.parse("crash:0"),
+    )
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        probabilistic_streamlining(fields, config=cfg)
+    doc = build_manifest(registry, meta={})
+    assert json.dumps(deterministic_sections(doc), sort_keys=True) == json.dumps(
+        deterministic_sections(serial), sort_keys=True
+    )
+    assert doc["ops"]["runtime.retries"] >= 1
+    assert doc["ops"]["runtime.failures.crash"] >= 1

@@ -1,0 +1,59 @@
+"""The docs satellite stays honest: links resolve, doctests pass.
+
+Runs the same checks as the CI ``docs`` job (``tools/check_docs.py``)
+so a broken link or a drifted doctest fails tier-1 locally, not just in
+the workflow.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_markdown_links_resolve():
+    checker = load_checker()
+    assert checker.check_links() == []
+
+
+def test_doctest_modules_pass():
+    checker = load_checker()
+    sys.path.insert(0, str(REPO / "src"))
+    try:
+        assert checker.check_doctests() == []
+    finally:
+        sys.path.remove(str(REPO / "src"))
+
+
+def test_link_extractor_skips_external_and_fences():
+    checker = load_checker()
+    text = (
+        "[ok](docs/architecture.md) [web](https://example.com) "
+        "[anchor](#section)\n```\n[fenced](nope.md)\n```\n"
+        "![img](figs/a.png)"
+    )
+    assert list(checker.iter_local_links(text)) == [
+        "docs/architecture.md",
+        "figs/a.png",
+    ]
+
+
+def test_readme_links_every_docs_page():
+    readme = (REPO / "README.md").read_text()
+    for page in (
+        "docs/architecture.md",
+        "docs/observability.md",
+        "docs/fault-tolerance.md",
+        "docs/parallelism.md",
+    ):
+        assert page in readme, f"README must link {page}"

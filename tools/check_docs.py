@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Documentation checks: local markdown links + docstring doctests.
+
+No external dependencies — this is what the CI ``docs`` job runs (and a
+unit test keeps it honest locally):
+
+* every relative link/image target in the repo's markdown pages must
+  exist on disk (external ``http(s)``/``mailto`` targets and pure
+  ``#anchors`` are skipped);
+* the doctest-bearing modules (``repro.telemetry.*``,
+  ``repro.utils.profiling``) must pass ``doctest.testmod``.
+
+Exit status is the number of failures (0 = clean).
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Markdown files whose local links must resolve.
+MARKDOWN = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "docs/architecture.md",
+    "docs/observability.md",
+    "docs/fault-tolerance.md",
+    "docs/parallelism.md",
+)
+
+#: Modules whose doctests the docs job executes.
+DOCTEST_MODULES = (
+    "repro.telemetry.registry",
+    "repro.telemetry.manifest",
+    "repro.utils.profiling",
+)
+
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def iter_local_links(text: str):
+    """Yield relative link targets from markdown, skipping code fences."""
+    for target in _LINK.findall(_CODE_FENCE.sub("", text)):
+        target = target.split("#", 1)[0]
+        if not target or "://" in target or target.startswith("mailto:"):
+            continue
+        yield target
+
+
+def check_links() -> list[str]:
+    """Return one error string per broken local link."""
+    errors = []
+    for name in MARKDOWN:
+        page = REPO / name
+        if not page.exists():
+            errors.append(f"{name}: page listed in MARKDOWN does not exist")
+            continue
+        for target in iter_local_links(page.read_text()):
+            if not (page.parent / target).exists():
+                errors.append(f"{name}: broken link -> {target}")
+    return errors
+
+
+def check_doctests() -> list[str]:
+    """Return one error string per failing doctest module."""
+    errors = []
+    for name in DOCTEST_MODULES:
+        module = importlib.import_module(name)
+        result = doctest.testmod(module, verbose=False)
+        if result.attempted == 0:
+            errors.append(f"{name}: expected doctests, found none")
+        elif result.failed:
+            errors.append(f"{name}: {result.failed}/{result.attempted} doctests failed")
+    return errors
+
+
+def main() -> int:
+    """Run every check; print failures; exit with their count."""
+    sys.path.insert(0, str(REPO / "src"))
+    errors = check_links() + check_doctests()
+    for err in errors:
+        print(f"FAIL {err}")
+    if not errors:
+        print(f"docs OK: {len(MARKDOWN)} pages, {len(DOCTEST_MODULES)} doctest modules")
+    return len(errors)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
