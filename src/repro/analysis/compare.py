@@ -9,7 +9,7 @@ Dice overlap of the visited-voxel sets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dc_field
 
 import numpy as np
 
@@ -79,36 +79,80 @@ def compare_lengths(
 
 @dataclass(frozen=True)
 class ManifestDiff:
-    """Workload agreement between two telemetry run manifests.
+    """Workload and configuration agreement between two run manifests.
 
-    Only the deterministic sections (counters + histograms) are
-    compared — those are the quantities the bit-identity contract says
-    must match for the same workload regardless of worker count.
+    The deterministic sections (counters + histograms) are the
+    quantities the bit-identity contract says must match for the same
+    workload regardless of worker count; since manifest schema v2 the
+    embedded run-spec provenance is diffed alongside them.
 
     Attributes
     ----------
     identical:
-        True when every deterministic counter and histogram agrees.
+        True when every deterministic counter and histogram agrees
+        (the original bit-identity judgement; config differences are
+        reported separately, since e.g. a 1-worker and a 4-worker run
+        legitimately share identical deterministic sections).
     counter_diffs:
         ``name -> (a_value, b_value)`` for counters that differ
         (missing counters appear as 0 on the absent side).
     histogram_diffs:
         Names of histograms whose edges or bucket counts differ.
+    config_diffs:
+        ``dotted.field.path -> (a_value, b_value)`` for run-spec fields
+        that differ between the manifests' ``config`` sections (empty
+        when either side carries no config, e.g. a v1 manifest).
+    config_hash_match:
+        True/False when both manifests embed a config hash; ``None``
+        when either side has none.  Hashes ignore the ``telemetry``
+        section, so a replay writing its manifest elsewhere matches.
     """
 
     identical: bool
     counter_diffs: dict
     histogram_diffs: list
+    config_diffs: dict = dc_field(default_factory=dict)
+    config_hash_match: bool | None = None
+
+
+def _flatten(tree: dict, prefix: str = "") -> dict:
+    """Nested dict -> ``{dotted.path: leaf_value}``."""
+    flat = {}
+    for key, value in tree.items():
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            flat.update(_flatten(value, path))
+        else:
+            flat[path] = value
+    return flat
+
+
+def _config_diffs(doc_a: dict, doc_b: dict) -> dict:
+    """Dotted-path diffs of two manifests' normalized config sections."""
+    conf_a, conf_b = doc_a.get("config"), doc_b.get("config")
+    if conf_a is None or conf_b is None:
+        return {}
+    from repro.config import RunSpec
+
+    flat_a = _flatten(RunSpec.from_dict(conf_a).to_dict())
+    flat_b = _flatten(RunSpec.from_dict(conf_b).to_dict())
+    return {
+        path: (flat_a.get(path), flat_b.get(path))
+        for path in sorted(set(flat_a) | set(flat_b))
+        if flat_a.get(path) != flat_b.get(path)
+    }
 
 
 def compare_manifests(doc_a: dict, doc_b: dict) -> ManifestDiff:
-    """Diff the deterministic sections of two run manifests.
+    """Diff the deterministic sections and configs of two run manifests.
 
     Parameters
     ----------
     doc_a / doc_b:
         Manifest dicts (e.g. from
         :func:`repro.telemetry.load_manifest`); both are validated.
+        v1 manifests compare with empty ``config_diffs`` and
+        ``config_hash_match=None``.
     """
     a, b = deterministic_sections(doc_a), deterministic_sections(doc_b)
     counter_diffs = {}
@@ -122,10 +166,16 @@ def compare_manifests(doc_a: dict, doc_b: dict) -> ManifestDiff:
         for name in sorted(set(a["histograms"]) | set(b["histograms"]))
         if a["histograms"].get(name) != b["histograms"].get(name)
     ]
+    hash_a, hash_b = doc_a.get("config_hash"), doc_b.get("config_hash")
     return ManifestDiff(
         identical=not counter_diffs and not histogram_diffs,
         counter_diffs=counter_diffs,
         histogram_diffs=histogram_diffs,
+        config_diffs=_config_diffs(doc_a, doc_b),
+        config_hash_match=(
+            hash_a == hash_b if hash_a is not None and hash_b is not None
+            else None
+        ),
     )
 
 

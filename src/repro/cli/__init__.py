@@ -10,6 +10,12 @@ Three commands mirror the workflow a downstream user runs:
   samples, writing streamlines (TrackVis), a track-density NIfTI, and a
   timing report.
 
+``repro-bedpost`` and ``repro-track`` share the flag groups in
+:mod:`repro.cli.common` and are driven by one resolved
+:class:`~repro.config.spec.RunSpec` (``--config``/``--set``/
+``--print-config``); ``repro-track --replay manifest.json`` reruns the
+configuration a previous run embedded in its telemetry manifest.
+
 Each module exposes ``main(argv)`` so the commands are scriptable and
 testable without a subprocess.
 """

@@ -8,7 +8,13 @@ runs the Metropolis-Hastings sampler, and writes:
   ``repro-track``);
 * ``mean_f1.nii.gz`` / ``mean_f2.nii.gz`` — posterior-mean volume
   fractions (quick-look quality maps);
-* a timing report with the Table III machine-model speedup.
+* a timing report with the Table III machine-model speedup;
+* optionally a telemetry run manifest with the resolved config embedded
+  (``--metrics-out``).
+
+Like ``repro-track``, the run is driven by one resolved
+:class:`~repro.config.spec.RunSpec` layered as ``defaults < --config
+FILE < explicit flags < --set``.
 """
 
 from __future__ import annotations
@@ -19,12 +25,31 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.cli.common import (
+    TELEMETRY_FLAG_MAP,
+    add_config_group,
+    add_telemetry_group,
+    print_resolved_config,
+    resolve_spec_from_args,
+)
+from repro.errors import ReproError
 from repro.io import Volume, read_bvals_bvecs, read_nifti, write_nifti
-from repro.mcmc import MCMCConfig
 from repro.pipeline import BedpostConfig, bedpost
 from repro.telemetry import MetricsRegistry, use_registry, write_manifest
 
 __all__ = ["build_parser", "main"]
+
+#: ``args`` attribute -> run-spec dotted path for this command's own flags.
+_BEDPOST_FLAG_MAP = {
+    "burnin": "sampling.n_burnin",
+    "samples": "sampling.n_samples",
+    "interval": "sampling.sample_interval",
+    "fibers": "sampling.n_fibers",
+    "ard": "sampling.ard",
+    "noise_model": "sampling.noise_model",
+    "seed": "sampling.seed",
+    "metrics_out": TELEMETRY_FLAG_MAP["metrics_out"],
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -33,30 +58,46 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-bedpost",
         description="Fit the Bayesian multi-fiber model by MCMC (stage 1).",
     )
-    p.add_argument("data_dir", type=Path,
-                   help="directory holding dwi.nii.gz, bvals, bvecs")
+    p.add_argument("data_dir", type=Path, nargs="?", default=None,
+                   help="directory holding dwi.nii.gz, bvals, bvecs "
+                        "(unused with --print-config)")
     p.add_argument("--mask", type=Path, default=None,
                    help="mask NIfTI (default: <data_dir>/wm_mask.nii.gz)")
     p.add_argument("--output-dir", type=Path, default=None,
                    help="output directory (default: <data_dir>/bedpost)")
-    p.add_argument("--burnin", type=int, default=500, help="burn-in loops")
-    p.add_argument("--samples", type=int, default=50, help="posterior samples")
-    p.add_argument("--interval", type=int, default=2, help="thinning L")
-    p.add_argument("--fibers", type=int, default=2, help="stick compartments N")
+    p.add_argument("--burnin", type=int, default=None,
+                   help="burn-in loops (default 500)")
+    p.add_argument("--samples", type=int, default=None,
+                   help="posterior samples (default 50)")
+    p.add_argument("--interval", type=int, default=None,
+                   help="thinning L (default 2)")
+    p.add_argument("--fibers", type=int, default=None,
+                   help="stick compartments N (default 2)")
     p.add_argument("--ard", action="store_true",
                    help="ARD prior on secondary fibers")
     p.add_argument("--noise-model", choices=["gaussian", "rician"],
-                   default="gaussian")
-    p.add_argument("--seed", type=int, default=0, help="chain RNG seed")
-    p.add_argument("--metrics-out", type=Path, default=None, metavar="JSON",
-                   help="write a telemetry run manifest (proposal/accept "
-                        "counters, stage spans) to this path")
+                   default=None, help="likelihood noise model")
+    p.add_argument("--seed", type=int, default=None,
+                   help="chain RNG seed (default 0)")
+    add_telemetry_group(p, trace=False)
+    add_config_group(p)
     return p
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point: fit the model over the acquisition, return 0."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        spec = resolve_spec_from_args(args, _BEDPOST_FLAG_MAP)
+    except ReproError as exc:
+        parser.error(str(exc))
+    if args.print_config:
+        print_resolved_config(spec)
+        return 0
+    if args.data_dir is None:
+        parser.error("data_dir is required")
+
     data_dir = args.data_dir
     dwi = read_nifti(data_dir / "dwi.nii.gz")
     gtab = read_bvals_bvecs(data_dir / "bvals", data_dir / "bvecs")
@@ -65,17 +106,7 @@ def main(argv: list[str] | None = None) -> int:
     if mask.ndim == 4:
         mask = mask[..., 0]
 
-    cfg = BedpostConfig(
-        mcmc=MCMCConfig(
-            n_burnin=args.burnin,
-            n_samples=args.samples,
-            sample_interval=args.interval,
-            seed=args.seed,
-        ),
-        n_fibers=args.fibers,
-        ard=args.ard,
-        noise_model=args.noise_model,
-    )
+    cfg = BedpostConfig.from_run_spec(spec)
     # A fresh registry per invocation keeps the manifest scoped to this
     # run (the process default would accumulate across library reuse).
     registry = MetricsRegistry()
@@ -95,29 +126,31 @@ def main(argv: list[str] | None = None) -> int:
         dwi.affine,
     )
     mean = result.samples.mean(axis=0)
-    lay = result.layout
     for j in range(cfg.n_fibers):
         vol = np.zeros(dwi.shape3, dtype=np.float32)
         vol.reshape(-1)[mask.reshape(-1)] = mean[:, 3 + j]
         write_nifti(out / f"mean_f{j + 1}.nii.gz", Volume(vol, dwi.affine))
 
-    if args.metrics_out is not None:
+    if spec.telemetry.metrics_out is not None:
+        metrics_out = Path(spec.telemetry.metrics_out)
         write_manifest(
-            args.metrics_out,
+            metrics_out,
             registry,
             meta={
                 "command": "repro-bedpost",
-                "n_fibers": args.fibers,
-                "n_burnin": args.burnin,
-                "n_samples": args.samples,
-                "noise_model": args.noise_model,
-                "seed": args.seed,
+                "n_fibers": cfg.n_fibers,
+                "n_burnin": cfg.mcmc.n_burnin,
+                "n_samples": cfg.mcmc.n_samples,
+                "noise_model": cfg.noise_model,
+                "seed": cfg.mcmc.seed,
+                "data_dir": str(data_dir.resolve()),
             },
+            config=spec.to_dict(),
         )
-        print(f"wrote telemetry manifest to {args.metrics_out}")
+        print(f"wrote telemetry manifest to {metrics_out}")
 
     print(
-        f"fit {result.n_voxels} voxels, {args.samples} samples "
+        f"fit {result.n_voxels} voxels, {cfg.mcmc.n_samples} samples "
         f"({result.wall_seconds:.1f}s wall); modeled GPU "
         f"{result.gpu_seconds:.1f}s vs CPU {result.cpu_seconds:.1f}s "
         f"({result.speedup:.1f}x); wrote {out / 'samples.npz'}"

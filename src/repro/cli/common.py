@@ -1,0 +1,147 @@
+"""Shared CLI surface for ``repro-bedpost`` and ``repro-track``.
+
+Both commands resolve one :class:`~repro.config.spec.RunSpec` from the
+same layered sources — ``defaults < --config FILE < explicit flags <
+--set dotted.key=value`` — and both expose the same flag groups.  This
+module owns those groups (previously duplicated per command):
+
+* the **configuration** group: ``--config``, ``--set``,
+  ``--print-config``;
+* the **runtime** group: ``--workers``, ``--max-retries``,
+  ``--shard-timeout``, ``--inject-fault``;
+* the **telemetry** group: ``--metrics-out`` (and, where the command
+  produces a modeled schedule, ``--trace-out``).
+
+Explicit flags default to ``None`` (or ``False`` for switches) so a
+command can tell "the user passed this" from "use the spec/default
+value"; :func:`cli_flag_overrides` turns only the passed ones into
+dotted-path overrides for :func:`repro.config.resolve_run_spec`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.config import RunSpec, resolve_run_spec
+
+__all__ = [
+    "add_config_group",
+    "add_runtime_group",
+    "add_telemetry_group",
+    "RUNTIME_FLAG_MAP",
+    "TELEMETRY_FLAG_MAP",
+    "cli_flag_overrides",
+    "resolve_spec_from_args",
+    "print_resolved_config",
+]
+
+#: ``args`` attribute -> run-spec dotted path, for the runtime group.
+RUNTIME_FLAG_MAP = {
+    "workers": "runtime.n_workers",
+    "max_retries": "runtime.max_retries",
+    "shard_timeout": "runtime.shard_timeout_s",
+    "inject_fault": "runtime.fault_plan",
+}
+
+#: ``args`` attribute -> run-spec dotted path, for the telemetry group.
+TELEMETRY_FLAG_MAP = {
+    "metrics_out": "telemetry.metrics_out",
+    "trace_out": "telemetry.trace_out",
+}
+
+
+def add_config_group(p: argparse.ArgumentParser) -> None:
+    """The ``--config`` / ``--set`` / ``--print-config`` group."""
+    g = p.add_argument_group(
+        "configuration",
+        "one declarative run spec drives the whole command; layering is "
+        "defaults < --config file < explicit flags < --set overrides",
+    )
+    g.add_argument("--config", type=Path, default=None, metavar="FILE",
+                   help="TOML or JSON run-spec file "
+                        "(see docs/configuration.md)")
+    g.add_argument("--set", dest="overrides", action="append", default=[],
+                   metavar="KEY=VALUE",
+                   help="override one spec field by dotted path, e.g. "
+                        "--set runtime.n_workers=4 (repeatable; values "
+                        "parse as JSON, bare words as strings)")
+    g.add_argument("--print-config", action="store_true",
+                   help="print the resolved spec and its content hash "
+                        "as JSON, then exit without running")
+
+
+def add_runtime_group(p: argparse.ArgumentParser) -> None:
+    """The workers / retries / shard-timeout / fault-injection group."""
+    g = p.add_argument_group("runtime")
+    g.add_argument("--workers", type=int, default=None,
+                   help="worker processes for the sample loop (default 1; "
+                        "results are bit-identical for any count)")
+    g.add_argument("--max-retries", type=int, default=None,
+                   help="supervised retries per failed shard before "
+                        "re-sharding / serial fallback (default 2)")
+    g.add_argument("--shard-timeout", type=float, default=None, metavar="S",
+                   help="per-shard attempt deadline in seconds "
+                        "(default: no hang watchdog)")
+    g.add_argument("--inject-fault", default=None, metavar="SPEC",
+                   help="DEV ONLY: deterministic fault injection, e.g. "
+                        "'crash:0' (shard 0's first attempt crashes), "
+                        "'hang:1:*', 'corrupt:s2'; recovery keeps output "
+                        "bit-identical to a clean run")
+
+
+def add_telemetry_group(
+    p: argparse.ArgumentParser, trace: bool = True
+) -> None:
+    """The ``--metrics-out`` (+ optionally ``--trace-out``) group."""
+    g = p.add_argument_group("telemetry")
+    g.add_argument("--metrics-out", type=Path, default=None, metavar="JSON",
+                   help="write a telemetry run manifest (counters, "
+                        "histograms, timers, spans, resolved config) to "
+                        "this path")
+    if trace:
+        g.add_argument("--trace-out", type=Path, default=None, metavar="JSON",
+                       help="write a chrome://tracing / Perfetto trace of "
+                            "the modeled schedule plus measured host spans")
+
+
+def cli_flag_overrides(
+    args: argparse.Namespace, flag_map: dict[str, str]
+) -> dict:
+    """Dotted-path overrides for the flags the user actually passed.
+
+    ``None`` means "not passed" and ``False`` is a switch at its
+    default; both are skipped so lower layers (spec file, defaults)
+    stay in charge.  :class:`~pathlib.Path` values become strings —
+    the spec is a plain JSON-safe tree.
+    """
+    overrides = {}
+    for attr, dotted in flag_map.items():
+        value = getattr(args, attr, None)
+        if value is None or value is False:
+            continue
+        overrides[dotted] = str(value) if isinstance(value, Path) else value
+    return overrides
+
+
+def resolve_spec_from_args(
+    args: argparse.Namespace,
+    flag_map: dict[str, str],
+    base: dict | None = None,
+) -> RunSpec:
+    """Resolve the command's :class:`RunSpec` from all four layers."""
+    return resolve_run_spec(
+        config_file=args.config,
+        cli_overrides=cli_flag_overrides(args, flag_map),
+        set_overrides=args.overrides,
+        base=base,
+    )
+
+
+def print_resolved_config(spec: RunSpec, stream=None) -> None:
+    """``--print-config``: the resolved spec + hash as stable JSON."""
+    doc = {"config": spec.to_dict(), "config_hash": spec.content_hash()}
+    print(json.dumps(doc, sort_keys=True, indent=2),
+          file=stream if stream is not None else sys.stdout)

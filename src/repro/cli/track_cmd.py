@@ -9,8 +9,14 @@ fiber fields, tracks every seed, and writes:
 * ``lengths.txt`` — per-(sample, seed) step counts;
 * a timing report with the modeled kernel/reduction/transfer split and
   speedup;
-* optionally a telemetry run manifest (``--metrics-out``) and a Chrome
-  trace with modeled + measured rows (``--trace-out``).
+* optionally a telemetry run manifest with the resolved config embedded
+  (``--metrics-out``) and a Chrome trace with modeled + measured rows
+  (``--trace-out``).
+
+The run is driven by one resolved :class:`~repro.config.spec.RunSpec`
+(``defaults < --config FILE < explicit flags < --set``); ``--replay
+MANIFEST`` starts instead from the config a previous run embedded in its
+manifest, reproducing it bit for bit.
 """
 
 from __future__ import annotations
@@ -22,25 +28,42 @@ from pathlib import Path
 import numpy as np
 
 from repro.baselines import cpu_probabilistic_tracking
-from repro.io import Volume, write_nifti, write_trk
-from repro.telemetry import MetricsRegistry, use_registry, write_manifest
-from repro.tracking import (
-    ProbtrackConfig,
-    TerminationCriteria,
-    UniformStrategy,
-    filter_by_steps,
-    paper_strategy_b,
-    probabilistic_streamlining,
-    table2_strategy,
+from repro.cli.common import (
+    RUNTIME_FLAG_MAP,
+    TELEMETRY_FLAG_MAP,
+    add_config_group,
+    add_runtime_group,
+    add_telemetry_group,
+    print_resolved_config,
+    resolve_spec_from_args,
 )
+from repro.errors import ReproError
+from repro.io import Volume, write_nifti, write_trk
+from repro.telemetry import (
+    MetricsRegistry,
+    load_manifest,
+    use_registry,
+    write_manifest,
+)
+from repro.tracking import ProbtrackConfig, filter_by_steps, probabilistic_streamlining
 
 __all__ = ["build_parser", "main"]
 
-_STRATEGIES = {
-    "increasing": table2_strategy,
-    "b": paper_strategy_b,
-    "a20": lambda: UniformStrategy(20),
-    "a1": lambda: UniformStrategy(1),
+#: Named strategies offered as plain choices; ``--set tracking.strategy``
+#: additionally accepts any ``a<k>``, and ``tracking.strategy_array``
+#: any explicit array.
+_STRATEGY_CHOICES = ("a1", "a20", "b", "c", "increasing", "single")
+
+#: ``args`` attribute -> run-spec dotted path for this command's own flags.
+_TRACK_FLAG_MAP = {
+    "step": "tracking.step_length",
+    "threshold": "tracking.min_dot",
+    "max_steps": "tracking.max_steps",
+    "strategy": "tracking.strategy",
+    "bidirectional": "tracking.bidirectional",
+    "min_export_steps": "tracking.min_export_steps",
+    **RUNTIME_FLAG_MAP,
+    **TELEMETRY_FLAG_MAP,
 }
 
 
@@ -50,78 +73,76 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-track",
         description="Probabilistic streamlining over bedpost samples (stage 2).",
     )
-    p.add_argument("bedpost_dir", type=Path,
-                   help="directory holding samples.npz")
+    p.add_argument("bedpost_dir", type=Path, nargs="?", default=None,
+                   help="directory holding samples.npz (optional with "
+                        "--replay, which remembers it, and unused with "
+                        "--print-config)")
     p.add_argument("--output-dir", type=Path, default=None,
                    help="output directory (default: <bedpost_dir>/track)")
-    p.add_argument("--step", type=float, default=0.2,
-                   help="step length, voxels")
-    p.add_argument("--threshold", type=float, default=0.8,
-                   help="angular threshold (dot product)")
-    p.add_argument("--max-steps", type=int, default=1888,
-                   help="step budget per streamline")
-    p.add_argument("--strategy", choices=sorted(_STRATEGIES), default="increasing",
-                   help="segmentation strategy")
+    p.add_argument("--replay", type=Path, default=None, metavar="MANIFEST",
+                   help="rerun the configuration embedded in a previous "
+                        "run's manifest (--metrics-out file); explicit "
+                        "flags and --set still override on top")
+    p.add_argument("--step", type=float, default=None,
+                   help="step length, voxels (default 0.2)")
+    p.add_argument("--threshold", type=float, default=None,
+                   help="angular threshold, dot product (default 0.8)")
+    p.add_argument("--max-steps", type=int, default=None,
+                   help="step budget per streamline (default 1888)")
+    p.add_argument("--strategy", choices=_STRATEGY_CHOICES, default=None,
+                   help="segmentation strategy (default increasing)")
     p.add_argument("--bidirectional", action="store_true",
                    help="launch each seed in both senses")
-    p.add_argument("--workers", type=int, default=1,
-                   help="worker processes for the sample loop "
-                        "(results are bit-identical for any count)")
-    p.add_argument("--max-retries", type=int, default=2,
-                   help="supervised retries per failed shard before "
-                        "re-sharding / serial fallback")
-    p.add_argument("--shard-timeout", type=float, default=None, metavar="S",
-                   help="per-shard attempt deadline in seconds "
-                        "(default: no hang watchdog)")
-    p.add_argument("--inject-fault", default=None, metavar="SPEC",
-                   help="DEV ONLY: deterministic fault injection, e.g. "
-                        "'crash:0' (shard 0's first attempt crashes), "
-                        "'hang:1:*', 'corrupt:s2'; recovery keeps output "
-                        "bit-identical to a clean run")
-    p.add_argument("--min-export-steps", type=int, default=100,
-                   help="length floor for exported .trk fibers")
-    p.add_argument("--metrics-out", type=Path, default=None, metavar="JSON",
-                   help="write a telemetry run manifest (counters, "
-                        "histograms, timers, spans) to this path")
-    p.add_argument("--trace-out", type=Path, default=None, metavar="JSON",
-                   help="write a chrome://tracing / Perfetto trace of the "
-                        "modeled schedule plus measured host spans")
+    p.add_argument("--min-export-steps", type=int, default=None,
+                   help="length floor for exported .trk fibers (default 100)")
+    add_runtime_group(p)
+    add_telemetry_group(p)
+    add_config_group(p)
     return p
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point: track the saved samples, write outputs, return 0."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.replay is not None and args.config is not None:
+        parser.error("--replay and --config are mutually exclusive; "
+                     "use --set to adjust a replayed run")
+
+    base = None
+    replay_meta: dict = {}
+    if args.replay is not None:
+        manifest = load_manifest(args.replay)
+        base = manifest.get("config")
+        if base is None:
+            parser.error(
+                f"{args.replay} carries no config section (schema "
+                f"{manifest['schema']}); only manifests written by this "
+                "version's --metrics-out can be replayed"
+            )
+        replay_meta = manifest.get("meta", {})
+    try:
+        spec = resolve_spec_from_args(args, _TRACK_FLAG_MAP, base=base)
+    except ReproError as exc:
+        parser.error(str(exc))
+    if args.print_config:
+        print_resolved_config(spec)
+        return 0
+
+    bedpost_dir = args.bedpost_dir
+    if bedpost_dir is None and replay_meta.get("bedpost_dir"):
+        bedpost_dir = Path(replay_meta["bedpost_dir"])
+    if bedpost_dir is None:
+        parser.error("bedpost_dir is required (the replayed manifest "
+                     "does not record one)")
+
     from repro.io.samples import load_samples
 
-    archive = load_samples(args.bedpost_dir / "samples.npz")
+    archive = load_samples(bedpost_dir / "samples.npz")
     affine = archive.affine
     fields = archive.to_fields()
 
-    criteria = TerminationCriteria(
-        max_steps=args.max_steps,
-        min_dot=args.threshold,
-        step_length=args.step,
-    )
-    fault_plan = None
-    if args.inject_fault is not None:
-        from repro.runtime.faults import FaultPlan
-
-        # Dev-only: bound injected hangs so a forgotten --shard-timeout
-        # cannot wedge the command for an hour.
-        fault_plan = FaultPlan.parse(
-            args.inject_fault,
-            hang_seconds=args.shard_timeout * 4 if args.shard_timeout else 30.0,
-        )
-    cfg = ProbtrackConfig(
-        criteria=criteria,
-        strategy=_STRATEGIES[args.strategy](),
-        bidirectional=args.bidirectional,
-        n_workers=args.workers,
-        max_retries=args.max_retries,
-        shard_timeout_s=args.shard_timeout,
-        fault_plan=fault_plan,
-    )
+    cfg = ProbtrackConfig.from_run_spec(spec)
     # A fresh registry per invocation keeps the manifest scoped to this
     # run (the process default would accumulate across library reuse).
     registry = MetricsRegistry()
@@ -129,7 +150,7 @@ def main(argv: list[str] | None = None) -> int:
         pt = probabilistic_streamlining(fields, config=cfg)
     run = pt.run
 
-    out = args.output_dir or (args.bedpost_dir / "track")
+    out = args.output_dir or (bedpost_dir / "track")
     out.mkdir(parents=True, exist_ok=True)
     density = pt.connectivity.visit_count_volume(fields[0].shape3)
     write_nifti(
@@ -138,39 +159,47 @@ def main(argv: list[str] | None = None) -> int:
     np.savetxt(out / "lengths.txt", run.lengths, fmt="%d")
 
     # Export geometry from the first sample (kept paths).
+    min_export_steps = spec.tracking.min_export_steps
     cpu = cpu_probabilistic_tracking(
-        fields[:1], pt.seeds, criteria, keep_streamlines=True
+        fields[:1], pt.seeds, cfg.criteria, keep_streamlines=True
     )
     long_lines = filter_by_steps(
-        cpu.streamlines[0], min_steps=args.min_export_steps
+        cpu.streamlines[0], min_steps=min_export_steps
     )
     voxel_sizes = tuple(np.linalg.norm(affine[:3, :3], axis=0))
     write_trk(
         out / "fibers.trk",
-        [l.points for l in long_lines],
+        [line.points for line in long_lines],
         voxel_sizes=voxel_sizes,
         dims=fields[0].shape3,
         affine=affine,
     )
 
-    if args.metrics_out is not None:
+    if spec.telemetry.metrics_out is not None:
+        metrics_out = Path(spec.telemetry.metrics_out)
         write_manifest(
-            args.metrics_out,
+            metrics_out,
             registry,
             meta={
                 "command": "repro-track",
-                "strategy": args.strategy,
-                "n_workers": args.workers,
-                "max_steps": args.max_steps,
-                "bidirectional": bool(args.bidirectional),
+                "strategy": spec.tracking.strategy,
+                "n_workers": spec.runtime.n_workers,
+                "max_steps": spec.tracking.max_steps,
+                "bidirectional": spec.tracking.bidirectional,
+                "bedpost_dir": str(bedpost_dir.resolve()),
+                "replayed_from": (
+                    str(args.replay) if args.replay is not None else None
+                ),
             },
+            config=spec.to_dict(),
         )
-        print(f"wrote telemetry manifest to {args.metrics_out}")
-    if args.trace_out is not None:
+        print(f"wrote telemetry manifest to {metrics_out}")
+    if spec.telemetry.trace_out is not None:
         from repro.gpu.trace_export import write_chrome_trace
 
-        write_chrome_trace(args.trace_out, run.timeline, spans=registry.spans)
-        print(f"wrote chrome trace to {args.trace_out}")
+        trace_out = Path(spec.telemetry.trace_out)
+        write_chrome_trace(trace_out, run.timeline, spans=registry.spans)
+        print(f"wrote chrome trace to {trace_out}")
 
     print(
         f"tracked {run.n_seeds} threads x {run.n_samples} samples: "
@@ -178,7 +207,7 @@ def main(argv: list[str] | None = None) -> int:
         f"modeled kernel {run.kernel_seconds:.2f}s / reduce "
         f"{run.reduction_seconds:.2f}s / transfer {run.transfer_seconds:.2f}s "
         f"(CPU {run.cpu_seconds:.1f}s, {run.speedup:.1f}x); "
-        f"wrote {len(long_lines)} fibers >= {args.min_export_steps} steps "
+        f"wrote {len(long_lines)} fibers >= {min_export_steps} steps "
         f"to {out / 'fibers.trk'}"
     )
     if run.supervision is not None and run.supervision.n_failures:

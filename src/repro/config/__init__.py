@@ -1,0 +1,56 @@
+"""Unified run configuration: the :class:`RunSpec` tree and its layering.
+
+One declarative, validated, content-hashed specification drives both
+pipeline stages (see :mod:`repro.config.spec`).  Specs are resolved by
+layering ``defaults < spec file < CLI flags < --set overrides``
+(:mod:`repro.config.layering`), serialized to TOML or JSON
+(:mod:`repro.config.toml_io`), embedded in telemetry run manifests for
+provenance, and reconstructed from a manifest by ``repro-track
+--replay`` — closing the loop from "this output" back to "the exact
+configuration that produced it".
+
+See ``docs/configuration.md`` for the schema and workflow.
+"""
+
+from repro.config.layering import (
+    apply_override,
+    deep_merge,
+    parse_override_value,
+    parse_set_argument,
+    resolve_run_spec,
+)
+from repro.config.spec import (
+    HASH_EXCLUDED_SECTIONS,
+    INTERPOLATIONS,
+    NOISE_MODELS,
+    ORDER_POLICIES,
+    RunSpec,
+    RuntimeSpec,
+    SamplingSpec,
+    TelemetrySpec,
+    TrackingSpec,
+    hash_spec_dict,
+)
+from repro.config.toml_io import HAVE_TOML, dumps_json, dumps_toml, load_spec_file
+
+__all__ = [
+    "RunSpec",
+    "SamplingSpec",
+    "TrackingSpec",
+    "RuntimeSpec",
+    "TelemetrySpec",
+    "hash_spec_dict",
+    "HASH_EXCLUDED_SECTIONS",
+    "NOISE_MODELS",
+    "INTERPOLATIONS",
+    "ORDER_POLICIES",
+    "resolve_run_spec",
+    "apply_override",
+    "deep_merge",
+    "parse_override_value",
+    "parse_set_argument",
+    "HAVE_TOML",
+    "load_spec_file",
+    "dumps_toml",
+    "dumps_json",
+]

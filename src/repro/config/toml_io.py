@@ -1,0 +1,121 @@
+"""Spec-file io: load TOML or JSON spec files, emit both.
+
+TOML reading uses the stdlib ``tomllib`` (Python 3.11+); on 3.10 the
+module degrades gracefully — JSON specs always work, and loading a
+``.toml`` file raises a clear :class:`~repro.errors.ConfigurationError`
+instead of an ``ImportError`` (:data:`HAVE_TOML` lets callers and tests
+gate on availability).  Writing needs no third-party dependency either:
+spec dicts are a fixed two-level shape (tables of scalars/arrays), so
+:func:`dumps_toml` emits them directly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+try:  # pragma: no cover - import guard exercised only on Python 3.10
+    import tomllib
+except ImportError:  # pragma: no cover
+    try:
+        import tomli as tomllib  # type: ignore[no-redef]
+    except ImportError:
+        tomllib = None  # type: ignore[assignment]
+
+__all__ = ["HAVE_TOML", "load_spec_file", "dumps_toml", "dumps_json"]
+
+#: True when a TOML parser is available (stdlib ``tomllib`` or ``tomli``).
+HAVE_TOML = tomllib is not None
+
+
+def load_spec_file(path: str | Path) -> dict:
+    """Parse a spec file into a plain nested dict.
+
+    The format is chosen by suffix: ``.toml`` uses TOML, ``.json`` uses
+    JSON, and anything else is tried as TOML first, then JSON.  Parse
+    errors surface as :class:`~repro.errors.ConfigurationError` naming
+    the file.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read spec file {path}: {exc}") from exc
+    suffix = path.suffix.lower()
+    if suffix == ".toml":
+        return _parse_toml(text, path)
+    if suffix == ".json":
+        return _parse_json(text, path)
+    try:
+        return _parse_toml(text, path)
+    except ConfigurationError:
+        return _parse_json(text, path)
+
+
+def _parse_toml(text: str, path: Path) -> dict:
+    if tomllib is None:
+        raise ConfigurationError(
+            f"cannot read TOML spec {path}: no TOML parser available "
+            "(tomllib requires Python 3.11+); use a .json spec instead"
+        )
+    try:
+        return tomllib.loads(text)
+    except tomllib.TOMLDecodeError as exc:
+        raise ConfigurationError(f"invalid TOML in {path}: {exc}") from exc
+
+
+def _parse_json(text: str, path: Path) -> dict:
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid JSON in {path}: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ConfigurationError(
+            f"spec file {path} must hold an object, got {type(doc).__name__}"
+        )
+    return doc
+
+
+def _toml_value(section: str, key: str, value) -> str:
+    """One TOML literal; raises on shapes a spec dict never contains."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return json.dumps(value)
+    if isinstance(value, str):
+        return json.dumps(value)
+    if isinstance(value, (list, tuple)):
+        items = ", ".join(_toml_value(section, key, v) for v in value)
+        return f"[{items}]"
+    raise ConfigurationError(
+        f"{section}.{key}: cannot encode {type(value).__name__} as TOML"
+    )
+
+
+def dumps_toml(doc: dict) -> str:
+    """Emit a two-level spec dict as TOML (``None`` fields are omitted).
+
+    TOML has no null, so optional fields that are unset simply do not
+    appear; :meth:`RunSpec.from_dict` fills them back in as defaults,
+    which keeps the round-trip exact for every representable spec.
+    """
+    lines: list[str] = []
+    for section, table in doc.items():
+        if not isinstance(table, dict):
+            raise ConfigurationError(
+                f"{section}: spec sections must be tables, got {table!r}"
+            )
+        lines.append(f"[{section}]")
+        for key, value in table.items():
+            if value is None:
+                continue
+            lines.append(f"{key} = {_toml_value(section, key, value)}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def dumps_json(doc: dict) -> str:
+    """Emit a spec dict as stable (sorted-key) pretty JSON."""
+    return json.dumps(doc, sort_keys=True, indent=2)

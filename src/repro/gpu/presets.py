@@ -23,9 +23,21 @@ are the reproduced quantities.
 
 from __future__ import annotations
 
+from repro.errors import ConfigurationError
 from repro.gpu.device import DeviceSpec, HostSpec
 
-__all__ = ["RADEON_5870", "PHENOM_X4", "NVIDIA_WARP32", "RADEON_5870_MEMORY_BYTES"]
+__all__ = [
+    "RADEON_5870",
+    "PHENOM_X4",
+    "NVIDIA_WARP32",
+    "RADEON_5870_MEMORY_BYTES",
+    "DEVICE_PRESETS",
+    "HOST_PRESETS",
+    "device_preset",
+    "host_preset",
+    "device_preset_name",
+    "host_preset_name",
+]
 
 RADEON_5870_MEMORY_BYTES = 1 * 1024**3  # 1 GiB GDDR5
 
@@ -63,3 +75,61 @@ PHENOM_X4 = HostSpec(
     reduction_seconds_per_item=1.0e-8,
     reduction_base_s=5.0e-5,
 )
+
+#: Spec-addressable device presets (``runtime.device`` in a run spec).
+DEVICE_PRESETS: dict[str, DeviceSpec] = {
+    "radeon_5870": RADEON_5870,
+    "nvidia_warp32": NVIDIA_WARP32,
+}
+
+#: Spec-addressable host presets (``runtime.host`` in a run spec).
+HOST_PRESETS: dict[str, HostSpec] = {
+    "phenom_x4": PHENOM_X4,
+}
+
+
+def device_preset(name: str) -> DeviceSpec:
+    """Look up a device preset by spec name."""
+    try:
+        return DEVICE_PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown device preset {name!r}; known: {sorted(DEVICE_PRESETS)}"
+        ) from None
+
+
+def host_preset(name: str) -> HostSpec:
+    """Look up a host preset by spec name."""
+    try:
+        return HOST_PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown host preset {name!r}; known: {sorted(HOST_PRESETS)}"
+        ) from None
+
+
+def device_preset_name(spec: DeviceSpec) -> str:
+    """The spec name of a preset device (serialization direction).
+
+    Ad-hoc :class:`DeviceSpec` instances have no name in the registry
+    and cannot appear in a run spec; constructing one raises here so the
+    gap is loud rather than silently dropped from provenance.
+    """
+    for name, preset in DEVICE_PRESETS.items():
+        if preset == spec:
+            return name
+    raise ConfigurationError(
+        f"device {spec.name!r} is not a registered preset; "
+        "run specs can only reference DEVICE_PRESETS entries"
+    )
+
+
+def host_preset_name(spec: HostSpec) -> str:
+    """The spec name of a preset host (serialization direction)."""
+    for name, preset in HOST_PRESETS.items():
+        if preset == spec:
+            return name
+    raise ConfigurationError(
+        f"host {spec.name!r} is not a registered preset; "
+        "run specs can only reference HOST_PRESETS entries"
+    )

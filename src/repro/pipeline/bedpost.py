@@ -11,12 +11,23 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field as dc_field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import DataError
+from repro.errors import ConfigurationError, DataError
 from repro.gpu.device import DeviceSpec, HostSpec
-from repro.gpu.presets import PHENOM_X4, RADEON_5870
+from repro.gpu.presets import (
+    PHENOM_X4,
+    RADEON_5870,
+    device_preset,
+    device_preset_name,
+    host_preset,
+    host_preset_name,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.config import RunSpec
 from repro.gpu.simulator import kernel_time
 from repro.io.gradients import GradientTable
 from repro.io.volume import Volume
@@ -27,6 +38,10 @@ from repro.models.priors import MultiFiberPriors
 from repro.telemetry import get_registry
 
 __all__ = ["BedpostConfig", "BedpostResult", "bedpost", "modeled_mcmc_times"]
+
+
+#: Noise models the posterior implements (mirrors ``LogPosterior``).
+NOISE_MODELS = ("gaussian", "rician")
 
 
 @dataclass(frozen=True)
@@ -41,6 +56,67 @@ class BedpostConfig:
     block_voxels: int = 50_000
     device: DeviceSpec = RADEON_5870
     host: HostSpec = PHENOM_X4
+
+    def __post_init__(self) -> None:
+        if self.n_fibers < 1:
+            raise ConfigurationError(
+                f"n_fibers must be >= 1, got {self.n_fibers}"
+            )
+        if self.noise_model not in NOISE_MODELS:
+            raise ConfigurationError(
+                f"noise_model must be one of {list(NOISE_MODELS)}, "
+                f"got {self.noise_model!r}"
+            )
+        if not 0.0 <= self.f_threshold <= 1.0:
+            raise ConfigurationError(
+                f"f_threshold must be in [0, 1], got {self.f_threshold}"
+            )
+        if self.block_voxels < 1:
+            raise ConfigurationError(
+                f"block_voxels must be >= 1, got {self.block_voxels}"
+            )
+
+    def to_spec_dict(self) -> dict:
+        """The run-spec form: the ``sampling`` section plus the machine
+        presets' share of ``runtime`` (device/host names)."""
+        sampling = dict(self.mcmc.to_spec_dict())
+        sampling.update(
+            n_fibers=self.n_fibers,
+            ard=self.ard,
+            noise_model=self.noise_model,
+            f_threshold=self.f_threshold,
+            block_voxels=self.block_voxels,
+        )
+        return {
+            "sampling": sampling,
+            "runtime": {
+                "device": device_preset_name(self.device),
+                "host": host_preset_name(self.host),
+            },
+        }
+
+    @classmethod
+    def from_spec_dict(cls, data: dict) -> "BedpostConfig":
+        """Rebuild from :meth:`to_spec_dict` output (or the matching
+        sections of a full run-spec dict; extra keys are ignored)."""
+        sampling = data.get("sampling", {})
+        runtime = data.get("runtime", {})
+        return cls(
+            mcmc=MCMCConfig.from_spec_dict(sampling),
+            n_fibers=sampling.get("n_fibers", 2),
+            ard=sampling.get("ard", False),
+            noise_model=sampling.get("noise_model", "gaussian"),
+            f_threshold=sampling.get("f_threshold", 0.05),
+            block_voxels=sampling.get("block_voxels", 50_000),
+            device=device_preset(runtime.get("device", "radeon_5870")),
+            host=host_preset(runtime.get("host", "phenom_x4")),
+        )
+
+    @classmethod
+    def from_run_spec(cls, spec: "RunSpec") -> "BedpostConfig":
+        """Build the stage-1 config from a resolved
+        :class:`~repro.config.spec.RunSpec`."""
+        return cls.from_spec_dict(spec.to_dict())
 
 
 @dataclass
@@ -113,16 +189,31 @@ def bedpost(
     dwi: Volume,
     gtab: GradientTable,
     mask: np.ndarray,
-    config: BedpostConfig | None = None,
+    config: "BedpostConfig | RunSpec | None" = None,
 ) -> BedpostResult:
     """Run stage 1 over every masked voxel.
 
-    Voxels are processed in blocks of ``config.block_voxels`` to bound
-    the working set; blocks use distinct RNG stream offsets, so results
-    are identical regardless of blocking (each voxel's chain depends only
-    on its own stream and data).
+    ``config`` may be a :class:`BedpostConfig` or a resolved
+    :class:`~repro.config.spec.RunSpec` (its ``sampling`` section plus
+    machine presets are used).  Voxels are processed in blocks of
+    ``config.block_voxels`` to bound the working set; blocks use
+    distinct RNG stream offsets, so results are identical regardless of
+    blocking (each voxel's chain depends only on its own stream and
+    data).
     """
-    cfg = config if config is not None else BedpostConfig()
+    if config is None:
+        cfg = BedpostConfig()
+    elif isinstance(config, BedpostConfig):
+        cfg = config
+    else:
+        from repro.config import RunSpec
+
+        if not isinstance(config, RunSpec):
+            raise ConfigurationError(
+                f"config must be a BedpostConfig or RunSpec, "
+                f"got {type(config).__name__}"
+            )
+        cfg = BedpostConfig.from_run_spec(config)
     mask = np.asarray(mask, dtype=bool)
     if mask.shape != dwi.shape3:
         raise DataError(f"mask shape {mask.shape} != grid {dwi.shape3}")

@@ -9,10 +9,15 @@ lengths, the connectivity matrix, and both stages' modeled speedups.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.data.phantoms import Phantom
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.config import RunSpec
 from repro.pipeline.bedpost import BedpostConfig, BedpostResult, bedpost
 from repro.pipeline.tracto import tracto
 from repro.telemetry import MetricsRegistry, get_registry
@@ -78,17 +83,31 @@ def run_workflow(
     seed_mask: np.ndarray | None = None,
     fit_mask: np.ndarray | None = None,
     n_workers: int | None = None,
+    spec: "RunSpec | None" = None,
 ) -> WorkflowResult:
     """Run both stages on a phantom acquisition.
 
-    ``fit_mask`` restricts stage 1 to a voxel subset (e.g. a white-matter
-    mask — the paper likewise samples only "valid (white matter)"
-    voxels); it defaults to the phantom's full valid mask.  ``seed_mask``
-    restricts stage-2 seeding (default: fitted voxels with a surviving
-    population).  ``n_workers`` overrides the tracking stage's process
-    count (results are bit-identical for any value; see
-    :mod:`repro.runtime`).
+    ``spec`` — a resolved :class:`~repro.config.spec.RunSpec` — is the
+    declarative alternative to the per-stage configs: both
+    :class:`BedpostConfig` and :class:`ProbtrackConfig` are constructed
+    from it.  Passing ``spec`` together with either per-stage config is
+    ambiguous and raises.  ``fit_mask`` restricts stage 1 to a voxel
+    subset (e.g. a white-matter mask — the paper likewise samples only
+    "valid (white matter)" voxels); it defaults to the phantom's full
+    valid mask.  ``seed_mask`` restricts stage-2 seeding (default:
+    fitted voxels with a surviving population).  ``n_workers`` overrides
+    the tracking stage's process count (results are bit-identical for
+    any value; see :mod:`repro.runtime`).
     """
+    if spec is not None:
+        if bedpost_config is not None or probtrack_config is not None:
+            raise ConfigurationError(
+                "pass either spec= or the per-stage configs, not both"
+            )
+        bedpost_config = BedpostConfig.from_run_spec(spec)
+        probtrack_config = ProbtrackConfig.from_run_spec(spec)
+        if n_workers is None:
+            n_workers = spec.runtime.n_workers
     registry = get_registry()
     mask = phantom.mask if fit_mask is None else np.asarray(fit_mask, dtype=bool)
     with registry.span("workflow.bedpost"):

@@ -23,9 +23,12 @@ order; retries and timeouts folded in as operational counters).
 
 from repro.telemetry.manifest import (
     MANIFEST_SCHEMA,
+    MANIFEST_SCHEMA_V1,
+    SUPPORTED_SCHEMAS,
     build_manifest,
     deterministic_sections,
     load_manifest,
+    manifest_config,
     manifest_from_json,
     manifest_to_json,
     validate_manifest,
@@ -52,9 +55,12 @@ __all__ = [
     "set_registry",
     "use_registry",
     "MANIFEST_SCHEMA",
+    "MANIFEST_SCHEMA_V1",
+    "SUPPORTED_SCHEMAS",
     "build_manifest",
     "deterministic_sections",
     "load_manifest",
+    "manifest_config",
     "manifest_from_json",
     "manifest_to_json",
     "validate_manifest",

@@ -12,6 +12,13 @@ the same workload they are bit-identical between a serial run and any
 ``gauges``, ``timers``, and ``spans`` sections are measured and vary run
 to run.
 
+Since schema v2 a manifest also records *provenance*: the resolved
+:class:`~repro.config.spec.RunSpec` dict under ``config`` and its
+content hash under ``config_hash`` — which is what lets ``repro-track
+--replay manifest.json`` reconstruct and rerun the exact configuration
+that produced an output.  v1 manifests (results without provenance)
+still load and validate.
+
 Examples
 --------
 >>> from repro.telemetry import MetricsRegistry
@@ -19,10 +26,14 @@ Examples
 >>> reg.count("demo.events", 2)
 >>> doc = build_manifest(reg, meta={"command": "doctest"})
 >>> doc["schema"]
-'repro.telemetry.manifest/1'
+'repro.telemetry.manifest/2'
 >>> roundtrip = manifest_from_json(manifest_to_json(doc))
 >>> roundtrip["counters"]["demo.events"]
 2
+>>> from repro.config import RunSpec
+>>> doc = build_manifest(reg, config=RunSpec().to_dict())
+>>> doc["config_hash"] == RunSpec().content_hash()
+True
 """
 
 from __future__ import annotations
@@ -35,6 +46,8 @@ from repro.telemetry.registry import MetricsRegistry
 
 __all__ = [
     "MANIFEST_SCHEMA",
+    "MANIFEST_SCHEMA_V1",
+    "SUPPORTED_SCHEMAS",
     "build_manifest",
     "manifest_to_json",
     "manifest_from_json",
@@ -42,10 +55,17 @@ __all__ = [
     "write_manifest",
     "load_manifest",
     "deterministic_sections",
+    "manifest_config",
 ]
 
-#: Schema identifier embedded in (and required of) every manifest.
-MANIFEST_SCHEMA = "repro.telemetry.manifest/1"
+#: Schema identifier written into every new manifest (v2: + provenance).
+MANIFEST_SCHEMA = "repro.telemetry.manifest/2"
+
+#: The pre-provenance schema; still accepted by the loader.
+MANIFEST_SCHEMA_V1 = "repro.telemetry.manifest/1"
+
+#: Every schema :func:`validate_manifest` accepts.
+SUPPORTED_SCHEMAS = (MANIFEST_SCHEMA_V1, MANIFEST_SCHEMA)
 
 #: Top-level keys every valid manifest must carry.
 _REQUIRED_KEYS = (
@@ -59,9 +79,17 @@ _REQUIRED_KEYS = (
     "spans",
 )
 
+#: Keys additionally required by schema v2 (``config`` may be null when
+#: a producer has no run spec, but the keys must be present).
+_REQUIRED_KEYS_V2 = ("config", "config_hash")
 
-def build_manifest(registry: MetricsRegistry, meta: dict | None = None) -> dict:
-    """Assemble a manifest dict from a registry.
+
+def build_manifest(
+    registry: MetricsRegistry,
+    meta: dict | None = None,
+    config: dict | None = None,
+) -> dict:
+    """Assemble a (v2) manifest dict from a registry.
 
     Parameters
     ----------
@@ -70,16 +98,27 @@ def build_manifest(registry: MetricsRegistry, meta: dict | None = None) -> dict:
     meta:
         Free-form, JSON-serializable run metadata (command line, worker
         count, dataset name, ...).
+    config:
+        The resolved run-spec dict (``RunSpec.to_dict()``) that produced
+        this run; its content hash is computed and embedded alongside.
+        ``None`` records a run with no spec (library-level use).
 
     Returns
     -------
     dict
         A manifest passing :func:`validate_manifest`.
     """
+    config_hash = None
+    if config is not None:
+        from repro.config import hash_spec_dict
+
+        config_hash = hash_spec_dict(config)
     snap = registry.snapshot()
     return {
         "schema": MANIFEST_SCHEMA,
         "meta": dict(meta or {}),
+        "config": config,
+        "config_hash": config_hash,
         "counters": snap["counters"],
         "ops": snap["ops"],
         "gauges": snap["gauges"],
@@ -106,18 +145,24 @@ def validate_manifest(doc: dict) -> dict:
     ------
     TelemetryError
         On a missing key, an unknown schema tag, a non-integer counter,
-        or a histogram whose counts don't line up with its edges.
+        a histogram whose counts don't line up with its edges, or a v2
+        ``config`` section that is invalid or contradicts its hash.
     """
     if not isinstance(doc, dict):
         raise TelemetryError(f"manifest must be a dict, got {type(doc).__name__}")
     missing = [k for k in _REQUIRED_KEYS if k not in doc]
     if missing:
         raise TelemetryError(f"manifest missing keys: {missing}")
-    if doc["schema"] != MANIFEST_SCHEMA:
+    if doc["schema"] not in SUPPORTED_SCHEMAS:
         raise TelemetryError(
             f"unknown manifest schema {doc['schema']!r} "
-            f"(expected {MANIFEST_SCHEMA!r})"
+            f"(expected one of {list(SUPPORTED_SCHEMAS)})"
         )
+    if doc["schema"] == MANIFEST_SCHEMA:
+        missing = [k for k in _REQUIRED_KEYS_V2 if k not in doc]
+        if missing:
+            raise TelemetryError(f"v2 manifest missing keys: {missing}")
+        _validate_config_section(doc)
     for section in ("counters", "ops"):
         for name, value in doc[section].items():
             if not isinstance(value, int) or isinstance(value, bool):
@@ -145,6 +190,47 @@ def validate_manifest(doc: dict) -> dict:
     return doc
 
 
+def _validate_config_section(doc: dict) -> None:
+    """v2 provenance checks: spec dict validity and hash agreement."""
+    config, config_hash = doc["config"], doc["config_hash"]
+    if config is None:
+        if config_hash is not None:
+            raise TelemetryError(
+                "manifest has config_hash but no config section"
+            )
+        return
+    # Deferred import: repro.config pulls in layers above telemetry.
+    from repro.config import RunSpec, hash_spec_dict
+    from repro.errors import ConfigurationError
+
+    try:
+        RunSpec.from_dict(config)
+    except ConfigurationError as exc:
+        raise TelemetryError(f"manifest config section invalid: {exc}") from exc
+    expected = hash_spec_dict(config)
+    if config_hash != expected:
+        raise TelemetryError(
+            f"manifest config_hash {config_hash!r} does not match its "
+            f"config section (expected {expected!r})"
+        )
+
+
+def manifest_config(doc: dict):
+    """The embedded run spec of a validated manifest, or ``None``.
+
+    Returns a :class:`~repro.config.spec.RunSpec` for v2 manifests that
+    carry provenance; ``None`` for v1 manifests or v2 manifests written
+    without a spec.  This is what ``repro-track --replay`` runs from.
+    """
+    validate_manifest(doc)
+    config = doc.get("config")
+    if config is None:
+        return None
+    from repro.config import RunSpec
+
+    return RunSpec.from_dict(config)
+
+
 def manifest_to_json(doc: dict) -> str:
     """Serialize a manifest to a stable (sorted-key) JSON string."""
     return json.dumps(validate_manifest(doc), sort_keys=True, indent=2)
@@ -160,7 +246,10 @@ def manifest_from_json(text: str) -> dict:
 
 
 def write_manifest(
-    path: str | Path, registry: MetricsRegistry, meta: dict | None = None
+    path: str | Path,
+    registry: MetricsRegistry,
+    meta: dict | None = None,
+    config: dict | None = None,
 ) -> dict:
     """Build, validate, and write a manifest; returns the manifest dict.
 
@@ -172,8 +261,11 @@ def write_manifest(
         The run's metrics.
     meta:
         Free-form run metadata recorded under ``meta``.
+    config:
+        The resolved run-spec dict for the provenance section (see
+        :func:`build_manifest`).
     """
-    doc = build_manifest(registry, meta=meta)
+    doc = build_manifest(registry, meta=meta, config=config)
     Path(path).write_text(manifest_to_json(doc))
     return doc
 

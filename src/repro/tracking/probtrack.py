@@ -10,20 +10,42 @@ the tracking stage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dc_field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import TrackingError
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.config import RunSpec
+
+from repro.errors import ConfigurationError, TrackingError
 from repro.gpu.device import DeviceSpec, HostSpec
-from repro.gpu.presets import PHENOM_X4, RADEON_5870
+from repro.gpu.presets import (
+    PHENOM_X4,
+    RADEON_5870,
+    device_preset,
+    device_preset_name,
+    host_preset,
+    host_preset_name,
+)
 from repro.models.fields import FiberField
 from repro.tracking.connectivity import ConnectivityAccumulator
 from repro.tracking.criteria import TerminationCriteria
 from repro.tracking.executor import SegmentedTracker, TrackingRunResult
 from repro.tracking.lengths import ExponentialFit, fit_exponential
 from repro.tracking.seeds import seeds_from_mask
-from repro.tracking.segmentation import SegmentationStrategy, table2_strategy
+from repro.tracking.segmentation import (
+    SegmentationStrategy,
+    strategy_from_spec,
+    strategy_to_spec,
+    table2_strategy,
+)
 from repro.telemetry import get_registry
+
+#: Interpolation modes the batch tracker implements.
+INTERPOLATIONS = ("trilinear", "trilinear-reference", "nearest")
+
+#: Thread-ordering policies the segmented executor implements.
+ORDER_POLICIES = ("natural", "sorted")
 
 __all__ = ["ProbtrackConfig", "ProbtrackResult", "probabilistic_streamlining"]
 
@@ -64,6 +86,109 @@ class ProbtrackConfig:
     #: production.
     fault_plan: object | None = None
 
+    def __post_init__(self) -> None:
+        if self.interpolation not in INTERPOLATIONS:
+            raise ConfigurationError(
+                f"interpolation must be one of {list(INTERPOLATIONS)}, "
+                f"got {self.interpolation!r}"
+            )
+        if self.order not in ORDER_POLICIES:
+            raise ConfigurationError(
+                f"order must be one of {list(ORDER_POLICIES)}, got {self.order!r}"
+            )
+        if self.n_workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1, got {self.n_workers}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.shard_timeout_s is not None and self.shard_timeout_s <= 0:
+            raise ConfigurationError(
+                f"shard_timeout_s must be positive (or None), "
+                f"got {self.shard_timeout_s}"
+            )
+
+    def to_spec_dict(self) -> dict:
+        """The run-spec form: ``tracking`` and ``runtime`` section fields.
+
+        Criteria fields are inlined into ``tracking`` (the spec keeps one
+        flat section per stage); the strategy serializes to its name or
+        an explicit array; device/host serialize as preset names; a
+        :class:`~repro.runtime.faults.FaultPlan` serializes back to its
+        spec grammar.
+        """
+        name, array = strategy_to_spec(self.strategy)
+        fault = self.fault_plan
+        tracking = dict(self.criteria.to_spec_dict())
+        tracking.update(
+            strategy=name,
+            strategy_array=list(array) if array is not None else None,
+            interpolation=self.interpolation,
+            order=self.order,
+            overlap=self.overlap,
+            bidirectional=self.bidirectional,
+            accumulate_connectivity=self.accumulate_connectivity,
+        )
+        runtime = {
+            "n_workers": self.n_workers,
+            "max_retries": self.max_retries,
+            "shard_timeout_s": self.shard_timeout_s,
+            "fallback_to_serial": self.fallback_to_serial,
+            "fault_plan": fault.to_spec() if fault is not None else None,
+            "hang_seconds": fault.hang_seconds if fault is not None else None,
+            "device": device_preset_name(self.device),
+            "host": host_preset_name(self.host),
+        }
+        return {"tracking": tracking, "runtime": runtime}
+
+    @classmethod
+    def from_spec_dict(cls, data: dict) -> "ProbtrackConfig":
+        """Rebuild from :meth:`to_spec_dict` output (or the matching
+        sections of a full run-spec dict; extra keys are ignored)."""
+        tracking = data.get("tracking", {})
+        runtime = data.get("runtime", {})
+        fault_plan = None
+        fault_text = runtime.get("fault_plan")
+        if fault_text:
+            from repro.runtime.faults import FaultPlan
+
+            hang = runtime.get("hang_seconds")
+            timeout = runtime.get("shard_timeout_s")
+            if hang is None:
+                # Mirror the CLI's dev-safety bound: an injected hang
+                # never outlives a missing timeout by more than 30 s.
+                hang = timeout * 4 if timeout else 30.0
+            fault_plan = FaultPlan.parse(fault_text, hang_seconds=hang)
+        return cls(
+            criteria=TerminationCriteria.from_spec_dict(tracking),
+            strategy=strategy_from_spec(
+                tracking.get("strategy", "increasing"),
+                tracking.get("strategy_array"),
+            ),
+            device=device_preset(runtime.get("device", "radeon_5870")),
+            host=host_preset(runtime.get("host", "phenom_x4")),
+            interpolation=tracking.get("interpolation", "trilinear"),
+            order=tracking.get("order", "natural"),
+            overlap=tracking.get("overlap", False),
+            accumulate_connectivity=tracking.get(
+                "accumulate_connectivity", True
+            ),
+            bidirectional=tracking.get("bidirectional", False),
+            n_workers=runtime.get("n_workers", 1),
+            max_retries=runtime.get("max_retries", 2),
+            shard_timeout_s=runtime.get("shard_timeout_s"),
+            fallback_to_serial=runtime.get("fallback_to_serial", True),
+            fault_plan=fault_plan,
+        )
+
+    @classmethod
+    def from_run_spec(cls, spec) -> "ProbtrackConfig":
+        """Build the stage-2 config from a resolved
+        :class:`~repro.config.spec.RunSpec`."""
+        return cls.from_spec_dict(spec.to_dict())
+
 
 @dataclass
 class ProbtrackResult:
@@ -97,7 +222,7 @@ class ProbtrackResult:
 
 def probabilistic_streamlining(
     fields: list[FiberField],
-    config: ProbtrackConfig | None = None,
+    config: "ProbtrackConfig | RunSpec | None" = None,
     seed_mask: np.ndarray | None = None,
     seeds: np.ndarray | None = None,
 ) -> ProbtrackResult:
@@ -108,7 +233,9 @@ def probabilistic_streamlining(
     fields:
         One :class:`FiberField` per posterior sample.
     config:
-        Run configuration; defaults reproduce the paper's production
+        Run configuration — a :class:`ProbtrackConfig`, or a resolved
+        :class:`~repro.config.spec.RunSpec` whose ``tracking``/``runtime``
+        sections are used.  Defaults reproduce the paper's production
         setup (increasing-interval strategy, trilinear interpolation).
     seed_mask:
         Boolean volume to seed from (defaults to voxels with a fiber
@@ -118,7 +245,20 @@ def probabilistic_streamlining(
     """
     if not fields:
         raise TrackingError("need at least one sample volume")
-    cfg = config if config is not None else ProbtrackConfig()
+    if config is None:
+        cfg = ProbtrackConfig()
+    elif isinstance(config, ProbtrackConfig):
+        cfg = config
+    else:
+        # Deferred: repro.config lazily pulls runtime modules back in.
+        from repro.config import RunSpec
+
+        if not isinstance(config, RunSpec):
+            raise ConfigurationError(
+                f"config must be a ProbtrackConfig or RunSpec, "
+                f"got {type(config).__name__}"
+            )
+        cfg = ProbtrackConfig.from_run_spec(config)
     registry = get_registry()
 
     with registry.span("probtrack.seeds"):

@@ -37,6 +37,8 @@ __all__ = [
     "paper_strategy_b",
     "paper_strategy_c",
     "table2_strategy",
+    "strategy_from_spec",
+    "strategy_to_spec",
 ]
 
 
@@ -51,6 +53,18 @@ class SegmentationStrategy(ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
+
+    def __eq__(self, other) -> bool:
+        """Structural equality, so configs built from the same spec
+        compare equal (strategies are parameter records, not state)."""
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:
+        items = tuple(
+            (k, tuple(v) if isinstance(v, list) else v)
+            for k, v in sorted(self.__dict__.items())
+        )
+        return hash((type(self).__name__, items))
 
     @staticmethod
     def _check_budget(max_steps: int) -> None:
@@ -173,4 +187,62 @@ def table2_strategy() -> IncreasingStrategy:
     """The Table II production array: {1,2,5,10,20,50,100,200,500,1000}."""
     return IncreasingStrategy(
         [1, 2, 5, 10, 20, 50, 100, 200, 500, 1000], name="increasing"
+    )
+
+
+#: Run-spec strategy names -> constructors (``a<k>`` handled by pattern).
+_NAMED_STRATEGIES = {
+    "increasing": table2_strategy,
+    "b": paper_strategy_b,
+    "c": paper_strategy_c,
+    "single": SingleSegmentStrategy,
+}
+
+
+def strategy_from_spec(
+    name: str, array: list[int] | tuple[int, ...] | None = None
+) -> SegmentationStrategy:
+    """Build a strategy from its run-spec form (``tracking.strategy``).
+
+    ``array`` (``tracking.strategy_array``) wins when given: the result
+    is an explicit :class:`IncreasingStrategy` labeled ``name``.
+    Otherwise ``name`` selects a named strategy: the paper's
+    ``increasing``/``b``/``c`` arrays, ``single`` (no segmentation), or
+    ``a<k>`` uniform ladders.
+    """
+    if array is not None:
+        return IncreasingStrategy(list(array), name=name or "custom")
+    if name in _NAMED_STRATEGIES:
+        return _NAMED_STRATEGIES[name]()
+    if len(name) > 1 and name.startswith("a") and name[1:].isdigit():
+        return UniformStrategy(int(name[1:]))
+    raise ConfigurationError(
+        f"unknown strategy {name!r}; expected one of "
+        f"{sorted(_NAMED_STRATEGIES)}, 'a<k>', or 'custom' with an array"
+    )
+
+
+def strategy_to_spec(
+    strategy: SegmentationStrategy,
+) -> tuple[str, tuple[int, ...] | None]:
+    """A strategy's ``(name, array)`` run-spec form (inverse of
+    :func:`strategy_from_spec` up to equality of produced segments).
+
+    Named strategies serialize compactly; any other explicit array
+    serializes as ``("custom", array)``.  Strategy subclasses outside
+    this module's taxonomy cannot be expressed in a spec and raise.
+    """
+    if isinstance(strategy, UniformStrategy):
+        return f"a{strategy.k}", None
+    if isinstance(strategy, SingleSegmentStrategy):
+        return "single", None
+    if isinstance(strategy, IncreasingStrategy):
+        for name, factory in _NAMED_STRATEGIES.items():
+            if name == "single":
+                continue
+            if strategy.array == factory().array:
+                return name, None
+        return strategy.name or "custom", tuple(strategy.array)
+    raise ConfigurationError(
+        f"strategy {strategy!r} cannot be expressed in a run spec"
     )

@@ -55,5 +55,15 @@ def test_readme_links_every_docs_page():
         "docs/observability.md",
         "docs/fault-tolerance.md",
         "docs/parallelism.md",
+        "docs/configuration.md",
     ):
         assert page in readme, f"README must link {page}"
+
+
+def test_example_specs_resolve():
+    checker = load_checker()
+    sys.path.insert(0, str(REPO / "src"))
+    try:
+        assert checker.check_example_specs() == []
+    finally:
+        sys.path.remove(str(REPO / "src"))

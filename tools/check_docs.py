@@ -8,7 +8,11 @@ unit test keeps it honest locally):
   exist on disk (external ``http(s)``/``mailto`` targets and pure
   ``#anchors`` are skipped);
 * the doctest-bearing modules (``repro.telemetry.*``,
-  ``repro.utils.profiling``) must pass ``doctest.testmod``.
+  ``repro.config.*``, ``repro.utils.profiling``) must pass
+  ``doctest.testmod``;
+* every example run spec in ``examples/specs/`` must resolve to a valid
+  ``RunSpec`` (the CI job additionally resolves each through
+  ``repro-track --config ... --print-config``).
 
 Exit status is the number of failures (0 = clean).
 """
@@ -33,12 +37,15 @@ MARKDOWN = (
     "docs/observability.md",
     "docs/fault-tolerance.md",
     "docs/parallelism.md",
+    "docs/configuration.md",
 )
 
 #: Modules whose doctests the docs job executes.
 DOCTEST_MODULES = (
     "repro.telemetry.registry",
     "repro.telemetry.manifest",
+    "repro.config.spec",
+    "repro.config.layering",
     "repro.utils.profiling",
 )
 
@@ -82,10 +89,27 @@ def check_doctests() -> list[str]:
     return errors
 
 
+def check_example_specs() -> list[str]:
+    """Return one error string per invalid ``examples/specs/`` file."""
+    from repro.config import RunSpec, load_spec_file
+    from repro.errors import ConfigurationError
+
+    specs = sorted((REPO / "examples" / "specs").glob("*"))
+    if not specs:
+        return ["examples/specs: expected example run specs, found none"]
+    errors = []
+    for path in specs:
+        try:
+            RunSpec.from_dict(load_spec_file(path))
+        except ConfigurationError as exc:
+            errors.append(f"examples/specs/{path.name}: {exc}")
+    return errors
+
+
 def main() -> int:
     """Run every check; print failures; exit with their count."""
     sys.path.insert(0, str(REPO / "src"))
-    errors = check_links() + check_doctests()
+    errors = check_links() + check_doctests() + check_example_specs()
     for err in errors:
         print(f"FAIL {err}")
     if not errors:
