@@ -1,0 +1,31 @@
+"""Pluggable array backends for the tracking hot path.
+
+``repro.backends`` owns the seam between the lockstep tracking engine
+and the array library it executes on: a minimal
+:class:`~repro.backends.base.ArrayBackend` protocol (the ~20 operations
+the hot path uses), a canonical NumPy implementation, an adapter for any
+array-API-standard namespace, and an optional CuPy backend gated on
+import — selected per run via ``RunSpec.runtime.array_backend``.
+
+>>> from repro.backends import get_array_backend
+>>> get_array_backend("numpy").name
+'numpy'
+>>> get_array_backend(None).name           # None means the default
+'numpy'
+>>> get_array_backend("array-api").name
+'array-api'
+"""
+
+from repro.backends.base import ARRAY_BACKENDS, ArrayBackend, get_array_backend
+from repro.backends.numpy_backend import NUMPY_BACKEND, NumpyBackend
+from repro.backends.array_api import ARRAY_API_BACKEND, ArrayApiBackend
+
+__all__ = [
+    "ARRAY_BACKENDS",
+    "ArrayBackend",
+    "get_array_backend",
+    "NUMPY_BACKEND",
+    "NumpyBackend",
+    "ARRAY_API_BACKEND",
+    "ArrayApiBackend",
+]

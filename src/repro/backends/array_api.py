@@ -1,0 +1,144 @@
+"""Array-API-standard adapter for the tracking hot path.
+
+:class:`ArrayApiBackend` maps the :class:`~repro.backends.base.ArrayBackend`
+operations onto the `array API standard <https://data-apis.org/array-api/>`_
+names (``concat``, ``round``, ``linalg.vector_norm``, …), so any
+conforming namespace — NumPy ≥ 2's main namespace, ``array_api_strict``,
+JAX's ``jax.numpy`` in its compatible mode — can execute the tracker.
+
+``out=``/``where=`` capacity hints are ignored (the standard has no
+out-parameters); callers already use the returned array, so the only
+cost is allocation churn.  ``where=`` on :meth:`divide` is emulated with
+``where(mask, a / safe_b, a)`` — per-lane arithmetic is identical to
+NumPy's masked divide, so results stay bitwise equal (asserted by the
+backend-parity test suite).
+
+The default instance adapts **NumPy's own namespace**: it computes the
+same numbers through the standard's spelling, which is exactly what
+makes it the conformance harness for the seam.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import ArrayBackend
+
+__all__ = ["ArrayApiBackend", "ARRAY_API_BACKEND"]
+
+
+class ArrayApiBackend(ArrayBackend):
+    """Adapter over an array-API-standard namespace ``xp``.
+
+    The namespace must additionally support NumPy-style integer-array
+    indexing *assignment* (``a[idx] = v``) — the tracker's scatter
+    writes — which the standard leaves optional but every mainstream
+    implementation provides.
+    """
+
+    name = "array-api"
+
+    def __init__(self, xp=None) -> None:
+        self.xp = np if xp is None else xp
+
+    def asarray(self, a, dtype=None):
+        return self.xp.asarray(a, dtype=dtype)
+
+    def empty(self, shape, dtype=None):
+        return self.xp.empty(
+            shape, dtype=self.xp.float64 if dtype is None else dtype
+        )
+
+    def zeros(self, shape, dtype=None):
+        return self.xp.zeros(
+            shape, dtype=self.xp.float64 if dtype is None else dtype
+        )
+
+    def full(self, shape, fill_value, dtype=None):
+        return self.xp.full(shape, fill_value, dtype=dtype)
+
+    def arange(self, n, dtype=None):
+        return self.xp.arange(n, dtype=dtype)
+
+    def to_numpy(self, a):
+        return np.asarray(a)
+
+    def take(self, a, indices, axis=0, out=None):
+        return self.xp.take(a, indices, axis=axis)
+
+    def concatenate(self, arrays, axis=0):
+        concat = getattr(self.xp, "concat", None)
+        if concat is None:  # pre-2.0 NumPy spells it concatenate
+            concat = self.xp.concatenate
+        return concat(arrays, axis=axis)
+
+    def flatnonzero(self, a):
+        return self.xp.nonzero(self.xp.reshape(a, (-1,)))[0]
+
+    def argsort(self, a):
+        return self.xp.argsort(a, stable=True)
+
+    def argmax(self, a, axis=None):
+        return self.xp.argmax(a, axis=axis)
+
+    def where(self, cond, a, b):
+        return self.xp.where(cond, a, b)
+
+    def rint(self, a):
+        # The standard's round() is round-half-to-even — the same
+        # rounding np.rint performs, bit for bit.
+        return self.xp.round(a)
+
+    def floor(self, a):
+        return self.xp.floor(a)
+
+    def abs(self, a):
+        return self.xp.abs(a)
+
+    def sign(self, a, out=None):
+        return self.xp.sign(a)
+
+    def sqrt(self, a, out=None):
+        return self.xp.sqrt(a)
+
+    def clip(self, a, lo, hi):
+        return self.xp.clip(a, lo, hi)
+
+    def minimum(self, a, b, out=None):
+        return self.xp.minimum(a, b)
+
+    def maximum(self, a, b, out=None):
+        return self.xp.maximum(a, b)
+
+    def multiply(self, a, b, out=None):
+        return self.xp.multiply(a, b)
+
+    def subtract(self, a, b, out=None):
+        return self.xp.subtract(a, b)
+
+    def divide(self, a, b, out=None, where=None):
+        if where is None:
+            return self.xp.divide(a, b)
+        base = a if out is None else out
+        safe = self.xp.where(where, b, self.xp.asarray(1.0, dtype=b.dtype))
+        return self.xp.where(where, self.xp.divide(a, safe), base)
+
+    def copyto(self, dst, value, where=None):
+        if where is None:
+            return self.xp.full(dst.shape, value, dtype=dst.dtype)
+        return self.xp.where(
+            where, self.xp.asarray(value, dtype=dst.dtype), dst
+        )
+
+    def count_nonzero(self, a):
+        fn = getattr(self.xp, "count_nonzero", None)
+        if fn is not None:
+            return int(fn(a))
+        return int(self.xp.sum(self.xp.astype(a != 0, self.xp.int64)))
+
+    def norm(self, a, axis=None):
+        return self.xp.linalg.vector_norm(a, axis=axis)
+
+
+#: Shared adapter over NumPy's array-API-compliant main namespace.
+ARRAY_API_BACKEND = ArrayApiBackend()

@@ -1,0 +1,190 @@
+"""The :class:`ArrayBackend` seam — what the tracking hot path computes *on*.
+
+The lockstep tracker's inner loop is ~20 array operations repeated per
+iteration: gathers (``take``), elementwise arithmetic, reductions, and a
+handful of index manipulations.  :class:`ArrayBackend` names exactly
+those operations, so the hot path (:mod:`repro.tracking.interpolate`,
+:mod:`repro.tracking.direction`, :mod:`repro.tracking.batch`) never calls
+``np.`` directly — it calls ``xb.``, where ``xb`` is whichever backend
+the run selected via ``RunSpec.runtime.array_backend``:
+
+* ``"numpy"`` — :class:`~repro.backends.numpy_backend.NumpyBackend`,
+  thin static wrappers around the exact NumPy calls the pre-seam code
+  made (bit-identical by construction);
+* ``"array-api"`` — :class:`~repro.backends.array_api.ArrayApiBackend`
+  over any array-API-standard namespace (NumPy's own main namespace by
+  default — the conformance harness for the seam);
+* ``"cupy"`` — :class:`~repro.backends.cupy_backend.CupyBackend`, gated
+  on ``import cupy`` succeeding, which turns the analytic GPU *simulator*
+  into an optional real-GPU execution path.
+
+Contract notes
+--------------
+``out=`` and ``where=`` parameters are **capacity hints**, not
+guarantees: a backend may ignore them and return a fresh array, so
+callers must always use the *returned* array (the NumPy backend returns
+``out`` itself, preserving the scratch-arena reuse the hot loop relies
+on).  Fancy indexing, slicing, in-place operators, and array methods
+(``.sum``, ``.any``, ``.astype``, ``.reshape``) are used directly on
+backend arrays — every supported backend implements the NumPy indexing
+semantics the tracker needs, which is deliberately narrower than the
+array-API standard (the standard omits integer-array assignment).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ArrayBackend", "ARRAY_BACKENDS", "get_array_backend"]
+
+#: Valid ``runtime.array_backend`` names, in documentation order.
+ARRAY_BACKENDS = ("numpy", "array-api", "cupy")
+
+
+class ArrayBackend(ABC):
+    """The ~20 array operations the tracking hot path is written against.
+
+    Subclasses provide the operations as static/bound callables with
+    NumPy-compatible semantics.  Dtype handling follows NumPy rules:
+    float work is float64, index work is int64 (the executor's
+    bit-identity contract depends on it).
+    """
+
+    #: Registry name (``"numpy"``, ``"array-api"``, ``"cupy"``).
+    name: str = "abstract"
+
+    # -- construction / interchange ------------------------------------
+    @abstractmethod
+    def asarray(self, a, dtype=None): ...
+
+    @abstractmethod
+    def empty(self, shape, dtype=None): ...
+
+    @abstractmethod
+    def zeros(self, shape, dtype=None): ...
+
+    @abstractmethod
+    def full(self, shape, fill_value, dtype=None): ...
+
+    @abstractmethod
+    def arange(self, n, dtype=None): ...
+
+    @abstractmethod
+    def to_numpy(self, a):
+        """Materialize ``a`` as a host :class:`numpy.ndarray` (no copy
+        when ``a`` already is one)."""
+
+    # -- gathers and index manipulation --------------------------------
+    @abstractmethod
+    def take(self, a, indices, axis=0, out=None): ...
+
+    @abstractmethod
+    def concatenate(self, arrays, axis=0): ...
+
+    @abstractmethod
+    def flatnonzero(self, a): ...
+
+    @abstractmethod
+    def argsort(self, a): ...
+
+    @abstractmethod
+    def argmax(self, a, axis=None): ...
+
+    # -- elementwise ----------------------------------------------------
+    @abstractmethod
+    def where(self, cond, a, b): ...
+
+    @abstractmethod
+    def rint(self, a): ...
+
+    @abstractmethod
+    def floor(self, a): ...
+
+    @abstractmethod
+    def abs(self, a): ...
+
+    @abstractmethod
+    def sign(self, a, out=None): ...
+
+    @abstractmethod
+    def sqrt(self, a, out=None): ...
+
+    @abstractmethod
+    def clip(self, a, lo, hi): ...
+
+    @abstractmethod
+    def minimum(self, a, b, out=None): ...
+
+    @abstractmethod
+    def maximum(self, a, b, out=None): ...
+
+    @abstractmethod
+    def multiply(self, a, b, out=None): ...
+
+    @abstractmethod
+    def subtract(self, a, b, out=None): ...
+
+    @abstractmethod
+    def divide(self, a, b, out=None, where=None):
+        """Elementwise ``a / b``; where ``where`` is False the output
+        keeps ``out``'s (or ``a``'s) prior value, NumPy-style."""
+
+    @abstractmethod
+    def copyto(self, dst, value, where=None):
+        """``dst[where] = value``; returns the updated array."""
+
+    # -- reductions ------------------------------------------------------
+    @abstractmethod
+    def count_nonzero(self, a): ...
+
+    @abstractmethod
+    def norm(self, a, axis=None): ...
+
+    # -- cached helpers --------------------------------------------------
+    def rows(self, m: int):
+        """A cached ``arange(m)`` — the row index of every fancy lookup
+        in the direction-selection core (allocated once per backend,
+        grown geometrically)."""
+        cache = getattr(self, "_rows_cache", None)
+        if cache is None or int(cache.shape[0]) < m:
+            cache = self.arange(max(m, 256))
+            self._rows_cache = cache
+        return cache[:m]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def get_array_backend(name: str | None = None) -> ArrayBackend:
+    """Resolve an ``ArrayBackend`` by registry name.
+
+    ``None`` and ``"numpy"`` return the shared NumPy backend singleton;
+    ``"array-api"`` returns the adapter over NumPy's array-API-compliant
+    main namespace; ``"cupy"`` requires CuPy to be importable and raises
+    :class:`~repro.errors.ConfigurationError` (not ``ImportError``) when
+    it is not, so a bad spec fails with the field to fix.
+    """
+    if name is None or name == "numpy":
+        from repro.backends.numpy_backend import NUMPY_BACKEND
+
+        return NUMPY_BACKEND
+    if name == "array-api":
+        from repro.backends.array_api import ARRAY_API_BACKEND
+
+        return ARRAY_API_BACKEND
+    if name == "cupy":
+        try:
+            from repro.backends.cupy_backend import CupyBackend
+        except ImportError as exc:
+            raise ConfigurationError(
+                "runtime.array_backend: 'cupy' requested but cupy is not "
+                f"installed ({exc}); install cupy or pick one of "
+                f"{[n for n in ARRAY_BACKENDS if n != 'cupy']}"
+            ) from exc
+        return CupyBackend.instance()
+    raise ConfigurationError(
+        f"runtime.array_backend: unknown backend {name!r}; "
+        f"known: {list(ARRAY_BACKENDS)}"
+    )

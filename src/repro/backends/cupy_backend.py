@@ -1,0 +1,131 @@
+"""Optional CuPy :class:`~repro.backends.base.ArrayBackend` — the real-GPU path.
+
+Importing this module requires ``cupy``; the registry
+(:func:`repro.backends.get_array_backend`) gates on that import and
+converts failure into a :class:`~repro.errors.ConfigurationError`, so
+selecting ``runtime.array_backend = "cupy"`` on a machine without CUDA
+fails with the config field to fix instead of a bare traceback.
+
+CuPy mirrors the NumPy API (including ``out=`` kernels and fancy-index
+assignment), so the mapping below is nearly verbatim; the two real
+differences are device residency (``asarray`` uploads, ``to_numpy``
+downloads via ``.get()``) and exact floating-point results, which may
+differ from the CPU in the last ulp — the bit-identity contract is a
+*per-backend* contract, asserted between engines on the same backend.
+"""
+
+from __future__ import annotations
+
+import cupy as cp
+import numpy as np
+
+from repro.backends.base import ArrayBackend
+
+__all__ = ["CupyBackend"]
+
+
+class CupyBackend(ArrayBackend):
+    """CuPy delegation: device arrays under the NumPy idiom."""
+
+    name = "cupy"
+
+    _instance: "CupyBackend | None" = None
+
+    @classmethod
+    def instance(cls) -> "CupyBackend":
+        if cls._instance is None:
+            cls._instance = cls()
+        return cls._instance
+
+    def asarray(self, a, dtype=None):
+        return cp.asarray(a, dtype=dtype)
+
+    def empty(self, shape, dtype=None):
+        return cp.empty(shape, dtype=cp.float64 if dtype is None else dtype)
+
+    def zeros(self, shape, dtype=None):
+        return cp.zeros(shape, dtype=cp.float64 if dtype is None else dtype)
+
+    def full(self, shape, fill_value, dtype=None):
+        return cp.full(shape, fill_value, dtype=dtype)
+
+    def arange(self, n, dtype=None):
+        return cp.arange(n, dtype=dtype)
+
+    def to_numpy(self, a):
+        if isinstance(a, cp.ndarray):
+            return a.get()
+        return np.asarray(a)
+
+    def take(self, a, indices, axis=0, out=None):
+        return cp.take(a, indices, axis=axis, out=out)
+
+    def concatenate(self, arrays, axis=0):
+        return cp.concatenate(arrays, axis=axis)
+
+    def flatnonzero(self, a):
+        return cp.flatnonzero(a)
+
+    def argsort(self, a):
+        return cp.argsort(a, kind="stable")
+
+    def argmax(self, a, axis=None):
+        return cp.argmax(a, axis=axis)
+
+    def where(self, cond, a, b):
+        return cp.where(cond, a, b)
+
+    def rint(self, a):
+        return cp.rint(a)
+
+    def floor(self, a):
+        return cp.floor(a)
+
+    def abs(self, a):
+        return cp.abs(a)
+
+    def sign(self, a, out=None):
+        return cp.sign(a, out=out)
+
+    def sqrt(self, a, out=None):
+        return cp.sqrt(a, out=out)
+
+    def clip(self, a, lo, hi):
+        return cp.clip(a, lo, hi)
+
+    def minimum(self, a, b, out=None):
+        return cp.minimum(a, b, out=out)
+
+    def maximum(self, a, b, out=None):
+        return cp.maximum(a, b, out=out)
+
+    def multiply(self, a, b, out=None):
+        return cp.multiply(a, b, out=out)
+
+    def subtract(self, a, b, out=None):
+        return cp.subtract(a, b, out=out)
+
+    def divide(self, a, b, out=None, where=None):
+        if where is None:
+            return cp.divide(a, b, out=out)
+        # CuPy has no where= ufunc kwarg; emulate NumPy's semantics.
+        base = a if out is None else out
+        safe = cp.where(where, b, cp.asarray(1.0, dtype=b.dtype))
+        result = cp.where(where, a / safe, base)
+        if out is not None:
+            out[...] = result
+            return out
+        return result
+
+    def copyto(self, dst, value, where=None):
+        if where is None:
+            dst[...] = value
+        else:
+            dst[...] = cp.where(where, cp.asarray(value, dtype=dst.dtype), dst)
+        return dst
+
+    def count_nonzero(self, a):
+        return int(cp.count_nonzero(a))
+
+    def norm(self, a, axis=None):
+        return cp.linalg.norm(a, axis=axis)

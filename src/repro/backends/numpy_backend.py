@@ -1,0 +1,114 @@
+"""The canonical NumPy :class:`~repro.backends.base.ArrayBackend`.
+
+Every method is the *exact* NumPy call the pre-seam hot path made — thin
+enough that threading the backend through
+:mod:`repro.tracking.interpolate` / :mod:`~repro.tracking.direction` /
+:mod:`~repro.tracking.batch` cannot perturb a single bit of the tracking
+results (the property suite asserts this against the scalar reference).
+``out=`` buffers are honored, preserving the scratch-arena reuse that
+PR 1's kernel pass introduced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import ArrayBackend
+
+__all__ = ["NumpyBackend", "NUMPY_BACKEND"]
+
+
+class NumpyBackend(ArrayBackend):
+    """Direct NumPy delegation; the default and reference backend."""
+
+    name = "numpy"
+
+    def asarray(self, a, dtype=None):
+        return np.asarray(a, dtype=dtype)
+
+    def empty(self, shape, dtype=None):
+        return np.empty(shape, dtype=np.float64 if dtype is None else dtype)
+
+    def zeros(self, shape, dtype=None):
+        return np.zeros(shape, dtype=np.float64 if dtype is None else dtype)
+
+    def full(self, shape, fill_value, dtype=None):
+        return np.full(shape, fill_value, dtype=dtype)
+
+    def arange(self, n, dtype=None):
+        return np.arange(n, dtype=dtype)
+
+    def to_numpy(self, a):
+        return np.asarray(a)
+
+    def take(self, a, indices, axis=0, out=None):
+        return np.take(a, indices, axis=axis, out=out)
+
+    def concatenate(self, arrays, axis=0):
+        return np.concatenate(arrays, axis=axis)
+
+    def flatnonzero(self, a):
+        return np.flatnonzero(a)
+
+    def argsort(self, a):
+        # "stable" so equal keys keep seed order — the Fig 4 sorted-mode
+        # permutation must be reproducible across engines and backends.
+        return np.argsort(a, kind="stable")
+
+    def argmax(self, a, axis=None):
+        return np.argmax(a, axis=axis)
+
+    def where(self, cond, a, b):
+        return np.where(cond, a, b)
+
+    def rint(self, a):
+        return np.rint(a)
+
+    def floor(self, a):
+        return np.floor(a)
+
+    def abs(self, a):
+        return np.abs(a)
+
+    def sign(self, a, out=None):
+        return np.sign(a, out=out)
+
+    def sqrt(self, a, out=None):
+        return np.sqrt(a, out=out)
+
+    def clip(self, a, lo, hi):
+        return np.clip(a, lo, hi)
+
+    def minimum(self, a, b, out=None):
+        return np.minimum(a, b, out=out)
+
+    def maximum(self, a, b, out=None):
+        return np.maximum(a, b, out=out)
+
+    def multiply(self, a, b, out=None):
+        return np.multiply(a, b, out=out)
+
+    def subtract(self, a, b, out=None):
+        return np.subtract(a, b, out=out)
+
+    def divide(self, a, b, out=None, where=None):
+        if where is None:
+            return np.divide(a, b, out=out)
+        return np.divide(a, b, out=out, where=where)
+
+    def copyto(self, dst, value, where=None):
+        if where is None:
+            np.copyto(dst, value)
+        else:
+            np.copyto(dst, value, where=where)
+        return dst
+
+    def count_nonzero(self, a):
+        return int(np.count_nonzero(a))
+
+    def norm(self, a, axis=None):
+        return np.linalg.norm(a, axis=axis)
+
+
+#: Shared singleton — the default for every tracker and lookup call.
+NUMPY_BACKEND = NumpyBackend()

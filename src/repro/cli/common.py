@@ -25,6 +25,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro.backends.base import ARRAY_BACKENDS
 from repro.config import RunSpec, resolve_run_spec
 
 __all__ = [
@@ -44,6 +45,7 @@ RUNTIME_FLAG_MAP = {
     "max_retries": "runtime.max_retries",
     "shard_timeout": "runtime.shard_timeout_s",
     "inject_fault": "runtime.fault_plan",
+    "array_backend": "runtime.array_backend",
 }
 
 #: ``args`` attribute -> run-spec dotted path, for the telemetry group.
@@ -90,6 +92,11 @@ def add_runtime_group(p: argparse.ArgumentParser) -> None:
                         "'crash:0' (shard 0's first attempt crashes), "
                         "'hang:1:*', 'corrupt:s2'; recovery keeps output "
                         "bit-identical to a clean run")
+    g.add_argument("--array-backend", default=None,
+                   choices=list(ARRAY_BACKENDS),
+                   help="array backend for the lockstep inner loop "
+                        "(default numpy; cupy needs CuPy installed; "
+                        "all backends produce bit-identical results)")
 
 
 def add_telemetry_group(

@@ -46,6 +46,7 @@ import json
 import re
 from dataclasses import asdict, dataclass, field, fields
 
+from repro.backends.base import ARRAY_BACKENDS
 from repro.errors import ConfigurationError
 from repro.gpu.presets import DEVICE_PRESETS, HOST_PRESETS
 
@@ -60,6 +61,8 @@ __all__ = [
     "NOISE_MODELS",
     "INTERPOLATIONS",
     "ORDER_POLICIES",
+    "ENGINES",
+    "ARRAY_BACKENDS",
     "STRATEGY_NAME_RE",
 ]
 
@@ -71,6 +74,9 @@ INTERPOLATIONS = ("trilinear", "trilinear-reference", "nearest")
 
 #: Valid ``tracking.order`` thread-ordering policies (mirrors the executor).
 ORDER_POLICIES = ("natural", "sorted")
+
+#: Valid ``tracking.engine`` values (mirrors ``SegmentedTracker``).
+ENGINES = ("per-sample", "fused")
 
 #: Named segmentation strategies: the paper's arrays plus ``a<k>`` uniform
 #: ladders; ``custom`` requires ``tracking.strategy_array``.
@@ -223,6 +229,8 @@ class TrackingSpec:
     bidirectional: bool = False
     accumulate_connectivity: bool = True
     min_export_steps: int = 100
+    engine: str = "per-sample"
+    compact_threshold: float = 0.25
 
     _PREFIX = "tracking"
     _VALIDATORS = {
@@ -234,6 +242,8 @@ class TrackingSpec:
         "interpolation": _enum(INTERPOLATIONS),
         "order": _enum(ORDER_POLICIES),
         "min_export_steps": _int_min(0),
+        "engine": _enum(ENGINES),
+        "compact_threshold": _float_range(0.0, 1.0),
     }
 
     def __post_init__(self) -> None:
@@ -258,6 +268,7 @@ class RuntimeSpec:
     hang_seconds: float | None = None
     device: str = "radeon_5870"
     host: str = "phenom_x4"
+    array_backend: str = "numpy"
 
     _PREFIX = "runtime"
     _VALIDATORS = {
@@ -268,6 +279,7 @@ class RuntimeSpec:
         "fault_plan": _fault_plan,
         "device": _device_name,
         "host": _host_name,
+        "array_backend": _enum(ARRAY_BACKENDS),
     }
 
     def __post_init__(self) -> None:
@@ -310,12 +322,13 @@ _FIELD_KINDS: dict[type, dict[str, str]] = {
         "strategy_array": "opt_int_list", "interpolation": "str",
         "order": "str", "overlap": "bool", "bidirectional": "bool",
         "accumulate_connectivity": "bool", "min_export_steps": "int",
+        "engine": "str", "compact_threshold": "float",
     },
     RuntimeSpec: {
         "n_workers": "int", "max_retries": "int",
         "shard_timeout_s": "opt_float", "fallback_to_serial": "bool",
         "fault_plan": "opt_str", "hang_seconds": "opt_float",
-        "device": "str", "host": "str",
+        "device": "str", "host": "str", "array_backend": "str",
     },
     TelemetrySpec: {
         "metrics_out": "opt_str", "trace_out": "opt_str",

@@ -62,12 +62,15 @@ class DeviceMemory:
         self.spec = spec
         self._live: dict[int, DeviceBuffer | Image3D] = {}
         self._next_id = 0
+        self._used = 0
         self.peak_bytes = 0
 
     @property
     def used_bytes(self) -> int:
-        """Sum of live allocation sizes."""
-        return sum(a.nbytes for a in self._live.values())
+        """Sum of live allocation sizes (maintained as a running total,
+        so alloc/free stay O(1) regardless of how many allocations the
+        fused engine keeps resident)."""
+        return self._used
 
     @property
     def free_bytes(self) -> int:
@@ -91,13 +94,15 @@ class DeviceMemory:
         handle = self._next_id
         self._next_id += 1
         self._live[handle] = allocation
-        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+        self._used += allocation.nbytes
+        self.peak_bytes = max(self.peak_bytes, self._used)
         return handle
 
     def free(self, handle: int) -> None:
         """Release an allocation by handle."""
         if handle not in self._live:
             raise DeviceError(f"unknown or already-freed handle {handle}")
+        self._used -= self._live[handle].nbytes
         del self._live[handle]
 
     def alloc_array(self, label: str, array: np.ndarray) -> int:

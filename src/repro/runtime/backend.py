@@ -27,6 +27,12 @@ per-kind timeline totals are **bit-identical** to the serial path:
 Workers are plain top-level functions over picklable work units
 (:class:`ShardTask`); the pool uses the ``fork`` start method where the
 platform offers it, falling back to the default method otherwise.
+Engine selection rides on the pickled tracker: a
+:class:`SegmentedTracker` carries its ``engine``, ``compact_threshold``,
+and ``array_backend`` *name* (backends are resolved per process at run
+time, never pickled), so a ``"fused"`` tracker fuses each shard's local
+samples independently — and the bit-identity argument above applies
+row-wise, unchanged.
 
 Fault tolerance
 ---------------

@@ -35,7 +35,12 @@ from repro.tracking.segmentation import (
     paper_strategy_c,
     table2_strategy,
 )
-from repro.tracking.executor import SegmentedTracker, TrackingRunResult
+from repro.tracking.executor import (
+    TRACKING_ENGINES,
+    SegmentedTracker,
+    TrackingRunResult,
+)
+from repro.tracking.fused import FusedBatchTracker, StackedFields
 from repro.tracking.connectivity import ConnectivityAccumulator
 from repro.tracking.lengths import (
     ExponentialFit,
@@ -77,6 +82,9 @@ __all__ = [
     "table2_strategy",
     "SegmentedTracker",
     "TrackingRunResult",
+    "TRACKING_ENGINES",
+    "FusedBatchTracker",
+    "StackedFields",
     "ConnectivityAccumulator",
     "ExponentialFit",
     "fit_exponential",

@@ -2,8 +2,8 @@
 
 All streamlines advance one step per "instruction": every iteration
 interpolates, chooses a direction, tests the stop criteria, and steps,
-for *every active thread simultaneously* via vectorized NumPy — the exact
-dataflow of the paper's one-thread-per-fiber kernel.  Execution is
+for *every active thread simultaneously* via vectorized array ops — the
+exact dataflow of the paper's one-thread-per-fiber kernel.  Execution is
 segment-bounded: :meth:`BatchTracker.run_segment` advances at most
 ``n_iterations`` steps and reports each thread's *executed* iteration
 count, which the machine model turns into SIMD wavefront time.
@@ -11,15 +11,35 @@ count, which the machine model turns into SIMD wavefront time.
 The semantics match :func:`repro.tracking.streamline.track_streamline`
 step for step (asserted in the test suite — the paper's "CPU and GPU
 results are substantially the same" check, here made exact).
+
+Array backend
+-------------
+The inner loop is written against a :class:`~repro.backends.base.ArrayBackend`
+(``self.xb``) rather than NumPy directly, so the same kernel runs on the
+NumPy reference backend, the array-API adapter, or CuPy.  Field flat
+views are converted once at construction (``asarray`` is a no-op for
+NumPy, an upload for CuPy) and every ``out=`` result is reassigned,
+since backends may ignore capacity hints and return fresh arrays.
+
+Fused multi-sample states
+-------------------------
+When ``BatchState.sample`` is set, rows belong to different sample
+volumes of a :class:`~repro.tracking.fused.StackedFields` stack: gathers
+add ``sample * n_vox`` to flat voxel indices so one ``take`` serves all
+samples, and visit callbacks receive ``(samples, origins, voxels)``.
+Per-row arithmetic is unchanged, which is why the fused engine is
+bit-identical to running each sample alone.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
+from repro.backends import NUMPY_BACKEND, ArrayBackend
 from repro.errors import TrackingError
 from repro.models.fields import FiberField
 from repro.tracking.criteria import StopReason, TerminationCriteria
@@ -35,7 +55,8 @@ from repro.utils.voxels import flat_voxel_index
 __all__ = ["BatchState", "BatchTracker"]
 
 #: visit callback signature: (original thread indices, flat voxel indices)
-VisitCallback = Callable[[np.ndarray, np.ndarray], None]
+#: — or (sample indices, thread indices, voxel indices) for fused states.
+VisitCallback = Callable[..., None]
 
 
 @dataclass
@@ -53,6 +74,9 @@ class BatchState:
     origin:
         ``(n,)`` indices into the original seed array — preserved across
         compaction so results land on the right seed.
+    sample:
+        Optional ``(n,)`` shard-local sample indices for fused
+        multi-sample states (``None`` for single-sample states).
     """
 
     positions: np.ndarray
@@ -60,6 +84,7 @@ class BatchState:
     steps: np.ndarray
     reason: np.ndarray
     origin: np.ndarray
+    sample: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         n = self.positions.shape[0]
@@ -68,6 +93,8 @@ class BatchState:
         for name in ("steps", "reason", "origin"):
             if getattr(self, name).shape != (n,):
                 raise TrackingError(f"{name} must be (n,)")
+        if self.sample is not None and self.sample.shape != (n,):
+            raise TrackingError("sample must be (n,)")
 
     @property
     def n_threads(self) -> int:
@@ -82,7 +109,7 @@ class BatchState:
     @property
     def n_active(self) -> int:
         """Count of still-tracking threads."""
-        return int(np.count_nonzero(self.active))
+        return int(self.active.sum())
 
     def compact(self) -> "BatchState":
         """The CPU's ``Reduction()``: keep only unfinished threads."""
@@ -93,6 +120,7 @@ class BatchState:
             steps=self.steps[keep].copy(),
             reason=self.reason[keep].copy(),
             origin=self.origin[keep].copy(),
+            sample=None if self.sample is None else self.sample[keep].copy(),
         )
 
     def payload_bytes_down(self) -> int:
@@ -114,101 +142,186 @@ class BatchTracker:
         field: FiberField,
         criteria: TerminationCriteria,
         interpolation: str = "trilinear",
+        xb: ArrayBackend = NUMPY_BACKEND,
     ) -> None:
         if interpolation not in ("trilinear", "trilinear-reference", "nearest"):
             raise TrackingError(f"unknown interpolation {interpolation!r}")
         self.field = field
         self.criteria = criteria
         self.interpolation = interpolation
-        self._scratch = Scratch()
+        self.xb = xb
+        # Convert the packed views once: a no-op for NumPy, one upload
+        # for device backends.
+        f2, d2, mask_flat = field.flat_views()
+        self._views = (xb.asarray(f2), xb.asarray(d2))
+        self._off_limits = ~xb.asarray(mask_flat)
+        self._n_vox = math.prod(field.shape3)
+        self._scratch = Scratch(xb)
 
-    def init_state(self, seeds: np.ndarray, headings: np.ndarray) -> BatchState:
+    def init_state(
+        self,
+        seeds: np.ndarray,
+        headings: np.ndarray,
+        *,
+        origin: np.ndarray | None = None,
+        sample: np.ndarray | None = None,
+    ) -> BatchState:
         """Fresh state from ``(n, 3)`` seeds and initial headings.
 
         Threads with a zero heading (no population at the seed) start
-        terminated with ``NO_DIRECTION``.
+        terminated with ``NO_DIRECTION``.  ``origin`` overrides the
+        default ``arange(n)`` seed identity (the fused engine passes
+        per-sample permutations); ``sample`` attaches shard-local sample
+        indices to build a fused multi-sample state.
         """
-        seeds = np.asarray(seeds, dtype=np.float64)
-        headings = np.asarray(headings, dtype=np.float64)
+        xb = self.xb
+        seeds = xb.asarray(seeds, dtype=np.float64)
+        headings = xb.asarray(headings, dtype=np.float64)
         if seeds.ndim != 2 or seeds.shape[1] != 3 or headings.shape != seeds.shape:
             raise TrackingError(
                 f"seeds/headings must both be (n, 3), got {seeds.shape} "
                 f"and {headings.shape}"
             )
         n = seeds.shape[0]
-        reason = np.full(n, StopReason.ACTIVE, dtype=np.int64)
-        dead = np.linalg.norm(headings, axis=1) < 1e-12
-        reason[dead] = StopReason.NO_DIRECTION
+        reason = xb.full((n,), int(StopReason.ACTIVE), dtype=np.int64)
+        dead = xb.norm(headings, axis=1) < 1e-12
+        reason[dead] = int(StopReason.NO_DIRECTION)
+        if origin is None:
+            origin = xb.arange(n, dtype=np.int64)
+        else:
+            origin = xb.asarray(origin, dtype=np.int64)
         return BatchState(
             positions=seeds.copy(),
             headings=headings.copy(),
-            steps=np.zeros(n, dtype=np.int64),
+            steps=xb.zeros((n,), dtype=np.int64),
             reason=reason,
-            origin=np.arange(n, dtype=np.int64),
+            origin=origin,
+            sample=None if sample is None else xb.asarray(sample, dtype=np.int64),
         )
+
+    def _reference_fused(self, pos, head, samp):
+        """Reference-mode interpolation for fused states: group rows by
+        sample and run the executable spec per volume (host-side — the
+        reference path is a spec, not a production path)."""
+        xb = self.xb
+        pos_h = xb.to_numpy(pos)
+        head_h = xb.to_numpy(head)
+        samp_h = xb.to_numpy(samp)
+        n = pos_h.shape[0]
+        n_fib = self.field.n_fibers
+        f = np.empty((n, n_fib), dtype=np.float64)
+        d = np.empty((n, n_fib, 3), dtype=np.float64)
+        for s in np.unique(samp_h):
+            rows = samp_h == s
+            fs, ds = trilinear_lookup_reference(
+                self.field.fields[int(s)], pos_h[rows], reference=head_h[rows]
+            )
+            f[rows] = fs
+            d[rows] = ds
+        return xb.asarray(f), xb.asarray(d)
 
     def run_segment(
         self,
         state: BatchState,
         n_iterations: int,
         visit_callback: VisitCallback | None = None,
+        stop_fraction: float | None = None,
     ) -> np.ndarray:
         """Advance up to ``n_iterations`` steps; returns executed counts.
 
         ``executed[i]`` is the number of kernel-loop iterations thread
         ``i`` performed (a lane executes the iteration in which it
         decides to stop).  State arrays are updated in place.
+
+        ``stop_fraction`` enables adaptive in-segment compaction: when
+        the active set shrinks below ``stop_fraction`` of the count at
+        segment entry, the segment returns early so the caller can
+        compact and relaunch the remainder — the modeled GPU's "stop the
+        kernel when most lanes idle" policy.  The executed counts still
+        reflect exactly the iterations each lane performed, so the early
+        return is invisible to results and wavefront timing.
         """
         if n_iterations < 0:
             raise TrackingError(f"n_iterations must be >= 0, got {n_iterations}")
+        xb = self.xb
         crit = self.criteria
         shape3 = self.field.shape3
         nx, ny, nz = shape3
-        _, _, mask_flat = self.field.flat_views()
-        off_limits = ~mask_flat
-        executed = np.zeros(state.n_threads, dtype=np.int64)
-        lo = np.zeros(3, dtype=np.int64)
-        hi = np.array([nx - 1, ny - 1, nz - 1], dtype=np.int64)
+        off_limits = self._off_limits
+        views = self._views
+        fused = state.sample is not None
+        n_vox = self._n_vox
+        executed = xb.zeros((state.n_threads,), dtype=np.int64)
+        lo = xb.zeros((3,), dtype=np.int64)
+        hi = xb.asarray([nx - 1, ny - 1, nz - 1], dtype=np.int64)
         sc = self._scratch
 
         # Visits are buffered and emitted once per segment (the readback
         # granularity of the modeled kernel) instead of per iteration.
         visit_threads: list[np.ndarray] = []
         visit_voxels: list[np.ndarray] = []
+        visit_samples: list[np.ndarray] = []
 
         # The active set only shrinks inside a segment, and only through
         # the writes below — track it incrementally instead of rescanning
         # the reason array every iteration.
-        idx = np.flatnonzero(state.active)
+        idx = xb.flatnonzero(state.active)
+        n_launched = int(idx.shape[0])
         for _ in range(n_iterations):
-            if idx.size == 0:
+            if idx.shape[0] == 0:
                 break
             executed[idx] += 1
-            m = idx.size
-            pos = np.take(state.positions, idx, axis=0, out=sc.get("pos", (m, 3)))
-            head = np.take(state.headings, idx, axis=0, out=sc.get("head", (m, 3)))
+            m = int(idx.shape[0])
+            pos = xb.take(state.positions, idx, axis=0, out=sc.get("pos", (m, 3)))
+            head = xb.take(state.headings, idx, axis=0, out=sc.get("head", (m, 3)))
+            if fused:
+                samp = xb.take(state.sample, idx, axis=0)
+                row_off = samp * n_vox
+            else:
+                samp = None
+                row_off = None
 
             if self.interpolation == "trilinear":
-                f, dirs = trilinear_lookup(self.field, pos, reference=head, scratch=sc)
+                f, dirs = trilinear_lookup(
+                    self.field,
+                    pos,
+                    reference=head,
+                    scratch=sc,
+                    xb=xb,
+                    views=views,
+                    row_offset=row_off,
+                )
             elif self.interpolation == "trilinear-reference":
-                f, dirs = trilinear_lookup_reference(self.field, pos, reference=head)
+                if fused:
+                    f, dirs = self._reference_fused(pos, head, samp)
+                else:
+                    f, dirs = trilinear_lookup_reference(
+                        self.field, xb.to_numpy(pos), reference=xb.to_numpy(head)
+                    )
+                    f = xb.asarray(f)
+                    dirs = xb.asarray(dirs)
             else:
-                f, dirs = nearest_lookup(self.field, pos)
+                f, dirs = nearest_lookup(
+                    self.field, pos, xb=xb, views=views, row_offset=row_off
+                )
             chosen, dot, any_ok = _choose_direction_core(
-                f, dirs, head, crit.f_threshold
+                f, dirs, head, crit.f_threshold, xb=xb
             )
 
             no_dir = ~any_ok
             sharp = ~no_dir & (dot < crit.min_dot)
 
             new_pos = pos + crit.step_length * chosen
-            vox = np.rint(new_pos).astype(np.int64)
-            cv = np.minimum(np.maximum(vox, lo), hi)
+            vox = xb.rint(new_pos).astype(np.int64)
+            cv = xb.minimum(xb.maximum(vox, lo), hi)
             # Clipping moved a coordinate iff the step left the grid.
             oob = (vox != cv).any(axis=1)
             oob &= ~(no_dir | sharp)
             flat = flat_voxel_index(cv[:, 0], cv[:, 1], cv[:, 2], shape3)
-            off_mask = off_limits[flat]
+            if fused:
+                off_mask = off_limits[flat + row_off]
+            else:
+                off_mask = off_limits[flat]
             off_mask &= ~(no_dir | sharp | oob)
 
             stopped = no_dir | sharp | oob | off_mask
@@ -226,18 +339,33 @@ class BatchTracker:
             hit_budget = state.steps[mov] >= crit.max_steps
             state.reason[mov[hit_budget]] = StopReason.MAX_STEPS
 
-            if visit_callback is not None and mov.size:
+            if visit_callback is not None and mov.shape[0]:
                 # ok-rows are in bounds, so the clipped flat index equals
                 # the unclipped one the visit contract specifies.
                 visit_threads.append(state.origin[mov])
                 visit_voxels.append(flat[ok])
+                if fused:
+                    visit_samples.append(state.sample[mov])
             idx = mov[~hit_budget]
+            if (
+                stop_fraction is not None
+                and 0 < int(idx.shape[0]) < stop_fraction * n_launched
+            ):
+                break
 
         if visit_callback is not None and visit_threads:
-            visit_callback(
-                np.concatenate(visit_threads), np.concatenate(visit_voxels)
-            )
-        return executed
+            if fused:
+                visit_callback(
+                    xb.to_numpy(xb.concatenate(visit_samples)),
+                    xb.to_numpy(xb.concatenate(visit_threads)),
+                    xb.to_numpy(xb.concatenate(visit_voxels)),
+                )
+            else:
+                visit_callback(
+                    xb.to_numpy(xb.concatenate(visit_threads)),
+                    xb.to_numpy(xb.concatenate(visit_voxels)),
+                )
+        return xb.to_numpy(executed)
 
     def run_to_completion(
         self,

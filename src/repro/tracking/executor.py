@@ -17,10 +17,12 @@ does *not* transfer across samples.
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field as dc_field
 
 import numpy as np
 
+from repro.backends import get_array_backend
 from repro.errors import ConfigurationError, TrackingError
 from repro.gpu.device import DeviceSpec, HostSpec
 from repro.gpu.presets import PHENOM_X4, RADEON_5870
@@ -32,11 +34,22 @@ from repro.tracking.batch import BatchState, BatchTracker
 from repro.tracking.criteria import StopReason, TerminationCriteria
 from repro.tracking.connectivity import ConnectivityAccumulator
 from repro.tracking.direction import initial_directions
-from repro.tracking.interpolate import nearest_lookup
+from repro.tracking.fused import FusedBatchTracker, FusedVisitBuffer, StackedFields
+from repro.tracking.interpolate import nearest_flat_index, nearest_lookup
 from repro.tracking.segmentation import SegmentationStrategy
 from repro.telemetry import get_registry
 
-__all__ = ["SegmentedTracker", "TrackingRunResult", "STEP_HISTOGRAM_EDGES"]
+__all__ = [
+    "SegmentedTracker",
+    "TrackingRunResult",
+    "STEP_HISTOGRAM_EDGES",
+    "TRACKING_ENGINES",
+]
+
+#: Engine choices: ``"per-sample"`` launches the lockstep kernel once per
+#: sample volume (the paper's Algorithm 1 schedule); ``"fused"`` stacks
+#: all shard-local samples into one batch and advances them together.
+TRACKING_ENGINES = ("per-sample", "fused")
 
 #: Fixed bucket edges for the streamline-step histogram — fixed so that
 #: serial and sharded runs bucket identically (the paper's Fig 5 bins).
@@ -142,22 +155,75 @@ class TrackingRunResult:
 
 
 class SegmentedTracker:
-    """Runs Algorithm 1 over sample volumes with a segmentation strategy."""
+    """Runs Algorithm 1 over sample volumes with a segmentation strategy.
+
+    Parameters
+    ----------
+    device, host, interpolation:
+        Machine model and lookup mode (unchanged from the per-sample-only
+        executor).
+    engine:
+        ``"per-sample"`` (default) or ``"fused"`` — see
+        :data:`TRACKING_ENGINES` and :mod:`repro.tracking.fused`.
+    array_backend:
+        Name of the :class:`~repro.backends.base.ArrayBackend` the hot
+        loop executes on (``None``/"numpy", "array-api", "cupy").  Stored
+        as a *name* and resolved at run time, so a pickled tracker (the
+        process backend ships one per shard) never carries device arrays.
+    compact_threshold:
+        Fused-engine adaptive compaction: when a launch's active set
+        falls below this fraction of its entry count, the kernel returns
+        early, the host compacts, and the segment remainder relaunches.
+        ``0.0`` disables (compaction only at segment boundaries).
+    """
 
     def __init__(
         self,
         device: DeviceSpec = RADEON_5870,
         host: HostSpec = PHENOM_X4,
         interpolation: str = "trilinear",
+        engine: str = "per-sample",
+        array_backend: str | None = None,
+        compact_threshold: float = 0.25,
     ) -> None:
+        if engine not in TRACKING_ENGINES:
+            raise ConfigurationError(
+                f"unknown tracking engine {engine!r}; known: {list(TRACKING_ENGINES)}"
+            )
+        if not 0.0 <= compact_threshold <= 1.0:
+            raise ConfigurationError(
+                f"compact_threshold must be in [0, 1], got {compact_threshold}"
+            )
         self.device = device
         self.host = host
         self.interpolation = interpolation
+        self.engine = engine
+        self.array_backend = array_backend
+        self.compact_threshold = compact_threshold
+        # Fail fast on an unknown/unavailable backend name (the resolved
+        # instance itself is never stored — see `array_backend` above).
+        get_array_backend(array_backend)
 
     # -- seed headings ------------------------------------------------------
 
-    def _initial_headings(self, field: FiberField, seeds: np.ndarray) -> np.ndarray:
-        f, dirs = nearest_lookup(field, seeds)
+    def _initial_headings(
+        self,
+        field: FiberField,
+        seeds: np.ndarray,
+        seed_flat: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Default launch directions at each seed.
+
+        ``seed_flat`` optionally carries the seeds' precomputed flat
+        voxel indices: the seed set is identical for every sample, so
+        callers hoist the position→voxel arithmetic out of the per-sample
+        loop and only the per-field gather remains.
+        """
+        if seed_flat is None:
+            f, dirs = nearest_lookup(field, seeds)
+        else:
+            f2, d2, _ = field.flat_views()
+            f, dirs = f2[seed_flat], d2[seed_flat]
         return initial_directions(f, dirs)
 
     # -- main entry ---------------------------------------------------------
@@ -236,17 +302,51 @@ class SegmentedTracker:
         seeds = np.asarray(seeds, dtype=np.float64)
         if seeds.ndim != 2 or seeds.shape[1] != 3:
             raise TrackingError(f"seeds must be (n, 3), got {seeds.shape}")
+        if headings is not None:
+            headings = np.asarray(headings, dtype=np.float64)
+            if headings.shape != seeds.shape:
+                raise TrackingError(
+                    f"headings must match seeds shape {seeds.shape}, "
+                    f"got {headings.shape}"
+                )
+        elif heading_signs is not None:
+            heading_signs = np.asarray(heading_signs, dtype=np.float64)
+            if heading_signs.shape != (seeds.shape[0],):
+                raise TrackingError(
+                    f"heading_signs must be ({seeds.shape[0]},), "
+                    f"got {heading_signs.shape}"
+                )
+
+        if self.engine == "fused":
+            return self._run_fused(
+                fields,
+                seeds,
+                criteria,
+                strategy,
+                connectivity,
+                order,
+                overlap,
+                headings,
+                heading_signs,
+                sort_key,
+                sample_offset,
+            )
+
         segments = strategy.segments(criteria.max_steps)
         n_seeds = seeds.shape[0]
         n_samples = len(fields)
+        xb = get_array_backend(self.array_backend)
 
         lengths = np.zeros((n_samples, n_seeds), dtype=np.int64)
         reasons = np.zeros((n_samples, n_seeds), dtype=np.int64)
         timeline = Timeline()
         launches: list[KernelLaunch] = []
-        permutation = np.arange(n_seeds)
         registry = get_registry()
         t0 = time.perf_counter()
+
+        # The seed set is the same for every sample: resolve seed voxels
+        # once (per grid shape) and reuse across the per-sample loop.
+        seed_flats: dict[tuple[int, int, int], np.ndarray] = {}
 
         # Device allocations: the per-thread state (persistent) plus the
         # bound sample volume(s).  Overlap keeps two samples resident
@@ -255,14 +355,14 @@ class SegmentedTracker:
         memory.alloc(
             DeviceBuffer("thread-state", n_seeds * (28 + 32))
         )
-        image_handles: list[int] = []
+        image_handles: deque[int] = deque()
         resident_images = 2 if overlap else 1
 
         for s, field in enumerate(fields):
             g = s + sample_offset  # global sample index
             stream = (g % 2) if overlap else 0
             while len(image_handles) >= resident_images:
-                memory.free(image_handles.pop(0))
+                memory.free(image_handles.popleft())
             image_handles.append(
                 memory.alloc(
                     DeviceBuffer(f"sample{g}:images", _field_image_bytes(field))
@@ -274,24 +374,19 @@ class SegmentedTracker:
                 transfer_time(_field_image_bytes(field), self.device),
                 stream=stream,
             )
-            tracker = BatchTracker(field, criteria, self.interpolation)
+            tracker = BatchTracker(field, criteria, self.interpolation, xb=xb)
             if headings is not None:
-                h = np.asarray(headings, dtype=np.float64)
-                if h.shape != seeds.shape:
-                    raise TrackingError(
-                        f"headings must match seeds shape {seeds.shape}, "
-                        f"got {h.shape}"
-                    )
+                h = headings
             else:
-                h = self._initial_headings(field, seeds)
+                if field.shape3 not in seed_flats:
+                    seed_flats[field.shape3] = nearest_flat_index(
+                        seeds, field.shape3
+                    )
+                h = self._initial_headings(
+                    field, seeds, seed_flat=seed_flats[field.shape3]
+                )
                 if heading_signs is not None:
-                    signs = np.asarray(heading_signs, dtype=np.float64)
-                    if signs.shape != (seeds.shape[0],):
-                        raise TrackingError(
-                            f"heading_signs must be ({seeds.shape[0]},), "
-                            f"got {signs.shape}"
-                        )
-                    h = h * signs[:, None]
+                    h = h * heading_signs[:, None]
             state = tracker.init_state(seeds, h)
 
             if order == "sorted" and g > 0:
@@ -310,12 +405,12 @@ class SegmentedTracker:
             # Seeds with no population start terminated; record them now
             # so an all-dead launch still produces a complete result row.
             born_dead = ~state.active
-            if born_dead.any():
-                registry.count(
-                    "tracking.born_dead", int(np.count_nonzero(born_dead))
-                )
-                lengths[s, state.origin[born_dead]] = 0
-                reasons[s, state.origin[born_dead]] = state.reason[born_dead]
+            n_born_dead = int(born_dead.sum())
+            if n_born_dead:
+                registry.count("tracking.born_dead", n_born_dead)
+                bd_origin = xb.to_numpy(state.origin[born_dead])
+                lengths[s, bd_origin] = 0
+                reasons[s, bd_origin] = xb.to_numpy(state.reason[born_dead])
                 state = state.compact()
 
             visit_cb = None
@@ -364,17 +459,18 @@ class SegmentedTracker:
                     finished = ~state.active
                     registry.count("tracking.compactions", 1)
                     registry.count(
-                        "tracking.threads_retired",
-                        int(np.count_nonzero(finished)),
+                        "tracking.threads_retired", int(finished.sum())
                     )
-                    lengths[s, state.origin[finished]] = state.steps[finished]
-                    reasons[s, state.origin[finished]] = state.reason[finished]
+                    fin_origin = xb.to_numpy(state.origin[finished])
+                    lengths[s, fin_origin] = xb.to_numpy(state.steps[finished])
+                    reasons[s, fin_origin] = xb.to_numpy(state.reason[finished])
                     state = state.compact()
 
             if state.n_active:  # budget covered but threads still active
                 state.reason[:] = StopReason.MAX_STEPS
-                lengths[s, state.origin] = state.steps
-                reasons[s, state.origin] = state.reason
+                origin = xb.to_numpy(state.origin)
+                lengths[s, origin] = xb.to_numpy(state.steps)
+                reasons[s, origin] = xb.to_numpy(state.reason)
 
             if connectivity is not None:
                 connectivity.end_sample()
@@ -397,3 +493,254 @@ class SegmentedTracker:
             peak_device_bytes=memory.peak_bytes,
         )
         return result
+
+    # -- fused engine -------------------------------------------------------
+
+    def _run_fused(
+        self,
+        fields: list[FiberField],
+        seeds: np.ndarray,
+        criteria: TerminationCriteria,
+        strategy: SegmentationStrategy,
+        connectivity: ConnectivityAccumulator | None,
+        order: str,
+        overlap: bool,
+        headings: np.ndarray | None,
+        heading_signs: np.ndarray | None,
+        sort_key: np.ndarray | None,
+        sample_offset: int,
+    ) -> TrackingRunResult:
+        """One fused lockstep run over all shard-local samples.
+
+        All inputs are pre-validated by :meth:`run`.  Counter accounting
+        mirrors the per-sample engine's *logical* launches — a fused
+        kernel covering k live samples counts k launches/compactions —
+        so the deterministic telemetry section is identical across
+        engines, worker counts, and compaction thresholds.
+        """
+        registry = get_registry()
+        t0 = time.perf_counter()
+        n_seeds = seeds.shape[0]
+        n_samples = len(fields)
+
+        if order == "sorted" and sort_key is None and n_samples > 1:
+            # Fig 4 needs sample 0's lengths before later samples can be
+            # permuted: run it as a fused group of one, then fuse the
+            # rest — the same two-phase split the process backend uses.
+            first = self._run_fused(
+                fields[:1], seeds, criteria, strategy, connectivity,
+                order, overlap, headings, heading_signs, None, sample_offset,
+            )
+            rest = self._run_fused(
+                fields[1:], seeds, criteria, strategy, connectivity,
+                order, overlap, headings, heading_signs,
+                first.lengths[0].copy(), sample_offset + 1,
+            )
+            timeline = Timeline()
+            timeline.merge(first.timeline)
+            timeline.merge(rest.timeline)
+            lengths = np.concatenate([first.lengths, rest.lengths], axis=0)
+            return TrackingRunResult(
+                lengths=lengths,
+                reasons=np.concatenate([first.reasons, rest.reasons], axis=0),
+                timeline=timeline,
+                launches=first.launches + rest.launches,
+                cpu_seconds=float(lengths.sum()) * self.host.seconds_per_iteration,
+                wall_seconds=time.perf_counter() - t0,
+                peak_device_bytes=max(
+                    first.peak_device_bytes, rest.peak_device_bytes
+                ),
+            )
+
+        xb = get_array_backend(self.array_backend)
+        segments = strategy.segments(criteria.max_steps)
+        stack = StackedFields(list(fields))
+        tracker = FusedBatchTracker(stack, criteria, self.interpolation, xb=xb)
+        registry.count("tracking.fused_samples", n_samples)
+
+        lengths = np.zeros((n_samples, n_seeds), dtype=np.int64)
+        reasons = np.zeros((n_samples, n_seeds), dtype=np.int64)
+        timeline = Timeline()
+        launches: list[KernelLaunch] = []
+
+        # Fused residency: every sample's images stay bound for the whole
+        # run (that is the point of fusion), plus one thread-state buffer
+        # covering all (sample, seed) rows.  Honest consequence: a stack
+        # that exceeds device capacity raises DeviceError — shard smaller.
+        memory = DeviceMemory(self.device)
+        memory.alloc(
+            DeviceBuffer("thread-state", n_samples * n_seeds * (28 + 32))
+        )
+        for s, field in enumerate(fields):
+            g = s + sample_offset
+            stream = (g % 2) if overlap else 0
+            memory.alloc(
+                DeviceBuffer(f"sample{g}:images", _field_image_bytes(field))
+            )
+            timeline.add(
+                "transfer",
+                f"sample{g}:images",
+                transfer_time(_field_image_bytes(field), self.device),
+                stream=stream,
+            )
+
+        # Per-sample launch blocks: seed voxel arithmetic hoisted (the
+        # stack guarantees a single grid shape), per-sample gathers and
+        # the Fig 4 permutation applied per block.
+        seed_flat = None if headings is not None else nearest_flat_index(
+            seeds, stack.shape3
+        )
+        pos_blocks: list[np.ndarray] = []
+        head_blocks: list[np.ndarray] = []
+        origin_blocks: list[np.ndarray] = []
+        sample_blocks: list[np.ndarray] = []
+        for s, field in enumerate(fields):
+            g = s + sample_offset
+            if headings is not None:
+                h = headings
+            else:
+                h = self._initial_headings(field, seeds, seed_flat=seed_flat)
+                if heading_signs is not None:
+                    h = h * heading_signs[:, None]
+            if order == "sorted" and g > 0:
+                permutation = np.argsort(sort_key, kind="stable")
+                pos_blocks.append(seeds[permutation])
+                head_blocks.append(h[permutation])
+                origin_blocks.append(permutation.astype(np.int64))
+            else:
+                pos_blocks.append(seeds)
+                head_blocks.append(h)
+                origin_blocks.append(np.arange(n_seeds, dtype=np.int64))
+            sample_blocks.append(np.full(n_seeds, s, dtype=np.int64))
+
+        state = tracker.init_state(
+            np.concatenate(pos_blocks, axis=0),
+            np.concatenate(head_blocks, axis=0),
+            origin=np.concatenate(origin_blocks),
+            sample=np.concatenate(sample_blocks),
+        )
+
+        born_dead = ~state.active
+        n_born_dead = int(born_dead.sum())
+        if n_born_dead:
+            registry.count("tracking.born_dead", n_born_dead)
+            bd_sample = xb.to_numpy(state.sample[born_dead])
+            bd_origin = xb.to_numpy(state.origin[born_dead])
+            lengths[bd_sample, bd_origin] = 0
+            reasons[bd_sample, bd_origin] = xb.to_numpy(state.reason[born_dead])
+            state = state.compact()
+
+        visit_cb = None
+        sink = None
+        if connectivity is not None:
+            sink = FusedVisitBuffer(n_samples)
+            visit_cb = sink.record
+
+        stop_fraction = self.compact_threshold if self.compact_threshold > 0 else None
+        for i, seg_iters in enumerate(segments):
+            if state.n_active == 0:
+                break
+            # Logical launch accounting: a sample participates in this
+            # segment iff it still has active rows — exactly when the
+            # per-sample engine would launch its segment i.
+            live = np.bincount(xb.to_numpy(state.sample), minlength=n_samples)
+            n_live_samples = int((live > 0).sum())
+            registry.count("tracking.kernel_launches", n_live_samples)
+            registry.count("tracking.compactions", n_live_samples)
+            with registry.span(
+                "tracking.fused_segment",
+                segment=i,
+                iters=seg_iters,
+                samples=n_live_samples,
+            ):
+                remaining = seg_iters
+                sub = 0
+                while remaining > 0 and state.n_active > 0:
+                    label = f"fused:seg{i}" + (f":c{sub}" if sub else "")
+                    timeline.add(
+                        "transfer",
+                        f"{label}:down",
+                        transfer_time(state.payload_bytes_down(), self.device),
+                        stream=0,
+                    )
+                    executed = tracker.run_segment(
+                        state,
+                        remaining,
+                        visit_cb,
+                        stop_fraction=stop_fraction,
+                    )
+                    k_sec = kernel_time(executed, self.device)
+                    timeline.add("kernel", label, k_sec, stream=0)
+                    launches.append(
+                        KernelLaunch(
+                            label=label,
+                            n_threads=state.n_threads,
+                            max_iterations=remaining,
+                            executed_iterations=int(executed.sum()),
+                            seconds=k_sec,
+                        )
+                    )
+                    registry.count("tracking.steps", int(executed.sum()))
+                    timeline.add(
+                        "transfer",
+                        f"{label}:up",
+                        transfer_time(state.payload_bytes_up(), self.device),
+                        stream=0,
+                    )
+                    timeline.add(
+                        "reduction",
+                        f"{label}:compact",
+                        reduction_time(state.n_threads, self.host),
+                        stream=0,
+                    )
+                    # Every row was active at launch, so the longest lane
+                    # sets how much of the segment budget was consumed.
+                    iters_run = int(executed.max())
+                    finished = ~state.active
+                    n_finished = int(finished.sum())
+                    registry.count("tracking.threads_retired", n_finished)
+                    if n_finished:
+                        fin_sample = xb.to_numpy(state.sample[finished])
+                        fin_origin = xb.to_numpy(state.origin[finished])
+                        lengths[fin_sample, fin_origin] = xb.to_numpy(
+                            state.steps[finished]
+                        )
+                        reasons[fin_sample, fin_origin] = xb.to_numpy(
+                            state.reason[finished]
+                        )
+                        state = state.compact()
+                    remaining -= max(iters_run, 1)
+                    if remaining > 0 and state.n_active > 0:
+                        # The early return triggered: the relaunch below
+                        # is an adaptive (in-segment) compaction.
+                        registry.count(
+                            "tracking.compactions_adaptive",
+                            1,
+                            deterministic=False,
+                        )
+                    sub += 1
+
+        if state.n_active:  # budget covered but threads still active
+            state.reason[:] = StopReason.MAX_STEPS
+            fin_sample = xb.to_numpy(state.sample)
+            fin_origin = xb.to_numpy(state.origin)
+            lengths[fin_sample, fin_origin] = xb.to_numpy(state.steps)
+            reasons[fin_sample, fin_origin] = xb.to_numpy(state.reason)
+
+        if sink is not None:
+            sink.flush(connectivity)
+
+        registry.histogram(
+            "tracking.streamline_steps", STEP_HISTOGRAM_EDGES
+        ).observe_many(lengths)
+        registry.gauge("tracking.peak_device_bytes").set_max(memory.peak_bytes)
+
+        return TrackingRunResult(
+            lengths=lengths,
+            reasons=reasons,
+            timeline=timeline,
+            launches=launches,
+            cpu_seconds=float(lengths.sum()) * self.host.seconds_per_iteration,
+            wall_seconds=time.perf_counter() - t0,
+            peak_device_bytes=memory.peak_bytes,
+        )

@@ -17,6 +17,7 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.config import RunSpec
 
+from repro.backends.base import ARRAY_BACKENDS
 from repro.errors import ConfigurationError, TrackingError
 from repro.gpu.device import DeviceSpec, HostSpec
 from repro.gpu.presets import (
@@ -30,7 +31,11 @@ from repro.gpu.presets import (
 from repro.models.fields import FiberField
 from repro.tracking.connectivity import ConnectivityAccumulator
 from repro.tracking.criteria import TerminationCriteria
-from repro.tracking.executor import SegmentedTracker, TrackingRunResult
+from repro.tracking.executor import (
+    TRACKING_ENGINES,
+    SegmentedTracker,
+    TrackingRunResult,
+)
 from repro.tracking.lengths import ExponentialFit, fit_exponential
 from repro.tracking.seeds import seeds_from_mask
 from repro.tracking.segmentation import (
@@ -61,6 +66,17 @@ class ProbtrackConfig:
     interpolation: str = "trilinear"
     order: str = "natural"
     overlap: bool = False
+    #: Tracking engine: ``"per-sample"`` launches the lockstep kernel
+    #: once per posterior sample; ``"fused"`` stacks all shard-local
+    #: samples into one batch (bit-identical, far fewer launches).
+    engine: str = "per-sample"
+    #: Fused-engine adaptive compaction: relaunch mid-segment once the
+    #: active fraction drops below this (0 disables, 1 compacts whenever
+    #: any thread retires).
+    compact_threshold: float = 0.25
+    #: Array backend for the lockstep inner loop (``"numpy"``,
+    #: ``"array-api"``, or ``"cupy"`` when CuPy is installed).
+    array_backend: str = "numpy"
     accumulate_connectivity: bool = True
     #: Launch each seed in both senses of its strongest population (FSL's
     #: default behaviour; the paper does not specify).  Thread count and
@@ -96,6 +112,21 @@ class ProbtrackConfig:
             raise ConfigurationError(
                 f"order must be one of {list(ORDER_POLICIES)}, got {self.order!r}"
             )
+        if self.engine not in TRACKING_ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {list(TRACKING_ENGINES)}, "
+                f"got {self.engine!r}"
+            )
+        if not 0.0 <= self.compact_threshold <= 1.0:
+            raise ConfigurationError(
+                f"compact_threshold must be in [0, 1], "
+                f"got {self.compact_threshold}"
+            )
+        if self.array_backend not in ARRAY_BACKENDS:
+            raise ConfigurationError(
+                f"array_backend must be one of {list(ARRAY_BACKENDS)}, "
+                f"got {self.array_backend!r}"
+            )
         if self.n_workers < 1:
             raise ConfigurationError(
                 f"n_workers must be >= 1, got {self.n_workers}"
@@ -128,10 +159,13 @@ class ProbtrackConfig:
             interpolation=self.interpolation,
             order=self.order,
             overlap=self.overlap,
+            engine=self.engine,
+            compact_threshold=self.compact_threshold,
             bidirectional=self.bidirectional,
             accumulate_connectivity=self.accumulate_connectivity,
         )
         runtime = {
+            "array_backend": self.array_backend,
             "n_workers": self.n_workers,
             "max_retries": self.max_retries,
             "shard_timeout_s": self.shard_timeout_s,
@@ -172,6 +206,9 @@ class ProbtrackConfig:
             interpolation=tracking.get("interpolation", "trilinear"),
             order=tracking.get("order", "natural"),
             overlap=tracking.get("overlap", False),
+            engine=tracking.get("engine", "per-sample"),
+            compact_threshold=tracking.get("compact_threshold", 0.25),
+            array_backend=runtime.get("array_backend", "numpy"),
             accumulate_connectivity=tracking.get(
                 "accumulate_connectivity", True
             ),
@@ -291,7 +328,12 @@ def probabilistic_streamlining(
             seed_map=seed_map,
         )
     tracker = SegmentedTracker(
-        device=cfg.device, host=cfg.host, interpolation=cfg.interpolation
+        device=cfg.device,
+        host=cfg.host,
+        interpolation=cfg.interpolation,
+        engine=cfg.engine,
+        array_backend=cfg.array_backend,
+        compact_threshold=cfg.compact_threshold,
     )
     # Imported here: repro.runtime depends on repro.tracking, so a
     # module-level import would be circular.

@@ -1,0 +1,203 @@
+"""The array-backend seam: registry behavior and op-level parity.
+
+The lockstep inner loop is written against
+:class:`repro.backends.ArrayBackend`; the contract is that every backend
+produces **bitwise-identical** float64 results for the op set the kernel
+uses, so engine output cannot depend on ``runtime.array_backend``.
+"""
+
+import importlib.util
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    ARRAY_API_BACKEND,
+    NUMPY_BACKEND,
+    ArrayApiBackend,
+    get_array_backend,
+)
+from repro.backends.base import ARRAY_BACKENDS
+from repro.errors import ConfigurationError
+
+HAVE_CUPY = importlib.util.find_spec("cupy") is not None
+
+
+class TestRegistry:
+    def test_none_and_numpy_resolve_to_the_numpy_singleton(self):
+        assert get_array_backend(None) is NUMPY_BACKEND
+        assert get_array_backend("numpy") is NUMPY_BACKEND
+
+    def test_array_api_resolves_to_the_adapter_singleton(self):
+        assert get_array_backend("array-api") is ARRAY_API_BACKEND
+        assert isinstance(ARRAY_API_BACKEND, ArrayApiBackend)
+
+    def test_unknown_name_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="array_backend"):
+            get_array_backend("torch")
+
+    @pytest.mark.skipif(HAVE_CUPY, reason="CuPy installed here")
+    def test_missing_cupy_is_a_configuration_error_not_an_import_error(self):
+        with pytest.raises(ConfigurationError, match="[Cc]u[Pp]y"):
+            get_array_backend("cupy")
+
+    def test_registry_names_cover_the_spec_enum(self):
+        assert set(ARRAY_BACKENDS) == {"numpy", "array-api", "cupy"}
+
+
+@pytest.fixture(params=["array-api"])
+def other(request):
+    """Every non-numpy backend importable in this environment."""
+    return get_array_backend(request.param)
+
+
+class TestOpParity:
+    """Each hot-path op: bitwise equal to the numpy backend."""
+
+    def setup_method(self):
+        self.rng = np.random.default_rng(42)
+
+    def both(self, other, op):
+        a = op(NUMPY_BACKEND)
+        b = other.to_numpy(op(other))
+        assert a.dtype == b.dtype, op
+        assert np.array_equal(a, b, equal_nan=True), op
+        return a
+
+    def test_rint_half_even_ties(self, other):
+        pts = np.array([0.5, 1.5, 2.5, -0.5, -1.5, 3.49999999, 2.0])
+        self.both(other, lambda xb: xb.to_numpy(xb.rint(xb.asarray(pts))))
+
+    def test_floor_abs_sign_sqrt_clip(self, other):
+        x = self.rng.normal(scale=3.0, size=257)
+        for name in ("floor", "abs", "sign"):
+            self.both(
+                other,
+                lambda xb, n=name: xb.to_numpy(getattr(xb, n)(xb.asarray(x))),
+            )
+        self.both(
+            other, lambda xb: xb.to_numpy(xb.sqrt(xb.asarray(np.abs(x))))
+        )
+        self.both(
+            other, lambda xb: xb.to_numpy(xb.clip(xb.asarray(x), -1.0, 1.0))
+        )
+
+    def test_norm_matches_linalg(self, other):
+        v = self.rng.normal(size=(64, 3))
+        got = self.both(
+            other, lambda xb: xb.to_numpy(xb.norm(xb.asarray(v), axis=1))
+        )
+        assert np.array_equal(got, np.linalg.norm(v, axis=1))
+
+    def test_take_rows_gather(self, other):
+        table = self.rng.normal(size=(100, 4))
+        idx = self.rng.integers(0, 100, size=37)
+        self.both(
+            other,
+            lambda xb: xb.to_numpy(
+                xb.take(xb.asarray(table), xb.asarray(idx), axis=0)
+            ),
+        )
+
+    def test_divide_with_where_mask(self, other):
+        a = self.rng.normal(size=50)
+        b = self.rng.normal(size=50)
+        b[::7] = 0.0
+        ok = b != 0.0
+
+        def op(xb):
+            out = xb.zeros((50,), dtype=np.float64)
+            return xb.to_numpy(
+                xb.divide(
+                    xb.asarray(a), xb.asarray(b), out=out, where=xb.asarray(ok)
+                )
+            )
+
+        got = self.both(other, op)
+        assert np.array_equal(got[~ok], np.zeros((~ok).sum()))
+
+    def test_copyto_where(self, other):
+        mask = self.rng.random(40) < 0.3
+        base = self.rng.normal(size=40)
+
+        def op(xb):
+            dst = xb.asarray(base.copy())
+            return xb.to_numpy(xb.copyto(dst, 7.5, where=xb.asarray(mask)))
+
+        got = self.both(other, op)
+        assert np.all(got[mask] == 7.5)
+        assert np.array_equal(got[~mask], base[~mask])
+
+    def test_argsort_is_stable(self, other):
+        keys = np.array([3, 1, 3, 1, 2, 2, 1, 3] * 10)
+        got = self.both(
+            other, lambda xb: xb.to_numpy(xb.argsort(xb.asarray(keys)))
+        )
+        assert np.array_equal(got, np.argsort(keys, kind="stable"))
+
+    def test_flatnonzero_argmax_count_nonzero(self, other):
+        m = self.rng.random(200) < 0.4
+        self.both(
+            other, lambda xb: xb.to_numpy(xb.flatnonzero(xb.asarray(m)))
+        )
+        x = self.rng.normal(size=(31, 5))
+        self.both(
+            other,
+            lambda xb: xb.to_numpy(xb.argmax(xb.asarray(x), axis=1)),
+        )
+        n_np = NUMPY_BACKEND.count_nonzero(m)
+        assert int(other.count_nonzero(other.asarray(m))) == int(n_np)
+
+    def test_concatenate_and_where(self, other):
+        a = self.rng.normal(size=(10, 3))
+        b = self.rng.normal(size=(4, 3))
+        self.both(
+            other,
+            lambda xb: xb.to_numpy(
+                xb.concatenate([xb.asarray(a), xb.asarray(b)], axis=0)
+            ),
+        )
+        c = self.rng.random(10) < 0.5
+        self.both(
+            other,
+            lambda xb: xb.to_numpy(
+                xb.where(
+                    xb.asarray(c), xb.asarray(a[:, 0]), xb.asarray(a[:, 1])
+                )
+            ),
+        )
+
+    def test_rows_cache_returns_arange(self, other):
+        got = other.to_numpy(other.rows(17))
+        assert np.array_equal(got, np.arange(17))
+        # Cached: repeated calls slice one shared arange, no realloc.
+        assert np.shares_memory(NUMPY_BACKEND.rows(17), NUMPY_BACKEND.rows(9))
+
+
+class TestLookupParity:
+    """Full interpolation kernels: array-api bitwise equals numpy."""
+
+    def _field(self):
+        from repro.models.fields import FiberField
+
+        rng = np.random.default_rng(3)
+        shape = (6, 7, 5)
+        f = rng.uniform(0.05, 0.45, size=shape + (2,))
+        d = rng.normal(size=shape + (2, 3))
+        d /= np.linalg.norm(d, axis=-1, keepdims=True)
+        return FiberField(f=f, directions=d, mask=np.ones(shape, bool))
+
+    def test_trilinear_and_nearest_bitwise(self, other):
+        from repro.tracking.interpolate import (
+            nearest_lookup,
+            trilinear_lookup,
+        )
+
+        field = self._field()
+        rng = np.random.default_rng(11)
+        pts = rng.uniform(0.0, 4.5, size=(40, 3))
+        for lookup in (trilinear_lookup, nearest_lookup):
+            f_np, d_np = lookup(field, pts)
+            f_xp, d_xp = lookup(field, other.asarray(pts), xb=other)
+            assert np.array_equal(f_np, other.to_numpy(f_xp)), lookup
+            assert np.array_equal(d_np, other.to_numpy(d_xp)), lookup
