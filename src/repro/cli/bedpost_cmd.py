@@ -26,8 +26,10 @@ from pathlib import Path
 import numpy as np
 
 from repro.cli.common import (
+    STORE_FLAG_MAP,
     TELEMETRY_FLAG_MAP,
     add_config_group,
+    add_store_group,
     add_telemetry_group,
     print_resolved_config,
     resolve_spec_from_args,
@@ -49,6 +51,7 @@ _BEDPOST_FLAG_MAP = {
     "noise_model": "sampling.noise_model",
     "seed": "sampling.seed",
     "metrics_out": TELEMETRY_FLAG_MAP["metrics_out"],
+    "store": STORE_FLAG_MAP["store"],
 }
 
 
@@ -79,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None, help="likelihood noise model")
     p.add_argument("--seed", type=int, default=None,
                    help="chain RNG seed (default 0)")
+    add_store_group(p)
     add_telemetry_group(p, trace=False)
     add_config_group(p)
     return p
@@ -107,11 +111,28 @@ def main(argv: list[str] | None = None) -> int:
         mask = mask[..., 0]
 
     cfg = BedpostConfig.from_run_spec(spec)
+    store = None
+    if spec.telemetry.store:
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(spec.telemetry.store)
     # A fresh registry per invocation keeps the manifest scoped to this
     # run (the process default would accumulate across library reuse).
     registry = MetricsRegistry()
     with use_registry(registry):
-        result = bedpost(dwi, gtab, mask, cfg)
+        result = bedpost(
+            dwi,
+            gtab,
+            mask,
+            cfg,
+            store=store,
+            use_cache=spec.telemetry.cache,
+            checkpoint_every=(
+                spec.runtime.checkpoint_every_loops
+                if spec.runtime.checkpoint_every_loops > 0
+                else None
+            ),
+        )
 
     out = args.output_dir or (data_dir / "bedpost")
     out.mkdir(parents=True, exist_ok=True)
@@ -131,6 +152,14 @@ def main(argv: list[str] | None = None) -> int:
         vol.reshape(-1)[mask.reshape(-1)] = mean[:, 3 + j]
         write_nifti(out / f"mean_f{j + 1}.nii.gz", Volume(vol, dwi.affine))
 
+    cache_section = None
+    if store is not None:
+        cache_section = {
+            "sampling_hit": result.served_from_store,
+            "stage_keys": {"sampling": result.stage_key},
+            "store": str(store.root),
+            **store.stats.to_dict(),
+        }
     if spec.telemetry.metrics_out is not None:
         metrics_out = Path(spec.telemetry.metrics_out)
         write_manifest(
@@ -146,12 +175,14 @@ def main(argv: list[str] | None = None) -> int:
                 "data_dir": str(data_dir.resolve()),
             },
             config=spec.to_dict(),
+            cache=cache_section,
         )
         print(f"wrote telemetry manifest to {metrics_out}")
 
+    served = " (served from store)" if result.served_from_store else ""
     print(
         f"fit {result.n_voxels} voxels, {cfg.mcmc.n_samples} samples "
-        f"({result.wall_seconds:.1f}s wall); modeled GPU "
+        f"({result.wall_seconds:.1f}s wall){served}; modeled GPU "
         f"{result.gpu_seconds:.1f}s vs CPU {result.cpu_seconds:.1f}s "
         f"({result.speedup:.1f}x); wrote {out / 'samples.npz'}"
     )

@@ -32,8 +32,10 @@ __all__ = [
     "add_config_group",
     "add_runtime_group",
     "add_telemetry_group",
+    "add_store_group",
     "RUNTIME_FLAG_MAP",
     "TELEMETRY_FLAG_MAP",
+    "STORE_FLAG_MAP",
     "cli_flag_overrides",
     "resolve_spec_from_args",
     "print_resolved_config",
@@ -52,6 +54,14 @@ RUNTIME_FLAG_MAP = {
 TELEMETRY_FLAG_MAP = {
     "metrics_out": "telemetry.metrics_out",
     "trace_out": "telemetry.trace_out",
+}
+
+#: ``args`` attribute -> run-spec dotted path, for the artifact-store
+#: group.  ``--no-cache`` is handled specially in
+#: :func:`resolve_spec_from_args` (a False switch is normally "not
+#: passed", but here False-by-flag must force ``telemetry.cache``).
+STORE_FLAG_MAP = {
+    "store": "telemetry.store",
 }
 
 
@@ -114,6 +124,24 @@ def add_telemetry_group(
                             "the modeled schedule plus measured host spans")
 
 
+def add_store_group(p: argparse.ArgumentParser) -> None:
+    """The artifact-store group: ``--store`` / ``--no-cache``."""
+    g = p.add_argument_group(
+        "artifact store",
+        "content-addressed stage memoization: identical (config, data) "
+        "stage runs are served from the store bit-identically instead "
+        "of recomputing (see docs/storage.md)",
+    )
+    g.add_argument("--store", type=Path, default=None, metavar="DIR",
+                   help="artifact store root; stages are looked up by "
+                        "their config-subtree hash before computing and "
+                        "published atomically after")
+    g.add_argument("--no-cache", action="store_true",
+                   help="never serve store entries (forces recompute); "
+                        "computed stages are still published, refreshing "
+                        "the store")
+
+
 def cli_flag_overrides(
     args: argparse.Namespace, flag_map: dict[str, str]
 ) -> dict:
@@ -138,10 +166,18 @@ def resolve_spec_from_args(
     flag_map: dict[str, str],
     base: dict | None = None,
 ) -> RunSpec:
-    """Resolve the command's :class:`RunSpec` from all four layers."""
+    """Resolve the command's :class:`RunSpec` from all four layers.
+
+    ``--no-cache`` gets special treatment: it is a switch whose *active*
+    value is False (``telemetry.cache = false``), so it cannot ride the
+    normal flag map (which treats False as "not passed").
+    """
+    cli_overrides = cli_flag_overrides(args, flag_map)
+    if getattr(args, "no_cache", False):
+        cli_overrides["telemetry.cache"] = False
     return resolve_run_spec(
         config_file=args.config,
-        cli_overrides=cli_flag_overrides(args, flag_map),
+        cli_overrides=cli_overrides,
         set_overrides=args.overrides,
         base=base,
     )

@@ -22,6 +22,7 @@ manifest, reproducing it bit for bit.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -30,9 +31,11 @@ import numpy as np
 from repro.baselines import cpu_probabilistic_tracking
 from repro.cli.common import (
     RUNTIME_FLAG_MAP,
+    STORE_FLAG_MAP,
     TELEMETRY_FLAG_MAP,
     add_config_group,
     add_runtime_group,
+    add_store_group,
     add_telemetry_group,
     print_resolved_config,
     resolve_spec_from_args,
@@ -71,6 +74,7 @@ _TRACK_FLAG_MAP = {
     "min_export_steps": "tracking.min_export_steps",
     **RUNTIME_FLAG_MAP,
     **TELEMETRY_FLAG_MAP,
+    **STORE_FLAG_MAP,
 }
 
 
@@ -113,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-export-steps", type=int, default=None,
                    help="length floor for exported .trk fibers (default 100)")
     add_runtime_group(p)
+    add_store_group(p)
     add_telemetry_group(p)
     add_config_group(p)
     return p
@@ -160,11 +165,67 @@ def main(argv: list[str] | None = None) -> int:
     fields = archive.to_fields()
 
     cfg = ProbtrackConfig.from_run_spec(spec)
+    min_export_steps = spec.tracking.min_export_steps
+    voxel_sizes = tuple(np.linalg.norm(affine[:3, :3], axis=0))
+    store = None
+    stage_key = None
+    if spec.telemetry.store:
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(spec.telemetry.store)
+
+    def _export_fibers(tmp_dir, result) -> None:
+        """Write ``fibers.trk`` (+ its count) into the store entry."""
+        cpu = cpu_probabilistic_tracking(
+            fields[:1], result.seeds, cfg.criteria, keep_streamlines=True
+        )
+        lines = filter_by_steps(
+            cpu.streamlines[0], min_steps=min_export_steps
+        )
+        write_trk(
+            tmp_dir / "fibers.trk",
+            [line.points for line in lines],
+            voxel_sizes=voxel_sizes,
+            dims=fields[0].shape3,
+            affine=affine,
+        )
+        (tmp_dir / "export_meta.json").write_text(
+            json.dumps({"n_fibers_exported": len(lines)})
+        )
+
     # A fresh registry per invocation keeps the manifest scoped to this
     # run (the process default would accumulate across library reuse).
     registry = MetricsRegistry()
     with use_registry(registry):
-        pt = probabilistic_streamlining(fields, config=cfg)
+        if store is None:
+            pt = probabilistic_streamlining(fields, config=cfg)
+            hit, entry = False, None
+        else:
+            from repro.config import stage_hash
+            from repro.pipeline.memo import memoized_streamlining
+            from repro.store import fingerprint_arrays
+
+            # The archive *contents* key the stage: two bedpost dirs with
+            # identical posteriors share tracking artifacts, and a
+            # re-sampled posterior can never serve stale tracks.
+            fp = fingerprint_arrays(
+                samples=archive.samples,
+                mask=archive.mask,
+                affine=archive.affine,
+                n_fibers=archive.layout.n_fibers,
+                f_threshold=archive.f_threshold,
+            )
+            stage_key = stage_hash(
+                spec.to_dict(), "tracking", inputs={"archive": fp}
+            )
+            pt, hit, entry = memoized_streamlining(
+                fields,
+                cfg,
+                store,
+                stage_key,
+                extra_writer=_export_fibers,
+                use_cache=spec.telemetry.cache,
+            )
     run = pt.run
 
     out = args.output_dir or (bedpost_dir / "track")
@@ -175,23 +236,39 @@ def main(argv: list[str] | None = None) -> int:
     )
     np.savetxt(out / "lengths.txt", run.lengths, fmt="%d")
 
-    # Export geometry from the first sample (kept paths).
-    min_export_steps = spec.tracking.min_export_steps
-    cpu = cpu_probabilistic_tracking(
-        fields[:1], pt.seeds, cfg.criteria, keep_streamlines=True
-    )
-    long_lines = filter_by_steps(
-        cpu.streamlines[0], min_steps=min_export_steps
-    )
-    voxel_sizes = tuple(np.linalg.norm(affine[:3, :3], axis=0))
-    write_trk(
-        out / "fibers.trk",
-        [line.points for line in long_lines],
-        voxel_sizes=voxel_sizes,
-        dims=fields[0].shape3,
-        affine=affine,
-    )
+    # Export geometry from the first sample (kept paths) — computed
+    # fresh without a store, served from the published entry with one.
+    if entry is not None:
+        import shutil
 
+        shutil.copyfile(entry.file("fibers.trk"), out / "fibers.trk")
+        n_exported = json.loads(
+            entry.file("export_meta.json").read_text()
+        )["n_fibers_exported"]
+    else:
+        cpu = cpu_probabilistic_tracking(
+            fields[:1], pt.seeds, cfg.criteria, keep_streamlines=True
+        )
+        long_lines = filter_by_steps(
+            cpu.streamlines[0], min_steps=min_export_steps
+        )
+        write_trk(
+            out / "fibers.trk",
+            [line.points for line in long_lines],
+            voxel_sizes=voxel_sizes,
+            dims=fields[0].shape3,
+            affine=affine,
+        )
+        n_exported = len(long_lines)
+
+    cache_section = None
+    if store is not None:
+        cache_section = {
+            "tracking_hit": hit,
+            "stage_keys": {"tracking": stage_key},
+            "store": str(store.root),
+            **store.stats.to_dict(),
+        }
     if spec.telemetry.metrics_out is not None:
         metrics_out = Path(spec.telemetry.metrics_out)
         write_manifest(
@@ -209,6 +286,7 @@ def main(argv: list[str] | None = None) -> int:
                 ),
             },
             config=spec.to_dict(),
+            cache=cache_section,
         )
         print(f"wrote telemetry manifest to {metrics_out}")
     if spec.telemetry.trace_out is not None:
@@ -218,13 +296,14 @@ def main(argv: list[str] | None = None) -> int:
         write_chrome_trace(trace_out, run.timeline, spans=registry.spans)
         print(f"wrote chrome trace to {trace_out}")
 
+    served = " (served from store)" if entry is not None and hit else ""
     print(
-        f"tracked {run.n_seeds} threads x {run.n_samples} samples: "
+        f"tracked {run.n_seeds} threads x {run.n_samples} samples{served}: "
         f"total {run.total_steps} steps, longest {run.longest_fiber}; "
         f"modeled kernel {run.kernel_seconds:.2f}s / reduce "
         f"{run.reduction_seconds:.2f}s / transfer {run.transfer_seconds:.2f}s "
         f"(CPU {run.cpu_seconds:.1f}s, {run.speedup:.1f}x); "
-        f"wrote {len(long_lines)} fibers >= {min_export_steps} steps "
+        f"wrote {n_exported} fibers >= {min_export_steps} steps "
         f"to {out / 'fibers.trk'}"
     )
     if run.supervision is not None and run.supervision.n_failures:

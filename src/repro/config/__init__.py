@@ -31,6 +31,12 @@ from repro.config.spec import (
     TrackingSpec,
     hash_spec_dict,
 )
+from repro.config.stages import (
+    RUNTIME_DETERMINISTIC_FIELDS,
+    STAGES,
+    stage_hash,
+    stage_subtree,
+)
 from repro.config.toml_io import HAVE_TOML, dumps_json, dumps_toml, load_spec_file
 
 __all__ = [
@@ -40,6 +46,10 @@ __all__ = [
     "RuntimeSpec",
     "TelemetrySpec",
     "hash_spec_dict",
+    "stage_hash",
+    "stage_subtree",
+    "STAGES",
+    "RUNTIME_DETERMINISTIC_FIELDS",
     "HASH_EXCLUDED_SECTIONS",
     "NOISE_MODELS",
     "INTERPOLATIONS",

@@ -269,6 +269,11 @@ class RuntimeSpec:
     device: str = "radeon_5870"
     host: str = "phenom_x4"
     array_backend: str = "numpy"
+    #: MCMC checkpoint cadence in loops when sampling runs against an
+    #: artifact store (0 = the store's default cadence).  Pure execution
+    #: policy: results are bit-identical for any value, so it is excluded
+    #: from both stage hashes (see :mod:`repro.config.stages`).
+    checkpoint_every_loops: int = 0
 
     _PREFIX = "runtime"
     _VALIDATORS = {
@@ -280,6 +285,7 @@ class RuntimeSpec:
         "device": _device_name,
         "host": _host_name,
         "array_backend": _enum(ARRAY_BACKENDS),
+        "checkpoint_every_loops": _int_min(0),
     }
 
     def __post_init__(self) -> None:
@@ -288,19 +294,28 @@ class RuntimeSpec:
 
 @dataclass(frozen=True)
 class TelemetrySpec:
-    """Observability section: where the manifest and trace are written.
+    """Observability section: where the manifest and trace are written,
+    and where (whether) the run memoizes stage artifacts.
 
-    Excluded from :func:`hash_spec_dict` — two runs that differ only in
-    where they record themselves are the same run.
+    Excluded from :func:`hash_spec_dict` and from every stage hash — two
+    runs that differ only in where they record or cache themselves are
+    the same run, so moving a store never invalidates its own entries.
     """
 
     metrics_out: str | None = None
     trace_out: str | None = None
+    #: Artifact-store directory for stage memoization (``--store DIR``);
+    #: None disables the store entirely.
+    store: str | None = None
+    #: When False (``--no-cache``) the run never *reads* store entries —
+    #: every stage recomputes — but still publishes what it computes.
+    cache: bool = True
 
     _PREFIX = "telemetry"
     _VALIDATORS = {
         "metrics_out": _opt_nonempty_str,
         "trace_out": _opt_nonempty_str,
+        "store": _opt_nonempty_str,
     }
 
     def __post_init__(self) -> None:
@@ -329,9 +344,11 @@ _FIELD_KINDS: dict[type, dict[str, str]] = {
         "shard_timeout_s": "opt_float", "fallback_to_serial": "bool",
         "fault_plan": "opt_str", "hang_seconds": "opt_float",
         "device": "str", "host": "str", "array_backend": "str",
+        "checkpoint_every_loops": "int",
     },
     TelemetrySpec: {
         "metrics_out": "opt_str", "trace_out": "opt_str",
+        "store": "opt_str", "cache": "bool",
     },
 }
 
@@ -442,6 +459,16 @@ class RunSpec:
     def content_hash(self) -> str:
         """Stable content hash of the spec (see :func:`hash_spec_dict`)."""
         return hash_spec_dict(self.to_dict())
+
+    def stage_hash(self, stage: str, inputs: dict | None = None) -> str:
+        """Content hash of one stage's subtree (the store cache key).
+
+        See :func:`repro.config.stages.stage_hash`; ``inputs`` carries
+        JSON-safe fingerprints of the stage's data inputs.
+        """
+        from repro.config.stages import stage_hash
+
+        return stage_hash(self.to_dict(), stage, inputs=inputs)
 
     def with_overrides(self, overrides: dict) -> "RunSpec":
         """A copy with dotted-path overrides applied (revalidated)."""

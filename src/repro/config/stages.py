@@ -1,0 +1,134 @@
+"""Per-stage content hashes: the cache keys of the artifact store.
+
+The PR-5 :meth:`~repro.config.spec.RunSpec.content_hash` fingerprints a
+*whole* run.  Stage memoization needs something finer: two specs that
+differ only in their tracking parameters must still agree on the
+**sampling** stage, so a tracking-parameter sweep reuses the MCMC
+posterior instead of recomputing it (the dominant scientific workload —
+Gutierrez et al. 2019).
+
+Each stage therefore hashes only the *subtree* of the spec it actually
+depends on, plus a caller-supplied ``inputs`` mapping fingerprinting the
+stage's data inputs (DWI volume, gradient scheme, masks — see
+:func:`repro.store.fingerprint_arrays`):
+
+``sampling``
+    The ``sampling`` section only.  Machine presets, worker counts, and
+    telemetry routing do not change the posterior samples (proven by the
+    parallel-invariance and telemetry property suites), so none of them
+    participates.
+``tracking``
+    The ``sampling`` section (tracking consumes its output), the
+    ``tracking`` section, and the *runtime-deterministic* fields —
+    ``runtime.device`` / ``runtime.host``, which shape the modeled
+    timeline embedded in tracking artifacts.  Execution-policy fields
+    (``n_workers``, retries, timeouts, fault plans, array backend,
+    checkpoint cadence) are excluded: results are bit-identical across
+    all of them, so a re-run with a different worker count is a cache
+    *hit*.
+
+The ``telemetry`` section is excluded from every stage hash, exactly as
+it is from the whole-run hash.
+
+Examples
+--------
+>>> a = stage_hash({}, "sampling")
+>>> b = stage_hash({"tracking": {"max_steps": 7}}, "sampling")
+>>> a == b                     # tracking edits never touch stage 1
+True
+>>> stage_hash({}, "tracking") == stage_hash(
+...     {"runtime": {"n_workers": 4}}, "tracking"
+... )                          # worker count is execution policy
+True
+>>> stage_hash({}, "sampling") == stage_hash(
+...     {"sampling": {"seed": 1}}, "sampling"
+... )
+False
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "STAGES",
+    "RUNTIME_DETERMINISTIC_FIELDS",
+    "stage_subtree",
+    "stage_hash",
+]
+
+#: The pipeline stages the artifact store memoizes, in execution order.
+STAGES = ("sampling", "tracking")
+
+#: ``runtime`` fields that deterministically shape stage *outputs* (the
+#: modeled timeline) rather than how the computation is executed.
+RUNTIME_DETERMINISTIC_FIELDS = ("device", "host")
+
+
+def stage_subtree(doc: dict, stage: str) -> dict:
+    """The normalized spec subtree one stage's outputs depend on.
+
+    ``doc`` is any (possibly partial) plain spec dict; it is normalized
+    through :meth:`~repro.config.spec.RunSpec.from_dict` first, so
+    missing sections hash identically to explicit defaults.
+
+    Raises
+    ------
+    ConfigurationError
+        On an unknown ``stage`` or an invalid spec dict.
+    """
+    from repro.config.spec import RunSpec
+
+    if stage not in STAGES:
+        raise ConfigurationError(
+            f"unknown stage {stage!r} (known stages: {list(STAGES)})"
+        )
+    normalized = RunSpec.from_dict(doc).to_dict()
+    if stage == "sampling":
+        return {"sampling": normalized["sampling"]}
+    return {
+        "sampling": normalized["sampling"],
+        "tracking": normalized["tracking"],
+        "runtime": {
+            name: normalized["runtime"][name]
+            for name in RUNTIME_DETERMINISTIC_FIELDS
+        },
+    }
+
+
+def stage_hash(doc: dict, stage: str, inputs: dict | None = None) -> str:
+    """Content hash keying one stage of one run in the artifact store.
+
+    Parameters
+    ----------
+    doc:
+        A plain (possibly partial) run-spec dict.
+    stage:
+        One of :data:`STAGES`.
+    inputs:
+        JSON-safe fingerprints of the stage's data inputs (e.g.
+        ``{"data": fingerprint_arrays(dwi=...)}``).  Two runs with the
+        same spec subtree but different input data must key different
+        artifacts.
+
+    Returns
+    -------
+    str
+        ``sha256:<hex>`` over the canonical JSON of
+        ``{stage, spec-subtree, inputs}``.
+    """
+    body = {
+        "stage": stage,
+        "spec": stage_subtree(doc, stage),
+        "inputs": dict(inputs or {}),
+    }
+    try:
+        blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"stage inputs must be JSON-safe fingerprints: {exc}"
+        ) from exc
+    return "sha256:" + hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -64,8 +64,15 @@ def save_samples(
     layout: ParameterLayout,
     f_threshold: float,
     affine: np.ndarray,
+    dtype=np.float32,
 ) -> None:
-    """Write a ``samples.npz`` (float32 samples to halve the footprint)."""
+    """Write a ``samples.npz``.
+
+    ``dtype`` controls the stored sample precision: the CLI contract
+    stays ``float32`` (halves the footprint), but the artifact store
+    passes ``float64`` so a cache-served posterior is bit-identical to
+    the in-memory one it memoized.
+    """
     samples = np.asarray(samples)
     mask = np.asarray(mask, dtype=bool)
     if samples.ndim != 3:
@@ -84,7 +91,7 @@ def save_samples(
         )
     np.savez_compressed(
         path,
-        samples=samples.astype(np.float32),
+        samples=samples.astype(dtype),
         mask=mask,
         n_fibers=np.int64(layout.n_fibers),
         f_threshold=np.float64(f_threshold),

@@ -11,6 +11,7 @@ uninterrupted one (asserted in the test suite).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -35,6 +36,11 @@ class SamplerCheckpoint:
     taken: int                    # samples recorded so far
     samples: np.ndarray           # (taken, n_vox, n_params)
     acceptance_history: list[float] = field(default_factory=list)
+    #: Cumulative accepted proposals over all completed loops.  Data-
+    #: dependent (unlike the loop/proposal counts), so it must ride in
+    #: the checkpoint for a crash-resumed run to replay its
+    #: ``mcmc.accepts`` deterministic counter exactly.
+    total_accepts: int = 0
 
     def __post_init__(self) -> None:
         n_vox, n_par = self.params.shape
@@ -63,34 +69,71 @@ class SamplerCheckpoint:
             )
 
     def save(self, path: str | Path) -> None:
-        """Serialize to an ``.npz`` file."""
-        np.savez_compressed(
-            path,
-            params=self.params,
-            log_posterior=self.log_posterior,
-            rng_state=self.rng_state,
-            proposal_sigma=self.proposal_sigma,
-            window_accepted=self.window_accepted,
-            window_rejected=self.window_rejected,
-            loop=np.int64(self.loop),
-            taken=np.int64(self.taken),
-            samples=self.samples,
-            acceptance_history=np.asarray(self.acceptance_history, dtype=np.float64),
-        )
+        """Serialize to an ``.npz`` file, atomically.
+
+        The payload is written to a sibling temporary file and
+        ``os.replace``\\ d into place, so a crash mid-save leaves either
+        the previous complete checkpoint or none — never a truncated
+        file that :meth:`load` would choke on at resume time.
+        """
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(
+                    fh,
+                    params=self.params,
+                    log_posterior=self.log_posterior,
+                    rng_state=self.rng_state,
+                    proposal_sigma=self.proposal_sigma,
+                    window_accepted=self.window_accepted,
+                    window_rejected=self.window_rejected,
+                    loop=np.int64(self.loop),
+                    taken=np.int64(self.taken),
+                    samples=self.samples,
+                    acceptance_history=np.asarray(
+                        self.acceptance_history, dtype=np.float64
+                    ),
+                    total_accepts=np.int64(self.total_accepts),
+                )
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
 
     @classmethod
     def load(cls, path: str | Path) -> "SamplerCheckpoint":
-        """Restore from an ``.npz`` file."""
-        blob = np.load(path)
-        return cls(
-            params=blob["params"],
-            log_posterior=blob["log_posterior"],
-            rng_state=blob["rng_state"],
-            proposal_sigma=blob["proposal_sigma"],
-            window_accepted=blob["window_accepted"],
-            window_rejected=blob["window_rejected"],
-            loop=int(blob["loop"]),
-            taken=int(blob["taken"]),
-            samples=blob["samples"],
-            acceptance_history=[float(x) for x in blob["acceptance_history"]],
-        )
+        """Restore from an ``.npz`` file.
+
+        Raises
+        ------
+        SamplerError
+            If the file is unreadable, truncated, or missing fields — a
+            corrupt checkpoint must surface as a library error so the
+            caller can fall back to restarting the stage from scratch.
+        """
+        try:
+            blob = np.load(path)
+            return cls(
+                params=blob["params"],
+                log_posterior=blob["log_posterior"],
+                rng_state=blob["rng_state"],
+                proposal_sigma=blob["proposal_sigma"],
+                window_accepted=blob["window_accepted"],
+                window_rejected=blob["window_rejected"],
+                loop=int(blob["loop"]),
+                taken=int(blob["taken"]),
+                samples=blob["samples"],
+                acceptance_history=[float(x) for x in blob["acceptance_history"]],
+                total_accepts=(
+                    int(blob["total_accepts"]) if "total_accepts" in blob else 0
+                ),
+            )
+        except SamplerError:
+            raise
+        except Exception as exc:
+            raise SamplerError(
+                f"checkpoint {path} is unreadable or corrupt: {exc}"
+            ) from exc

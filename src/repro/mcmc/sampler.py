@@ -177,6 +177,7 @@ class MCMCSampler:
         rng: HybridTaus | None = None,
         checkpoint: "SamplerCheckpoint | None" = None,
         stop_after_loop: int | None = None,
+        replay_counters: bool = False,
     ) -> MCMCResult:
         """Sample all voxels in lockstep (the one-thread-per-voxel port).
 
@@ -189,6 +190,14 @@ class MCMCSampler:
         stop_after_loop:
             Pause after this many loops: the returned (partial) result
             carries a ``checkpoint`` for the continuation.
+        replay_counters:
+            When resuming from an **on-disk** checkpoint in a fresh
+            process, re-count the already-completed loops, adaptations,
+            and samples into the active registry so the crash-resumed
+            run's deterministic counters are bit-identical to an
+            uninterrupted run's.  Leave False (the default) when the
+            pausing run already counted them in this same registry
+            (in-process chunked runs) — replaying would double-count.
         """
         from repro.mcmc.checkpoint import SamplerCheckpoint
 
@@ -208,6 +217,7 @@ class MCMCSampler:
             start_loop = checkpoint.loop
             taken = checkpoint.taken
             acceptance_history = list(checkpoint.acceptance_history)
+            total_accepts = checkpoint.total_accepts
             samples = np.empty((cfg.n_samples, n_vox, n_par))
             samples[:taken] = checkpoint.samples
         else:
@@ -234,6 +244,7 @@ class MCMCSampler:
             start_loop = 0
             taken = 0
             acceptance_history = []
+            total_accepts = 0
             samples = np.empty((cfg.n_samples, n_vox, n_par))
 
         end_loop = cfg.n_loops
@@ -246,11 +257,19 @@ class MCMCSampler:
             end_loop = stop_after_loop
 
         registry = get_registry()
+        if replay_counters and checkpoint is not None:
+            registry.count("mcmc.loops", checkpoint.loop)
+            registry.count("mcmc.adaptations", len(checkpoint.acceptance_history))
+            registry.count("mcmc.samples_recorded", checkpoint.taken)
+            # Proposal counts are a pure function of the schedule; the
+            # accept count is data-dependent and rides in the checkpoint.
+            registry.count("mcmc.proposals", checkpoint.loop * n_vox * n_par)
+            registry.count("mcmc.accepts", checkpoint.total_accepts)
         t0 = time.perf_counter()
 
         def _run_loops(lo: int, hi: int, stage: str) -> None:
             """Run loops ``lo..hi`` inclusive under an ``mcmc.<stage>`` span."""
-            nonlocal lp, taken
+            nonlocal lp, taken, total_accepts
             if lo > hi:
                 return
             with registry.span(f"mcmc.{stage}", loops=hi - lo + 1, n_voxels=n_vox):
@@ -261,6 +280,7 @@ class MCMCSampler:
                             proposals.sigma[:, p_idx], rng,
                         )
                         proposals.record(p_idx, accepted)
+                        total_accepts += int(np.count_nonzero(accepted))
                     registry.count("mcmc.loops", 1)
                     if loop % cfg.adapt_every == 0:
                         rates = proposals.adapt()
@@ -291,6 +311,7 @@ class MCMCSampler:
                 taken=taken,
                 samples=samples[:taken].copy(),
                 acceptance_history=list(acceptance_history),
+                total_accepts=total_accepts,
             )
         elif taken != cfg.n_samples:  # pragma: no cover - schedule invariant
             raise SamplerError(f"recorded {taken}/{cfg.n_samples} samples")

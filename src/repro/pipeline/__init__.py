@@ -7,9 +7,14 @@
   streamlining over those fields (the analogue of ``probtrackx``);
 * :func:`~repro.pipeline.workflow.run_workflow` — both stages plus the
   modeled speedup accounting for each.
+
+Both drivers memoize through the :mod:`repro.store` artifact store when
+given one (``store=`` / ``telemetry.store``); see
+:mod:`repro.pipeline.memo` and ``docs/storage.md``.
 """
 
 from repro.pipeline.bedpost import BedpostConfig, BedpostResult, bedpost
+from repro.pipeline.memo import fields_fingerprint, memoized_streamlining
 from repro.pipeline.tracto import tracto
 from repro.pipeline.workflow import WorkflowResult, run_workflow
 
@@ -20,4 +25,6 @@ __all__ = [
     "tracto",
     "WorkflowResult",
     "run_workflow",
+    "fields_fingerprint",
+    "memoized_streamlining",
 ]

@@ -139,6 +139,11 @@ class BedpostResult:
         Machine-model times for Table III.
     wall_seconds:
         Actual host wall-clock of the sampling.
+    stage_key:
+        The ``sha256:<hex>`` sampling-stage cache key, when a store was
+        in play (``None`` otherwise).
+    served_from_store:
+        Whether this result was a cache hit (no MCMC was run).
     """
 
     fields: list[FiberField]
@@ -149,6 +154,8 @@ class BedpostResult:
     gpu_seconds: float
     cpu_seconds: float
     wall_seconds: float
+    stage_key: str | None = None
+    served_from_store: bool = False
 
     @property
     def n_voxels(self) -> int:
@@ -185,54 +192,42 @@ def modeled_mcmc_times(
     return gpu, cpu
 
 
-def bedpost(
-    dwi: Volume,
-    gtab: GradientTable,
-    mask: np.ndarray,
-    config: "BedpostConfig | RunSpec | None" = None,
-) -> BedpostResult:
-    """Run stage 1 over every masked voxel.
+#: Default checkpoint cadence (loops) when a store is active and neither
+#: the caller nor the run spec chose one.
+DEFAULT_CHECKPOINT_LOOPS = 250
 
-    ``config`` may be a :class:`BedpostConfig` or a resolved
-    :class:`~repro.config.spec.RunSpec` (its ``sampling`` section plus
-    machine presets are used).  Voxels are processed in blocks of
-    ``config.block_voxels`` to bound the working set; blocks use
-    distinct RNG stream offsets, so results are identical regardless of
-    blocking (each voxel's chain depends only on its own stream and
-    data).
+
+def _compute_samples(
+    flat,
+    sel_idx,
+    gtab,
+    cfg: BedpostConfig,
+    layout: ParameterLayout,
+    checkpoint_every: int,
+    ckpt_file_for=None,
+    on_checkpoint=None,
+):
+    """The actual MCMC sweep: ``(all_samples, acceptance_history)``.
+
+    Runs under whatever registry is active.  When ``ckpt_file_for`` is
+    given (``callable(block_start) -> Path``), each block runs in chunks
+    of ``checkpoint_every`` loops with the chain state checkpointed
+    atomically after each chunk, and resumes from an existing on-disk
+    checkpoint (re-counting its completed loops, so the resumed run's
+    deterministic counters match an uninterrupted one).
     """
-    if config is None:
-        cfg = BedpostConfig()
-    elif isinstance(config, BedpostConfig):
-        cfg = config
-    else:
-        from repro.config import RunSpec
+    from repro.mcmc.checkpoint import SamplerCheckpoint
+    from repro.rng.streams import seed_streams
+    from repro.rng.tausworthe import HybridTaus
 
-        if not isinstance(config, RunSpec):
-            raise ConfigurationError(
-                f"config must be a BedpostConfig or RunSpec, "
-                f"got {type(config).__name__}"
-            )
-        cfg = BedpostConfig.from_run_spec(config)
-    mask = np.asarray(mask, dtype=bool)
-    if mask.shape != dwi.shape3:
-        raise DataError(f"mask shape {mask.shape} != grid {dwi.shape3}")
-    if mask.sum() == 0:
-        raise DataError("mask selects no voxels")
-    flat = dwi.data.reshape(-1, dwi.data.shape[-1])
-    sel_idx = np.flatnonzero(mask.reshape(-1))
     n_vox = sel_idx.size
-
     priors = MultiFiberPriors(ard=cfg.ard)
-    layout = ParameterLayout(cfg.n_fibers)
     sampler = MCMCSampler(cfg.mcmc)
-
     all_samples = np.empty((cfg.mcmc.n_samples, n_vox, layout.n_params))
     histories: list[np.ndarray] = []
-    t0 = time.perf_counter()
-    from repro.rng.streams import seed_streams
-
     registry = get_registry()
+    from repro.errors import SamplerError
+
     for start in range(0, n_vox, cfg.block_voxels):
         stop = min(start + cfg.block_voxels, n_vox)
         block = flat[sel_idx[start:stop]]
@@ -247,20 +242,190 @@ def bedpost(
             # Per-voxel streams: lane v of the full problem, regardless
             # of blocking, so blocked and unblocked runs agree exactly.
             full_rng = seed_streams(n_vox, seed=cfg.mcmc.seed)
-            from repro.rng.tausworthe import HybridTaus
-
             block_rng = HybridTaus(full_rng.state[start:stop])
-            res: MCMCResult = sampler.run(post, rng=block_rng)
+
+            ckpt_file = ckpt_file_for(start) if ckpt_file_for else None
+            checkpoint = None
+            if ckpt_file is not None and ckpt_file.exists():
+                try:
+                    checkpoint = SamplerCheckpoint.load(ckpt_file)
+                except SamplerError:
+                    # A corrupt checkpoint degrades to a clean restart.
+                    ckpt_file.unlink(missing_ok=True)
+            # Completed loops from a previous process must be re-counted
+            # so the resumed run's counters match an uninterrupted one.
+            replay = checkpoint is not None
+
+            if ckpt_file is None or checkpoint_every <= 0:
+                res: MCMCResult = sampler.run(post, rng=block_rng)
+            else:
+                while True:
+                    done = checkpoint.loop if checkpoint is not None else 0
+                    target = min(done + checkpoint_every, cfg.mcmc.n_loops)
+                    res = sampler.run(
+                        post,
+                        rng=None if checkpoint is not None else block_rng,
+                        checkpoint=checkpoint,
+                        stop_after_loop=target,
+                        replay_counters=replay,
+                    )
+                    replay = False
+                    if res.checkpoint is None:
+                        break
+                    checkpoint = res.checkpoint
+                    checkpoint.save(ckpt_file)
+                    if on_checkpoint is not None:
+                        on_checkpoint(start, checkpoint.loop)
             all_samples[:, start:stop, :] = res.samples
             histories.append(np.asarray(res.acceptance_history))
     registry.count("bedpost.voxels_fit", n_vox)
+    history = (
+        [float(x) for x in np.mean(histories, axis=0)] if histories else []
+    )
+    return all_samples, history
+
+
+def bedpost(
+    dwi: Volume,
+    gtab: GradientTable,
+    mask: np.ndarray,
+    config: "BedpostConfig | RunSpec | None" = None,
+    store=None,
+    use_cache: bool = True,
+    checkpoint_every: int | None = None,
+    on_checkpoint=None,
+) -> BedpostResult:
+    """Run stage 1 over every masked voxel (memoized when given a store).
+
+    ``config`` may be a :class:`BedpostConfig` or a resolved
+    :class:`~repro.config.spec.RunSpec` (its ``sampling`` section plus
+    machine presets are used).  Voxels are processed in blocks of
+    ``config.block_voxels`` to bound the working set; blocks use
+    distinct RNG stream offsets, so results are identical regardless of
+    blocking (each voxel's chain depends only on its own stream and
+    data).
+
+    Parameters
+    ----------
+    store:
+        An :class:`~repro.store.ArtifactStore` (or its root path).  The
+        run is keyed by the sampling-stage hash of the config plus a
+        fingerprint of the data inputs: on a hit the stored posterior is
+        served bit-identically (no MCMC runs, stored deterministic
+        counters are replayed into the active registry); on a miss the
+        result is published atomically.  When ``config`` is a
+        :class:`RunSpec` and ``store`` is None, ``telemetry.store``
+        supplies the root.
+    use_cache:
+        ``False`` never *reads* store entries (forces recompute) but
+        still publishes, refreshing the cache — the ``--no-cache``
+        semantics.
+    checkpoint_every:
+        Checkpoint the chain every this many loops while a store is
+        active (checkpoints live under the store root and an interrupted
+        run resumes from them bit-identically).  Defaults to
+        ``runtime.checkpoint_every_loops`` from a RunSpec config, else
+        :data:`DEFAULT_CHECKPOINT_LOOPS`; ``0`` disables.
+    on_checkpoint:
+        Test hook ``callback(block_start, loop)`` invoked after each
+        checkpoint save (fault-injection uses it to simulate crashes).
+    """
+    spec = None
+    if config is None:
+        cfg = BedpostConfig()
+    elif isinstance(config, BedpostConfig):
+        cfg = config
+    else:
+        from repro.config import RunSpec
+
+        if not isinstance(config, RunSpec):
+            raise ConfigurationError(
+                f"config must be a BedpostConfig or RunSpec, "
+                f"got {type(config).__name__}"
+            )
+        spec = config
+        cfg = BedpostConfig.from_run_spec(config)
+    if spec is not None:
+        if store is None and spec.telemetry.store:
+            store = spec.telemetry.store
+        use_cache = use_cache and spec.telemetry.cache
+        if checkpoint_every is None and spec.runtime.checkpoint_every_loops > 0:
+            checkpoint_every = spec.runtime.checkpoint_every_loops
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != dwi.shape3:
+        raise DataError(f"mask shape {mask.shape} != grid {dwi.shape3}")
+    if mask.sum() == 0:
+        raise DataError("mask selects no voxels")
+    flat = dwi.data.reshape(-1, dwi.data.shape[-1])
+    sel_idx = np.flatnonzero(mask.reshape(-1))
+    n_vox = sel_idx.size
+    layout = ParameterLayout(cfg.n_fibers)
+    t0 = time.perf_counter()
+
+    if store is not None and not hasattr(store, "lookup"):
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(store)
+    stage_key = None
+    if store is not None:
+        from repro.store import fingerprint_arrays
+
+        stage_key = _sampling_stage_key(cfg, dwi, gtab, mask, fingerprint_arrays)
+
+    if store is not None and use_cache:
+        entry = store.lookup("sampling", stage_key)
+        if entry is not None:
+            return _result_from_entry(
+                entry, cfg, mask, layout, n_vox, stage_key, t0
+            )
+
+    if store is None:
+        all_samples, history = _compute_samples(
+            flat, sel_idx, gtab, cfg, layout, checkpoint_every or 0
+        )
+    else:
+        # Compute under a child registry so the deterministic metrics of
+        # exactly this stage can be stored and replayed on future hits.
+        from repro.telemetry import MetricsRegistry, use_registry
+
+        cadence = (
+            DEFAULT_CHECKPOINT_LOOPS if checkpoint_every is None
+            else checkpoint_every
+        )
+        child = MetricsRegistry()
+        with use_registry(child):
+            all_samples, history = _compute_samples(
+                flat,
+                sel_idx,
+                gtab,
+                cfg,
+                layout,
+                cadence,
+                ckpt_file_for=lambda s: store.checkpoint_path(
+                    "sampling", stage_key, f"block_{s:08d}.npz"
+                ),
+                on_checkpoint=on_checkpoint,
+            )
+        get_registry().merge(child)
+        snap = child.snapshot()
+        _publish_sampling_entry(
+            store,
+            stage_key,
+            all_samples,
+            mask,
+            layout,
+            cfg,
+            dwi.affine,
+            history,
+            {"counters": snap["counters"], "histograms": snap["histograms"]},
+            n_vox,
+        )
+        store.clear_checkpoints("sampling", stage_key)
     wall = time.perf_counter() - t0
 
     pooled = MCMCResult(
         samples=all_samples,
-        acceptance_history=(
-            [float(x) for x in np.mean(histories, axis=0)] if histories else []
-        ),
+        acceptance_history=history,
         n_loops=cfg.mcmc.n_loops,
         n_voxels=n_vox,
         n_params=layout.n_params,
@@ -279,4 +444,121 @@ def bedpost(
         gpu_seconds=gpu_s,
         cpu_seconds=cpu_s,
         wall_seconds=wall,
+        stage_key=stage_key,
+        served_from_store=False,
+    )
+
+
+def _sampling_stage_key(cfg, dwi, gtab, mask, fingerprint_arrays) -> str:
+    """The sampling-stage store key for this (config, data) pair.
+
+    The machine presets in ``cfg`` are deliberately *not* part of the
+    key: they shape only the modeled Table-III times, which are
+    recomputed from the live config on every hit.
+    """
+    fp = fingerprint_arrays(
+        dwi=dwi.data,
+        affine=dwi.affine,
+        bvals=gtab.bvals,
+        bvecs=gtab.bvecs,
+        mask=mask,
+    )
+    from repro.config import stage_hash
+
+    return stage_hash(cfg.to_spec_dict(), "sampling", inputs={"data": fp})
+
+
+def _publish_sampling_entry(
+    store,
+    stage_key,
+    all_samples,
+    mask,
+    layout,
+    cfg,
+    affine,
+    history,
+    telemetry,
+    n_vox,
+) -> None:
+    """Atomically publish one computed sampling stage into the store."""
+    import json
+
+    from repro.io.samples import save_samples
+
+    def _write(tmp_dir):
+        # float64 so a cache-served posterior is bit-identical to the
+        # in-memory one (the samples.npz *CLI* contract stays float32).
+        save_samples(
+            tmp_dir / "samples.npz",
+            all_samples,
+            mask,
+            layout,
+            cfg.f_threshold,
+            affine,
+            dtype=np.float64,
+        )
+        (tmp_dir / "meta.json").write_text(
+            json.dumps(
+                {"acceptance_history": history, "n_voxels": n_vox},
+                sort_keys=True,
+            )
+        )
+        (tmp_dir / "telemetry.json").write_text(
+            json.dumps(telemetry, sort_keys=True)
+        )
+
+    store.publish(
+        "sampling",
+        stage_key,
+        _write,
+        meta={"n_voxels": n_vox, "n_samples": int(all_samples.shape[0])},
+    )
+
+
+def _result_from_entry(
+    entry, cfg, mask, layout, n_vox, stage_key, t0
+) -> BedpostResult:
+    """Rebuild a :class:`BedpostResult` from a store hit.
+
+    Replays the stored deterministic telemetry (counters + histograms)
+    into the active registry so a warm run's manifest sections are
+    bit-identical to the cold run that published the entry.
+    """
+    import json
+
+    from repro.io.samples import load_samples
+
+    archive = load_samples(entry.file("samples.npz"))
+    meta = json.loads(entry.file("meta.json").read_text())
+    telemetry = json.loads(entry.file("telemetry.json").read_text())
+    get_registry().merge_snapshot(telemetry)
+    all_samples = archive.samples
+    if all_samples.shape[1] != n_vox:  # pragma: no cover - key collision guard
+        raise DataError(
+            f"store entry covers {all_samples.shape[1]} voxels, "
+            f"mask selects {n_vox}"
+        )
+    pooled = MCMCResult(
+        samples=all_samples,
+        acceptance_history=[float(x) for x in meta["acceptance_history"]],
+        n_loops=cfg.mcmc.n_loops,
+        n_voxels=n_vox,
+        n_params=layout.n_params,
+        wall_seconds=0.0,
+    )
+    fields = pooled.to_fiber_fields(mask, layout, f_threshold=cfg.f_threshold)
+    gpu_s, cpu_s = modeled_mcmc_times(
+        n_vox, cfg.mcmc, layout.n_params, cfg.device, cfg.host
+    )
+    return BedpostResult(
+        fields=fields,
+        samples=all_samples,
+        layout=layout,
+        mask=mask,
+        acceptance_history=pooled.acceptance_history,
+        gpu_seconds=gpu_s,
+        cpu_seconds=cpu_s,
+        wall_seconds=time.perf_counter() - t0,
+        stage_key=stage_key,
+        served_from_store=True,
     )

@@ -1,0 +1,226 @@
+"""Tracking-stage memoization: serialize, publish, and rehydrate runs.
+
+The sampling stage memoizes naturally through ``samples.npz``; the
+tracking stage's output is richer — per-seed lengths and stop reasons,
+the modeled event timeline, and the sparse connectivity matrix — so this
+module owns its round-trip through the artifact store:
+
+* on a **miss**, :func:`memoized_streamlining` runs
+  :func:`~repro.tracking.probtrack.probabilistic_streamlining` under a
+  child registry, publishes the arrays + timeline + deterministic
+  telemetry atomically, and returns the live result;
+* on a **hit**, it rebuilds a bit-identical
+  :class:`~repro.tracking.probtrack.ProbtrackResult` from the entry
+  (lengths, reasons, visit counts, timeline) and replays the stored
+  deterministic counters into the active registry so warm manifests
+  match cold ones.
+
+Only deterministic outputs round-trip exactly; measured quantities
+(wall seconds, per-worker walls, the supervision report) are stored for
+reporting but are explicitly outside the bit-identity contract.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.gpu.timeline import Timeline
+from repro.store.fingerprint import fingerprint_arrays
+from repro.telemetry import MetricsRegistry, get_registry, use_registry
+from repro.tracking.connectivity import ConnectivityAccumulator
+from repro.tracking.executor import TrackingRunResult
+from repro.tracking.lengths import fit_exponential
+from repro.tracking.probtrack import ProbtrackResult, probabilistic_streamlining
+
+__all__ = ["fields_fingerprint", "memoized_streamlining"]
+
+
+def fields_fingerprint(fields) -> str:
+    """Fingerprint the posterior sample volumes a tracking run consumes.
+
+    Covers every sample's fraction and direction volumes plus the first
+    sample's mask — the complete functional input of the tracker.
+    """
+    named = {"n_samples": len(fields), "mask": np.asarray(fields[0].mask)}
+    for i, fld in enumerate(fields):
+        named[f"f{i:04d}"] = fld.f
+        named[f"d{i:04d}"] = fld.directions
+    return fingerprint_arrays(**named)
+
+
+def _serialize(tmp_dir, result: ProbtrackResult) -> None:
+    """Write one tracking result's payload files into ``tmp_dir``."""
+    run = result.run
+    arrays = {
+        "lengths": run.lengths,
+        "reasons": run.reasons,
+        "seeds": result.seeds,
+    }
+    conn = result.connectivity
+    if conn is not None:
+        counts = conn.counts
+        arrays.update(
+            conn_data=counts.data,
+            conn_indices=counts.indices,
+            conn_indptr=counts.indptr,
+            conn_shape=np.asarray(counts.shape, dtype=np.int64),
+            conn_n_samples=np.int64(conn.n_samples),
+        )
+    np.savez_compressed(tmp_dir / "arrays.npz", **arrays)
+    (tmp_dir / "timeline.json").write_text(
+        json.dumps(
+            {
+                "events": [
+                    {
+                        "kind": e.kind,
+                        "label": e.label,
+                        "seconds": e.seconds,
+                        "stream": e.stream,
+                    }
+                    for e in run.timeline.events
+                ],
+                "cpu_seconds": run.cpu_seconds,
+                "wall_seconds": run.wall_seconds,
+                "peak_device_bytes": run.peak_device_bytes,
+            },
+            sort_keys=True,
+        )
+    )
+
+
+def _rehydrate(entry, cfg) -> ProbtrackResult:
+    """Rebuild a :class:`ProbtrackResult` from one store entry."""
+    blob = np.load(entry.file("arrays.npz"))
+    timeline_doc = json.loads(entry.file("timeline.json").read_text())
+    timeline = Timeline()
+    for e in timeline_doc["events"]:
+        timeline.add(e["kind"], e["label"], e["seconds"], stream=e["stream"])
+    run = TrackingRunResult(
+        lengths=blob["lengths"],
+        reasons=blob["reasons"],
+        timeline=timeline,
+        launches=[],
+        cpu_seconds=float(timeline_doc["cpu_seconds"]),
+        wall_seconds=float(timeline_doc["wall_seconds"]),
+        peak_device_bytes=int(timeline_doc["peak_device_bytes"]),
+    )
+    connectivity = None
+    if "conn_data" in blob:
+        from scipy import sparse
+
+        shape = tuple(int(x) for x in blob["conn_shape"])
+        connectivity = ConnectivityAccumulator(
+            n_seeds=shape[0], n_voxels=shape[1]
+        )
+        connectivity.n_samples = int(blob["conn_n_samples"])
+        connectivity._counts_cache = sparse.csr_matrix(
+            (blob["conn_data"], blob["conn_indices"], blob["conn_indptr"]),
+            shape=shape,
+        )
+    from repro.errors import TrackingError
+
+    try:
+        fit = fit_exponential(
+            run.lengths.ravel(), truncate_at=float(cfg.criteria.max_steps)
+        )
+    except TrackingError:
+        fit = None
+    return ProbtrackResult(
+        run=run,
+        connectivity=connectivity,
+        seeds=blob["seeds"],
+        length_fit=fit,
+    )
+
+
+def memoized_streamlining(
+    fields,
+    cfg,
+    store,
+    key: str,
+    seed_mask=None,
+    seeds=None,
+    extra_writer=None,
+    use_cache: bool = True,
+) -> tuple[ProbtrackResult, bool, object]:
+    """Run (or serve) the tracking stage through the artifact store.
+
+    Parameters
+    ----------
+    fields:
+        Posterior sample :class:`~repro.models.fields.FiberField` list.
+    cfg:
+        The :class:`~repro.tracking.probtrack.ProbtrackConfig` to run.
+    store:
+        An :class:`~repro.store.ArtifactStore`; ``None`` disables
+        memoization entirely (the stage just runs).
+    key:
+        The tracking-stage hash (``repro.config.stage_hash`` over the
+        tracking subtree + input fingerprints).
+    seed_mask / seeds:
+        Forwarded to
+        :func:`~repro.tracking.probtrack.probabilistic_streamlining`.
+    extra_writer:
+        Optional ``callback(tmp_dir, result)`` writing additional files
+        into the published entry (e.g. the CLI's ``fibers.trk``); they
+        are hash-verified and served on hits like every other file.
+    use_cache:
+        ``False`` skips the lookup (forces recompute) but still
+        publishes — the ``--no-cache`` semantics.
+
+    Returns
+    -------
+    (ProbtrackResult, bool, StoreEntry | None)
+        The result, whether it was served from the store, and the store
+        entry backing it (the hit entry, or the freshly published one;
+        ``None`` only when ``store`` is ``None``).
+    """
+    if store is not None and use_cache:
+        entry = store.lookup("tracking", key)
+        if entry is not None:
+            telemetry = json.loads(entry.file("telemetry.json").read_text())
+            get_registry().merge_snapshot(telemetry)
+            return _rehydrate(entry, cfg), True, entry
+    if store is None:
+        return (
+            probabilistic_streamlining(
+                fields, cfg, seed_mask=seed_mask, seeds=seeds
+            ),
+            False,
+            None,
+        )
+    child = MetricsRegistry()
+    with use_registry(child):
+        result = probabilistic_streamlining(
+            fields, cfg, seed_mask=seed_mask, seeds=seeds
+        )
+    get_registry().merge(child)
+    snap = child.snapshot()
+
+    def _write(tmp_dir):
+        _serialize(tmp_dir, result)
+        (tmp_dir / "telemetry.json").write_text(
+            json.dumps(
+                {
+                    "counters": snap["counters"],
+                    "histograms": snap["histograms"],
+                },
+                sort_keys=True,
+            )
+        )
+        if extra_writer is not None:
+            extra_writer(tmp_dir, result)
+
+    entry = store.publish(
+        "tracking",
+        key,
+        _write,
+        meta={
+            "n_samples": int(result.run.n_samples),
+            "n_seeds": int(result.run.n_seeds),
+            "engine": cfg.engine,
+        },
+    )
+    return result, False, entry

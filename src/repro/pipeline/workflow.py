@@ -35,6 +35,10 @@ class WorkflowResult:
     #: The registry that was active during the run (telemetry source for
     #: :meth:`report` and for building a run manifest).
     metrics: MetricsRegistry | None = None
+    #: Artifact-store accounting when a store was in play: per-stage hit
+    #: flags, stage keys, and the store's hit/miss/byte stats — the
+    #: manifest's ``cache`` section.  ``None`` for store-less runs.
+    cache: dict | None = None
 
     def report(self) -> str:
         """Human-readable two-stage summary (modeled times)."""
@@ -69,6 +73,16 @@ class WorkflowResult:
                     f"    shard {a.shard} attempt {a.attempt}: {a.outcome}"
                     f" after {a.seconds:.3f} s (via {a.via})"
                 )
+        if self.cache is not None:
+            lines.append("artifact store")
+            lines.append(
+                f"  sampling        "
+                f"{'hit' if self.cache.get('sampling_hit') else 'miss'}"
+            )
+            lines.append(
+                f"  tracking        "
+                f"{'hit' if self.cache.get('tracking_hit') else 'miss'}"
+            )
         if self.metrics is not None:
             lines.append("telemetry (measured on this host)")
             for row in self.metrics.summary().splitlines():
@@ -84,6 +98,8 @@ def run_workflow(
     fit_mask: np.ndarray | None = None,
     n_workers: int | None = None,
     spec: "RunSpec | None" = None,
+    store=None,
+    use_cache: bool = True,
 ) -> WorkflowResult:
     """Run both stages on a phantom acquisition.
 
@@ -98,6 +114,14 @@ def run_workflow(
     fitted voxels with a surviving population).  ``n_workers`` overrides
     the tracking stage's process count (results are bit-identical for
     any value; see :mod:`repro.runtime`).
+
+    ``store`` (an :class:`~repro.store.ArtifactStore` or its root path;
+    defaults to ``spec.telemetry.store`` when a spec is given) memoizes
+    both stages by their stage hashes: a warm run serves each stage's
+    artifacts bit-identically instead of recomputing, and a run that
+    changes only tracking parameters reuses the sampling artifact.
+    ``use_cache=False`` (or ``telemetry.cache = false``) forces a full
+    recompute but still refreshes the store.
     """
     if spec is not None:
         if bedpost_config is not None or probtrack_config is not None:
@@ -108,10 +132,28 @@ def run_workflow(
         probtrack_config = ProbtrackConfig.from_run_spec(spec)
         if n_workers is None:
             n_workers = spec.runtime.n_workers
+        if store is None and spec.telemetry.store:
+            store = spec.telemetry.store
+        use_cache = use_cache and spec.telemetry.cache
+    if store is not None and not hasattr(store, "lookup"):
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(store)
+    checkpoint_every = None
+    if spec is not None and spec.runtime.checkpoint_every_loops > 0:
+        checkpoint_every = spec.runtime.checkpoint_every_loops
     registry = get_registry()
     mask = phantom.mask if fit_mask is None else np.asarray(fit_mask, dtype=bool)
     with registry.span("workflow.bedpost"):
-        bp = bedpost(phantom.dwi, phantom.gtab, mask, config=bedpost_config)
+        bp = bedpost(
+            phantom.dwi,
+            phantom.gtab,
+            mask,
+            config=bedpost_config,
+            store=store,
+            use_cache=use_cache,
+            checkpoint_every=checkpoint_every,
+        )
     if n_workers is not None:
         probtrack_config = replace(
             probtrack_config
@@ -119,6 +161,56 @@ def run_workflow(
             else ProbtrackConfig(),
             n_workers=n_workers,
         )
+    if store is None:
+        with registry.span("workflow.tracto"):
+            pt = tracto(bp, config=probtrack_config, seed_mask=seed_mask)
+        return WorkflowResult(bedpost=bp, probtrack=pt, metrics=registry)
+
+    # Memoized tracking: key = tracking-stage spec subtree + fingerprints
+    # of everything the tracker consumes (sample fields + seeding).
+    from repro.config import deep_merge, stage_hash
+    from repro.pipeline.memo import fields_fingerprint, memoized_streamlining
+    from repro.store import fingerprint_arrays
+
+    pt_cfg = (
+        probtrack_config if probtrack_config is not None else ProbtrackConfig()
+    )
+    eff_seed_mask = seed_mask
+    if eff_seed_mask is None:
+        eff_seed_mask = bp.mask & (bp.fields[0].f[..., 0] > 0)
+    eff_seed_mask = np.asarray(eff_seed_mask, dtype=bool)
+    doc = (
+        spec.to_dict()
+        if spec is not None
+        else deep_merge(
+            (bedpost_config or BedpostConfig()).to_spec_dict(),
+            pt_cfg.to_spec_dict(),
+        )
+    )
+    tracking_key = stage_hash(
+        doc,
+        "tracking",
+        inputs={
+            "fields": fields_fingerprint(bp.fields),
+            "seed_mask": fingerprint_arrays(seed_mask=eff_seed_mask),
+        },
+    )
     with registry.span("workflow.tracto"):
-        pt = tracto(bp, config=probtrack_config, seed_mask=seed_mask)
-    return WorkflowResult(bedpost=bp, probtrack=pt, metrics=registry)
+        pt, tracking_hit, _entry = memoized_streamlining(
+            bp.fields,
+            pt_cfg,
+            store,
+            tracking_key,
+            seed_mask=eff_seed_mask,
+            use_cache=use_cache,
+        )
+    cache = {
+        "sampling_hit": bp.served_from_store,
+        "tracking_hit": tracking_hit,
+        "stage_keys": {"sampling": bp.stage_key, "tracking": tracking_key},
+        "store": str(store.root),
+        **store.stats.to_dict(),
+    }
+    return WorkflowResult(
+        bedpost=bp, probtrack=pt, metrics=registry, cache=cache
+    )

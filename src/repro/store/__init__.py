@@ -1,0 +1,26 @@
+"""Content-addressed artifact store memoizing pipeline stages.
+
+The store turns the per-stage config hashes of
+:mod:`repro.config.stages` into an on-disk cache: before a pipeline
+stage computes, it looks its ``(stage, hash)`` key up here; on a hit the
+published artifact is served bit-identically, on a miss the stage runs
+and publishes atomically.  ``docs/storage.md`` documents the layout,
+keying, and failure modes; the cache-parity property suite proves
+cold-vs-warm bit-identity.
+"""
+
+from repro.store.artifact_store import (
+    ENTRY_SCHEMA,
+    ArtifactStore,
+    StoreEntry,
+    StoreStats,
+)
+from repro.store.fingerprint import fingerprint_arrays
+
+__all__ = [
+    "ArtifactStore",
+    "StoreEntry",
+    "StoreStats",
+    "ENTRY_SCHEMA",
+    "fingerprint_arrays",
+]

@@ -1,0 +1,100 @@
+"""``repro-store``: maintenance CLI for the artifact store.
+
+Three subcommands, all operating on one store root:
+
+``repro-store ls ROOT``
+    List every published entry (stage, short key, files, size, meta).
+``repro-store verify ROOT [--delete]``
+    Re-hash every entry against its ``entry.json``; report corrupt
+    entries and optionally delete them so the next run recomputes.
+``repro-store gc ROOT [--all-checkpoints]``
+    Remove in-flight ``tmp/`` orphans (crashed publishes) and
+    checkpoints whose stage already published; ``--all-checkpoints``
+    drops every checkpoint.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.store.artifact_store import ArtifactStore
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-store`` argument parser (subcommands ls/verify/gc)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-store",
+        description="Inspect and maintain a repro artifact store.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_ls = sub.add_parser("ls", help="list published entries")
+    p_ls.add_argument("root", help="store root directory")
+
+    p_verify = sub.add_parser("verify", help="re-hash entries, report corruption")
+    p_verify.add_argument("root", help="store root directory")
+    p_verify.add_argument(
+        "--delete",
+        action="store_true",
+        help="delete corrupt entries so the next run recomputes them",
+    )
+
+    p_gc = sub.add_parser("gc", help="collect tmp orphans and stale checkpoints")
+    p_gc.add_argument("root", help="store root directory")
+    p_gc.add_argument(
+        "--all-checkpoints",
+        action="store_true",
+        help="also remove checkpoints for stages not yet published",
+    )
+    return parser
+
+
+def _cmd_ls(store: ArtifactStore) -> int:
+    """Print one line per entry; returns the process exit code."""
+    entries = store.ls()
+    if not entries:
+        print("(store is empty)")
+        return 0
+    for e in entries:
+        short = e["key"][:19] + "…"
+        files = ",".join(e["files"])
+        print(f"{e['stage']:<9} {short}  {e['bytes']:>12d} B  [{files}]")
+    print(f"{len(entries)} entries")
+    return 0
+
+
+def _cmd_verify(store: ArtifactStore, delete: bool) -> int:
+    """Verify every entry; exit 1 when corruption was found (and kept)."""
+    report = store.verify(delete=delete)
+    print(f"checked {report['checked']}, ok {report['ok']}, "
+          f"corrupt {len(report['corrupt'])}")
+    for path in report["corrupt"]:
+        action = "deleted" if delete else "corrupt"
+        print(f"  {action}: {path}")
+    return 0 if (not report["corrupt"] or delete) else 1
+
+
+def _cmd_gc(store: ArtifactStore, all_checkpoints: bool) -> int:
+    """Collect garbage and print what was removed."""
+    report = store.gc(all_checkpoints=all_checkpoints)
+    print(f"removed {report['tmp_removed']} tmp dirs, "
+          f"{report['checkpoints_removed']} checkpoint dirs")
+    return 0
+
+
+def main(argv=None) -> int:
+    """Entry point for the ``repro-store`` console script."""
+    args = build_parser().parse_args(argv)
+    store = ArtifactStore(args.root)
+    if args.command == "ls":
+        return _cmd_ls(store)
+    if args.command == "verify":
+        return _cmd_verify(store, delete=args.delete)
+    return _cmd_gc(store, all_checkpoints=args.all_checkpoints)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -88,6 +88,7 @@ def build_manifest(
     registry: MetricsRegistry,
     meta: dict | None = None,
     config: dict | None = None,
+    cache: dict | None = None,
 ) -> dict:
     """Assemble a (v2) manifest dict from a registry.
 
@@ -102,6 +103,14 @@ def build_manifest(
         The resolved run-spec dict (``RunSpec.to_dict()``) that produced
         this run; its content hash is computed and embedded alongside.
         ``None`` records a run with no spec (library-level use).
+    cache:
+        Artifact-store accounting for this run
+        (:meth:`repro.store.StoreStats.to_dict` plus stage keys).  The
+        section is *operational*, never part of
+        :func:`deterministic_sections`: whether a run hit the cache is a
+        property of the disk, not of the workload, and cold-vs-warm runs
+        must stay bit-identical elsewhere.  Omitted when ``None`` (runs
+        without a store).
 
     Returns
     -------
@@ -114,7 +123,7 @@ def build_manifest(
 
         config_hash = hash_spec_dict(config)
     snap = registry.snapshot()
-    return {
+    doc = {
         "schema": MANIFEST_SCHEMA,
         "meta": dict(meta or {}),
         "config": config,
@@ -126,6 +135,9 @@ def build_manifest(
         "timers": snap["timers"],
         "spans": snap["spans"],
     }
+    if cache is not None:
+        doc["cache"] = dict(cache)
+    return doc
 
 
 def validate_manifest(doc: dict) -> dict:
@@ -163,6 +175,11 @@ def validate_manifest(doc: dict) -> dict:
         if missing:
             raise TelemetryError(f"v2 manifest missing keys: {missing}")
         _validate_config_section(doc)
+    if "cache" in doc and not isinstance(doc["cache"], dict):
+        raise TelemetryError(
+            f"manifest 'cache' section must be a dict, got "
+            f"{type(doc['cache']).__name__}"
+        )
     for section in ("counters", "ops"):
         for name, value in doc[section].items():
             if not isinstance(value, int) or isinstance(value, bool):
@@ -250,6 +267,7 @@ def write_manifest(
     registry: MetricsRegistry,
     meta: dict | None = None,
     config: dict | None = None,
+    cache: dict | None = None,
 ) -> dict:
     """Build, validate, and write a manifest; returns the manifest dict.
 
@@ -264,8 +282,11 @@ def write_manifest(
     config:
         The resolved run-spec dict for the provenance section (see
         :func:`build_manifest`).
+    cache:
+        Optional artifact-store accounting section (see
+        :func:`build_manifest`).
     """
-    doc = build_manifest(registry, meta=meta, config=config)
+    doc = build_manifest(registry, meta=meta, config=config, cache=cache)
     Path(path).write_text(manifest_to_json(doc))
     return doc
 

@@ -1,0 +1,269 @@
+"""Cache-parity: a warm run is bit-identical to the cold run it reuses.
+
+The artifact store's contract (ISSUE 7): serving a stage from the store
+must be indistinguishable — bit for bit — from recomputing it.  This
+suite proves it end to end on :func:`~repro.pipeline.run_workflow`:
+
+* cold vs warm runs agree on posterior samples, streamline lengths and
+  stop reasons, connectivity counts, and the deterministic manifest
+  sections, across worker counts {1, 2, 4} and both tracking engines;
+* a run that edits only tracking parameters *reuses* the sampling
+  artifact (hash hit) while a sampling edit misses;
+* the acceptance scenario: a tracking sweep of three specs over one
+  sampling configuration runs MCMC exactly once.
+
+Stage-hash algebra (which edits move which keys) is checked exhaustively
+by Hypothesis over the spec's tracking/runtime fields.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import RunSpec, stage_hash
+from repro.data import dataset1
+from repro.pipeline import run_workflow
+from repro.telemetry import (
+    MetricsRegistry,
+    build_manifest,
+    deterministic_sections,
+    use_registry,
+)
+
+#: Small-but-real MCMC settings (mirrors the telemetry suite's scale).
+BASE_DOC = {
+    "sampling": {
+        "n_burnin": 20,
+        "n_samples": 4,
+        "sample_interval": 2,
+        "adapt_every": 7,
+    },
+    "tracking": {"max_steps": 48},
+}
+
+
+@pytest.fixture(scope="module")
+def phantom():
+    return dataset1(scale=0.15, snr=40.0)
+
+
+@pytest.fixture(scope="module")
+def store_root(tmp_path_factory):
+    """One store shared by every run in this module (that is the point)."""
+    return tmp_path_factory.mktemp("store")
+
+
+def make_spec(store_root, **edits):
+    """BASE_DOC + section edits + the shared store, as a RunSpec."""
+    doc = json.loads(json.dumps(BASE_DOC))  # deep copy
+    for section, fields in edits.items():
+        doc.setdefault(section, {}).update(fields)
+    doc.setdefault("telemetry", {})["store"] = str(store_root)
+    return RunSpec.from_dict(doc)
+
+
+def run_once(phantom, spec):
+    """One workflow run under a fresh registry; result + manifest."""
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        wr = run_workflow(phantom, spec=spec)
+    manifest = build_manifest(registry, config=spec.to_dict(), cache=wr.cache)
+    return wr, manifest
+
+
+def det_blob(manifest):
+    """The bit-identity surface of a manifest, as one canonical string."""
+    return json.dumps(deterministic_sections(manifest), sort_keys=True)
+
+
+def assert_bit_identical(cold, warm):
+    """Every deterministic output of two runs matches exactly."""
+    wr_c, m_c = cold
+    wr_w, m_w = warm
+    np.testing.assert_array_equal(wr_c.bedpost.samples, wr_w.bedpost.samples)
+    np.testing.assert_array_equal(
+        wr_c.probtrack.run.lengths, wr_w.probtrack.run.lengths
+    )
+    np.testing.assert_array_equal(
+        wr_c.probtrack.run.reasons, wr_w.probtrack.run.reasons
+    )
+    shape3 = wr_c.bedpost.fields[0].shape3
+    np.testing.assert_array_equal(
+        wr_c.probtrack.connectivity.visit_count_volume(shape3),
+        wr_w.probtrack.connectivity.visit_count_volume(shape3),
+    )
+    assert det_blob(m_c) == det_blob(m_w)
+
+
+class TestColdWarmParity:
+    """Cold/warm bit-identity over one shared store.
+
+    Ordered scenario: the first test populates the store (cold), the
+    rest prove warm runs serve identical bits under execution-policy
+    and engine variations.
+    """
+
+    cold = {}
+
+    def test_cold_run_populates(self, phantom, store_root):
+        spec = make_spec(store_root)
+        wr, manifest = run_once(phantom, spec)
+        assert wr.cache["sampling_hit"] is False
+        assert wr.cache["tracking_hit"] is False
+        assert wr.cache["writes"] == 2
+        type(self).cold["per-sample"] = (wr, manifest)
+
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_warm_across_worker_counts(self, phantom, store_root, n_workers):
+        # n_workers is execution policy: every count lands on the same
+        # stage keys, so all three are full hits off the one cold run.
+        spec = make_spec(store_root, runtime={"n_workers": n_workers})
+        wr, manifest = run_once(phantom, spec)
+        assert wr.cache["sampling_hit"] is True
+        assert wr.cache["tracking_hit"] is True
+        assert_bit_identical(self.cold["per-sample"], (wr, manifest))
+
+    def test_fused_engine_cold_then_warm(self, phantom, store_root):
+        # The engine is part of the tracking subtree, so fused keys its
+        # own tracking artifact — but shares the sampling entry.
+        spec = make_spec(store_root, tracking={"engine": "fused"})
+        wr, manifest = run_once(phantom, spec)
+        assert wr.cache["sampling_hit"] is True
+        assert wr.cache["tracking_hit"] is False
+        type(self).cold["fused"] = (wr, manifest)
+
+        warm, warm_manifest = run_once(phantom, spec)
+        assert warm.cache["sampling_hit"] is True
+        assert warm.cache["tracking_hit"] is True
+        assert_bit_identical(self.cold["fused"], (warm, warm_manifest))
+
+    @pytest.mark.parametrize("n_workers", [2, 4])
+    def test_warm_fused_across_worker_counts(
+        self, phantom, store_root, n_workers
+    ):
+        spec = make_spec(
+            store_root,
+            tracking={"engine": "fused"},
+            runtime={"n_workers": n_workers},
+        )
+        wr, manifest = run_once(phantom, spec)
+        assert wr.cache["tracking_hit"] is True
+        assert_bit_identical(self.cold["fused"], (wr, manifest))
+
+    def test_no_cache_recomputes_but_matches(self, phantom, store_root):
+        spec = make_spec(store_root, telemetry={"cache": False})
+        wr, manifest = run_once(phantom, spec)
+        assert wr.cache["sampling_hit"] is False
+        assert wr.cache["tracking_hit"] is False
+        assert_bit_identical(self.cold["per-sample"], (wr, manifest))
+
+
+class TestStageReuse:
+    def test_tracking_edit_reuses_sampling(self, phantom, store_root):
+        spec = make_spec(store_root, tracking={"max_steps": 32})
+        wr, _ = run_once(phantom, spec)
+        assert wr.cache["sampling_hit"] is True, (
+            "a tracking-only edit must reuse the MCMC posterior"
+        )
+        assert wr.cache["tracking_hit"] is False
+
+    def test_sampling_edit_misses(self, phantom, tmp_path):
+        # Fresh store: a cold run, then a seed edit — nothing reusable.
+        cold = make_spec(tmp_path / "s")
+        run_once(phantom, cold)
+        edited = make_spec(tmp_path / "s", sampling={"seed": 1})
+        wr, _ = run_once(phantom, edited)
+        assert wr.cache["sampling_hit"] is False
+        assert wr.cache["tracking_hit"] is False
+
+
+class TestAcceptanceSweep:
+    def test_three_spec_sweep_samples_once(self, phantom, tmp_path):
+        """ISSUE 7 acceptance: a >=3-spec tracking sweep over one
+        sampling config performs MCMC exactly once."""
+        from repro.store import ArtifactStore
+
+        root = tmp_path / "sweep-store"
+        sweep = [
+            make_spec(root, tracking={"max_steps": m}) for m in (24, 36, 48)
+        ]
+        hits = []
+        for spec in sweep:
+            wr, _ = run_once(phantom, spec)
+            hits.append(wr.cache["sampling_hit"])
+        assert hits == [False, True, True], (
+            "only the first run may compute the posterior"
+        )
+        listing = ArtifactStore(root).ls()
+        assert sum(e["stage"] == "sampling" for e in listing) == 1
+        assert sum(e["stage"] == "tracking" for e in listing) == 3
+
+
+# -- stage-hash algebra (pure hashing; no MCMC) ---------------------------
+
+_TRACKING_EDITS = st.sampled_from(
+    [
+        ("max_steps", 7),
+        ("min_dot", 0.5),
+        ("step_length", 0.3),
+        ("strategy", "b"),
+        ("engine", "fused"),
+        ("bidirectional", True),
+    ]
+)
+
+_POLICY_EDITS = st.sampled_from(
+    [
+        ("n_workers", 8),
+        ("max_retries", 5),
+        ("shard_timeout_s", 9.0),
+        ("fallback_to_serial", False),
+        ("array_backend", "numpy"),
+        ("checkpoint_every_loops", 10),
+    ]
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(edit=_TRACKING_EDITS)
+def test_tracking_edits_keep_sampling_key(edit):
+    name, value = edit
+    doc = {"tracking": {name: value}}
+    assert stage_hash(doc, "sampling") == stage_hash({}, "sampling")
+    moved = stage_hash(doc, "tracking") != stage_hash({}, "tracking")
+    default = RunSpec().to_dict()["tracking"][name]
+    assert moved == (value != default)
+
+
+@settings(max_examples=30, deadline=None)
+@given(edit=_POLICY_EDITS)
+def test_execution_policy_moves_no_key(edit):
+    name, value = edit
+    doc = {"runtime": {name: value}}
+    assert stage_hash(doc, "sampling") == stage_hash({}, "sampling")
+    assert stage_hash(doc, "tracking") == stage_hash({}, "tracking")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    field=st.sampled_from(
+        ["n_burnin", "n_samples", "sample_interval", "seed", "n_fibers"]
+    ),
+    delta=st.integers(min_value=1, max_value=50),
+)
+def test_sampling_edits_move_both_keys(field, delta):
+    default = RunSpec().to_dict()["sampling"][field]
+    doc = {"sampling": {field: default + delta}}
+    assert stage_hash(doc, "sampling") != stage_hash({}, "sampling")
+    assert stage_hash(doc, "tracking") != stage_hash({}, "tracking")
+
+
+@settings(max_examples=20, deadline=None)
+@given(tag=st.text(min_size=1, max_size=16))
+def test_inputs_always_participate(tag):
+    assert stage_hash({}, "sampling", inputs={"data": tag}) != stage_hash(
+        {}, "sampling"
+    )

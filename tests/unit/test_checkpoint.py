@@ -1,4 +1,11 @@
-"""Tests for sampler checkpoint/resume (repro.mcmc.checkpoint)."""
+"""Tests for sampler checkpoint/resume (repro.mcmc.checkpoint).
+
+Includes the store-backed regression scenario: a ``bedpost`` run killed
+mid-sampling resumes from its on-disk checkpoint and reproduces the
+uninterrupted posterior bit for bit (counters included).
+"""
+
+import json
 
 import numpy as np
 import pytest
@@ -117,3 +124,214 @@ class TestCheckpointResume:
                 taken=ck.taken,
                 samples=ck.samples,
             )
+
+
+class TestAtomicSaveLoad:
+    def test_save_leaves_no_tmp(self, posterior, tmp_path):
+        part = MCMCSampler(CFG).run(posterior, stop_after_loop=15)
+        path = tmp_path / "ckpt.npz"
+        part.checkpoint.save(path)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["ckpt.npz"]
+
+    def test_overwrite_is_atomic(self, posterior, tmp_path):
+        a = MCMCSampler(CFG).run(posterior, stop_after_loop=9)
+        path = tmp_path / "ckpt.npz"
+        a.checkpoint.save(path)
+        b = MCMCSampler(CFG).run(
+            posterior, checkpoint=a.checkpoint, stop_after_loop=25
+        )
+        b.checkpoint.save(path)
+        assert SamplerCheckpoint.load(path).loop == 25
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["ckpt.npz"]
+
+    def test_rng_state_round_trips_exactly(self, posterior, tmp_path):
+        part = MCMCSampler(CFG).run(posterior, stop_after_loop=15)
+        path = tmp_path / "ckpt.npz"
+        part.checkpoint.save(path)
+        restored = SamplerCheckpoint.load(path)
+        assert restored.rng_state.dtype == part.checkpoint.rng_state.dtype
+        np.testing.assert_array_equal(
+            restored.rng_state, part.checkpoint.rng_state
+        )
+
+    def test_corrupt_file_raises_sampler_error(self, posterior, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        path.write_bytes(b"definitely not an npz archive")
+        with pytest.raises(SamplerError, match="corrupt"):
+            SamplerCheckpoint.load(path)
+
+        part = MCMCSampler(CFG).run(posterior, stop_after_loop=15)
+        part.checkpoint.save(path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])  # truncated mid-write
+        with pytest.raises(SamplerError, match="corrupt"):
+            SamplerCheckpoint.load(path)
+
+
+@pytest.fixture(scope="module")
+def phantom():
+    from repro.data import dataset1
+
+    return dataset1(scale=0.15, snr=40.0)
+
+
+def _bedpost_cfg():
+    from repro.pipeline import BedpostConfig
+
+    return BedpostConfig(mcmc=CFG)
+
+
+class TestInterruptedBedpostResume:
+    """Regression: checkpoint/resume through an injected interrupt."""
+
+    def _baseline(self, phantom):
+        from repro.pipeline import bedpost
+        from repro.telemetry import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            result = bedpost(
+                phantom.dwi, phantom.gtab, phantom.mask, _bedpost_cfg()
+            )
+        return result, registry
+
+    def _det(self, registry):
+        snap = registry.snapshot()
+        return json.dumps(
+            {"counters": snap["counters"], "histograms": snap["histograms"]},
+            sort_keys=True,
+        )
+
+    def test_resume_after_interrupt_is_bit_identical(self, phantom, tmp_path):
+        from repro.pipeline import bedpost
+        from repro.store import ArtifactStore
+        from repro.telemetry import MetricsRegistry, use_registry
+
+        baseline, base_reg = self._baseline(phantom)
+        store = ArtifactStore(tmp_path / "store")
+
+        def die_on_first_checkpoint(block_start, loop):
+            raise KeyboardInterrupt("simulated ctrl-c")
+
+        with pytest.raises(KeyboardInterrupt):
+            bedpost(
+                phantom.dwi,
+                phantom.gtab,
+                phantom.mask,
+                _bedpost_cfg(),
+                store=store,
+                checkpoint_every=10,
+                on_checkpoint=die_on_first_checkpoint,
+            )
+        # The chain state survived the crash...
+        ckpts = list((store.root / "checkpoints").rglob("block_*.npz"))
+        assert len(ckpts) == 1
+        assert SamplerCheckpoint.load(ckpts[0]).loop == 10
+
+        # ...and the rerun resumes from it instead of restarting.
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            resumed = bedpost(
+                phantom.dwi,
+                phantom.gtab,
+                phantom.mask,
+                _bedpost_cfg(),
+                store=store,
+                checkpoint_every=10,
+            )
+        assert not resumed.served_from_store
+        np.testing.assert_array_equal(baseline.samples, resumed.samples)
+        np.testing.assert_allclose(
+            baseline.acceptance_history, resumed.acceptance_history
+        )
+        # Replayed loop counters make the deterministic telemetry match
+        # an uninterrupted run exactly.
+        assert self._det(registry) == self._det(base_reg)
+        # Publishing cleared the now-superseded checkpoints.
+        assert not list((store.root / "checkpoints").rglob("block_*.npz"))
+
+        # A third run is a pure store hit with the same bits.
+        warm_reg = MetricsRegistry()
+        with use_registry(warm_reg):
+            warm = bedpost(
+                phantom.dwi,
+                phantom.gtab,
+                phantom.mask,
+                _bedpost_cfg(),
+                store=store,
+            )
+        assert warm.served_from_store
+        np.testing.assert_array_equal(baseline.samples, warm.samples)
+        assert self._det(warm_reg) == self._det(base_reg)
+
+    def test_corrupt_checkpoint_restarts_cleanly(self, phantom, tmp_path):
+        from repro.pipeline import bedpost
+        from repro.store import ArtifactStore
+
+        baseline, _ = self._baseline(phantom)
+        store = ArtifactStore(tmp_path / "store")
+        with pytest.raises(KeyboardInterrupt):
+            bedpost(
+                phantom.dwi,
+                phantom.gtab,
+                phantom.mask,
+                _bedpost_cfg(),
+                store=store,
+                checkpoint_every=10,
+                on_checkpoint=lambda s, c: (_ for _ in ()).throw(
+                    KeyboardInterrupt()
+                ),
+            )
+        (ckpt,) = (store.root / "checkpoints").rglob("block_*.npz")
+        blob = ckpt.read_bytes()
+        ckpt.write_bytes(blob[: len(blob) // 2])
+
+        resumed = bedpost(
+            phantom.dwi,
+            phantom.gtab,
+            phantom.mask,
+            _bedpost_cfg(),
+            store=store,
+            checkpoint_every=10,
+        )
+        np.testing.assert_array_equal(baseline.samples, resumed.samples)
+
+    def test_workflow_threads_spec_cadence(self, phantom, tmp_path, monkeypatch):
+        # Regression: run_workflow must pass runtime.checkpoint_every_loops
+        # down to bedpost — with the fixture's 32-loop chain, a checkpoint
+        # at loop 10 only exists if the spec's cadence (not the 250-loop
+        # default) reached the sampler.
+        from repro.config import RunSpec
+        from repro.mcmc import SamplerCheckpoint
+        from repro.pipeline import run_workflow
+
+        spec = RunSpec.from_dict(
+            {
+                "sampling": CFG.to_spec_dict(),
+                "tracking": {"max_steps": 32},
+                "runtime": {"checkpoint_every_loops": 10},
+                "telemetry": {"store": str(tmp_path / "store")},
+            }
+        )
+        saved = []
+        orig_save = SamplerCheckpoint.save
+
+        def save_and_die(self, path):
+            orig_save(self, path)
+            saved.append(self.loop)
+            raise KeyboardInterrupt("simulated ctrl-c")
+
+        monkeypatch.setattr(SamplerCheckpoint, "save", save_and_die)
+        with pytest.raises(KeyboardInterrupt):
+            run_workflow(
+                phantom, fit_mask=phantom.mask, seed_mask=phantom.mask, spec=spec
+            )
+        assert saved == [10]
+        monkeypatch.undo()
+
+        resumed = run_workflow(
+            phantom, fit_mask=phantom.mask, seed_mask=phantom.mask, spec=spec
+        )
+        assert resumed.cache["sampling_hit"] is False
+        baseline, _ = self._baseline(phantom)
+        np.testing.assert_array_equal(baseline.samples, resumed.bedpost.samples)

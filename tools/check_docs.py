@@ -38,6 +38,7 @@ MARKDOWN = (
     "docs/fault-tolerance.md",
     "docs/parallelism.md",
     "docs/configuration.md",
+    "docs/storage.md",
 )
 
 #: Modules whose doctests the docs job executes.
@@ -46,6 +47,8 @@ DOCTEST_MODULES = (
     "repro.telemetry.manifest",
     "repro.config.spec",
     "repro.config.layering",
+    "repro.config.stages",
+    "repro.store.fingerprint",
     "repro.utils.profiling",
 )
 
