@@ -26,9 +26,11 @@ from pathlib import Path
 import numpy as np
 
 from repro.cli.common import (
+    BEDPOST_RUNTIME_FLAG_MAP,
     STORE_FLAG_MAP,
     TELEMETRY_FLAG_MAP,
     add_config_group,
+    add_runtime_group,
     add_store_group,
     add_telemetry_group,
     print_resolved_config,
@@ -50,6 +52,7 @@ _BEDPOST_FLAG_MAP = {
     "ard": "sampling.ard",
     "noise_model": "sampling.noise_model",
     "seed": "sampling.seed",
+    **BEDPOST_RUNTIME_FLAG_MAP,
     "metrics_out": TELEMETRY_FLAG_MAP["metrics_out"],
     "store": STORE_FLAG_MAP["store"],
 }
@@ -82,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None, help="likelihood noise model")
     p.add_argument("--seed", type=int, default=None,
                    help="chain RNG seed (default 0)")
+    add_runtime_group(p, unit="voxel block", array_backend=False)
     add_store_group(p)
     add_telemetry_group(p, trace=False)
     add_config_group(p)
@@ -186,6 +190,8 @@ def main(argv: list[str] | None = None) -> int:
         f"{result.gpu_seconds:.1f}s vs CPU {result.cpu_seconds:.1f}s "
         f"({result.speedup:.1f}x); wrote {out / 'samples.npz'}"
     )
+    if result.supervision is not None and result.supervision.n_failures:
+        print(f"fault tolerance: {result.supervision.summary()}")
     return 0
 
 

@@ -34,6 +34,7 @@ __all__ = [
     "add_telemetry_group",
     "add_store_group",
     "RUNTIME_FLAG_MAP",
+    "BEDPOST_RUNTIME_FLAG_MAP",
     "TELEMETRY_FLAG_MAP",
     "STORE_FLAG_MAP",
     "cli_flag_overrides",
@@ -48,6 +49,17 @@ RUNTIME_FLAG_MAP = {
     "shard_timeout": "runtime.shard_timeout_s",
     "inject_fault": "runtime.fault_plan",
     "array_backend": "runtime.array_backend",
+}
+
+#: Runtime flag map for ``repro-bedpost``: same retry/timeout/fault
+#: knobs as tracking, but ``--workers`` steers the *sampling* stage's
+#: voxel-block shards (``runtime.bedpost_workers``), and there is no
+#: array-backend choice (the sampler is lockstep NumPy).
+BEDPOST_RUNTIME_FLAG_MAP = {
+    "workers": "runtime.bedpost_workers",
+    "max_retries": "runtime.max_retries",
+    "shard_timeout": "runtime.shard_timeout_s",
+    "inject_fault": "runtime.fault_plan",
 }
 
 #: ``args`` attribute -> run-spec dotted path, for the telemetry group.
@@ -85,11 +97,22 @@ def add_config_group(p: argparse.ArgumentParser) -> None:
                         "as JSON, then exit without running")
 
 
-def add_runtime_group(p: argparse.ArgumentParser) -> None:
-    """The workers / retries / shard-timeout / fault-injection group."""
+def add_runtime_group(
+    p: argparse.ArgumentParser,
+    *,
+    unit: str = "sample",
+    array_backend: bool = True,
+) -> None:
+    """The workers / retries / shard-timeout / fault-injection group.
+
+    ``unit`` names what a shard holds in the ``--workers`` /
+    ``--inject-fault`` help text ("sample" for tracking, "voxel block"
+    for bedpost); ``array_backend=False`` drops ``--array-backend``
+    for commands whose inner loop has no backend choice.
+    """
     g = p.add_argument_group("runtime")
     g.add_argument("--workers", type=int, default=None,
-                   help="worker processes for the sample loop (default 1; "
+                   help=f"worker processes for the {unit} loop (default 1; "
                         "results are bit-identical for any count)")
     g.add_argument("--max-retries", type=int, default=None,
                    help="supervised retries per failed shard before "
@@ -100,13 +123,15 @@ def add_runtime_group(p: argparse.ArgumentParser) -> None:
     g.add_argument("--inject-fault", default=None, metavar="SPEC",
                    help="DEV ONLY: deterministic fault injection, e.g. "
                         "'crash:0' (shard 0's first attempt crashes), "
-                        "'hang:1:*', 'corrupt:s2'; recovery keeps output "
-                        "bit-identical to a clean run")
-    g.add_argument("--array-backend", default=None,
-                   choices=list(ARRAY_BACKENDS),
-                   help="array backend for the lockstep inner loop "
-                        "(default numpy; cupy needs CuPy installed; "
-                        "all backends produce bit-identical results)")
+                        "'hang:1:*', 'corrupt:s2' (the third global "
+                        f"{unit}); recovery keeps output bit-identical "
+                        "to a clean run")
+    if array_backend:
+        g.add_argument("--array-backend", default=None,
+                       choices=list(ARRAY_BACKENDS),
+                       help="array backend for the lockstep inner loop "
+                            "(default numpy; cupy needs CuPy installed; "
+                            "all backends produce bit-identical results)")
 
 
 def add_telemetry_group(

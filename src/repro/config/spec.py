@@ -261,6 +261,11 @@ class RuntimeSpec:
     """Execution section: workers, supervision policy, machine presets."""
 
     n_workers: int = 1
+    #: Worker processes for the sampling stage's voxel-block loop
+    #: (1 = serial).  Separate from the tracking pool size so the two
+    #: stages scale independently; pure execution policy, excluded from
+    #: stage hashes like ``n_workers``.
+    bedpost_workers: int = 1
     max_retries: int = 2
     shard_timeout_s: float | None = None
     fallback_to_serial: bool = True
@@ -278,6 +283,7 @@ class RuntimeSpec:
     _PREFIX = "runtime"
     _VALIDATORS = {
         "n_workers": _int_min(1),
+        "bedpost_workers": _int_min(1),
         "max_retries": _int_min(0),
         "shard_timeout_s": _opt_positive,
         "hang_seconds": _opt_positive,
@@ -340,7 +346,7 @@ _FIELD_KINDS: dict[type, dict[str, str]] = {
         "engine": "str", "compact_threshold": "float",
     },
     RuntimeSpec: {
-        "n_workers": "int", "max_retries": "int",
+        "n_workers": "int", "bedpost_workers": "int", "max_retries": "int",
         "shard_timeout_s": "opt_float", "fallback_to_serial": "bool",
         "fault_plan": "opt_str", "hang_seconds": "opt_float",
         "device": "str", "host": "str", "array_backend": "str",

@@ -25,8 +25,20 @@ from repro.mcmc.diagnostics import (
 from repro.mcmc.gibbs import GibbsLinearModel
 from repro.mcmc.checkpoint import SamplerCheckpoint
 from repro.mcmc.multichain import MultiChainResult, run_chains
+from repro.mcmc.shards import (
+    BEDPOST_BLOCK_SHARD,
+    BlockTask,
+    make_block_tasks,
+    run_block_task,
+    run_blocks,
+)
 
 __all__ = [
+    "BEDPOST_BLOCK_SHARD",
+    "BlockTask",
+    "make_block_tasks",
+    "run_block_task",
+    "run_blocks",
     "AdaptiveProposals",
     "mh_parameter_update",
     "MCMCConfig",

@@ -1,0 +1,331 @@
+"""Voxel-block sharding of the bedpost MCMC stage.
+
+The paper's stage 1 is embarrassingly parallel across voxels: every
+voxel's chain depends only on its own data row and its own RNG lanes.
+This module expresses that as an instance of the stage-generic
+:class:`~repro.runtime.stage.StageShard` contract so bedpost runs on
+the very same supervised pool — timeouts, deterministic retry,
+re-shard-to-single-blocks, in-parent serial fallback, fault injection —
+that PR 2 built for tracking.
+
+Determinism
+-----------
+Sharded bedpost is bit-identical to the single-process path because:
+
+* the *serial block decomposition* is preserved exactly — a shard is a
+  contiguous run of the serial ``range(0, n_vox, block_voxels)`` blocks,
+  so the per-block spans (and with them every deterministic ``mcmc.*``
+  counter total) match the serial run for any worker count;
+* each voxel's chains are seeded by
+  :func:`~repro.rng.streams.block_streams` — lane ``v`` of the *full*
+  problem, computed directly for the block's span, bitwise-equal to
+  slicing the full-state seeding;
+* :func:`run_block_task` is a pure function of its
+  :class:`BlockTask` running under a fresh local registry, and the
+  executor hands payloads to the merge in task order — so samples,
+  acceptance histories, and counter snapshots fold identically however
+  the run was scheduled or recovered.
+
+Checkpoints are keyed by **global voxel start** (``block_{start:08d}.npz``
+under the store's sampling checkpoint dir), the same files the serial
+path writes — an interrupted serial run can resume sharded and vice
+versa.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import SamplerError, ShardResultError
+from repro.mcmc.checkpoint import SamplerCheckpoint
+from repro.mcmc.sampler import MCMCConfig, MCMCResult, MCMCSampler
+from repro.models.posterior import LogPosterior, ParameterLayout
+from repro.models.priors import MultiFiberPriors
+from repro.rng.streams import block_streams
+from repro.runtime.stage import StageShard
+from repro.telemetry import MetricsRegistry, get_registry, use_registry
+
+__all__ = [
+    "BEDPOST_BLOCK_SHARD",
+    "BlockTask",
+    "block_checkpoint_name",
+    "make_block_tasks",
+    "run_block_task",
+    "run_blocks",
+]
+
+
+def block_checkpoint_name(voxel_start: int) -> str:
+    """Checkpoint file name for the block starting at a global voxel."""
+    return f"block_{voxel_start:08d}.npz"
+
+
+@dataclass
+class BlockTask:
+    """One shard's picklable work unit: contiguous serial voxel blocks.
+
+    ``blocks`` are *global* ``[start, stop)`` voxel spans taken verbatim
+    from the serial decomposition; ``data`` holds exactly those voxels'
+    signal rows (``data[g - blocks[0][0]]`` is global voxel ``g``).
+    ``first_block`` is the global index of ``blocks[0]`` in the serial
+    block sequence — the coordinate ``sN`` fault targets address.
+    ``n_total_voxels`` sizes the full problem's RNG so every lane matches
+    the serial run.  ``ckpt_dir``/``checkpoint_every`` enable per-block
+    chain checkpointing (global-voxel-keyed files shared with the serial
+    path); ``on_checkpoint`` is the crash-injection test hook, invoked
+    after each save — it must be picklable when the task crosses a
+    process boundary.
+    """
+
+    data: np.ndarray
+    blocks: tuple[tuple[int, int], ...]
+    first_block: int
+    n_total_voxels: int
+    mcmc: MCMCConfig
+    n_fibers: int
+    ard: bool
+    noise_model: str
+    gtab: Any
+    checkpoint_every: int = 0
+    ckpt_dir: str | None = None
+    on_checkpoint: Callable[[int, int], None] | None = None
+
+
+def run_blocks(task: BlockTask) -> dict:
+    """Run every block of one task; return its payload dict.
+
+    This is *the* MCMC block loop — the serial path and every worker run
+    exactly this code, under whatever registry is active.  The payload
+    carries the recorded samples for the task's voxel span, one
+    acceptance history per block, and the span coordinates the merge
+    scatters by.
+
+    Blocks resume from on-disk checkpoints when present (corrupt files
+    degrade to a clean restart), replaying completed loops into the
+    deterministic counters so a resumed run matches an uninterrupted one.
+    """
+    registry = get_registry()
+    layout = ParameterLayout(task.n_fibers)
+    priors = MultiFiberPriors(ard=task.ard)
+    sampler = MCMCSampler(task.mcmc)
+    cfg = task.mcmc
+    lo0 = task.blocks[0][0]
+    n_task_vox = task.data.shape[0]
+    samples = np.empty((cfg.n_samples, n_task_vox, layout.n_params))
+    histories: list[np.ndarray] = []
+    for start, stop in task.blocks:
+        with registry.span("bedpost.block", start=start, n_voxels=stop - start):
+            post = LogPosterior(
+                task.gtab,
+                task.data[start - lo0 : stop - lo0],
+                priors=priors,
+                n_fibers=task.n_fibers,
+                noise_model=task.noise_model,
+            )
+            # Per-voxel streams: lane v of the full problem, regardless
+            # of blocking or sharding, so every decomposition agrees.
+            rng = block_streams(
+                task.n_total_voxels, start, stop, seed=cfg.seed
+            )
+
+            ckpt_file = None
+            if task.ckpt_dir is not None:
+                ckpt_file = Path(task.ckpt_dir) / block_checkpoint_name(start)
+            checkpoint = None
+            if ckpt_file is not None and ckpt_file.exists():
+                try:
+                    checkpoint = SamplerCheckpoint.load(ckpt_file)
+                except SamplerError:
+                    # A corrupt checkpoint degrades to a clean restart.
+                    ckpt_file.unlink(missing_ok=True)
+            # Completed loops from a previous process must be re-counted
+            # so the resumed run's counters match an uninterrupted one.
+            replay = checkpoint is not None
+
+            if ckpt_file is None or task.checkpoint_every <= 0:
+                res: MCMCResult = sampler.run(post, rng=rng)
+            else:
+                while True:
+                    done = checkpoint.loop if checkpoint is not None else 0
+                    target = min(done + task.checkpoint_every, cfg.n_loops)
+                    res = sampler.run(
+                        post,
+                        rng=None if checkpoint is not None else rng,
+                        checkpoint=checkpoint,
+                        stop_after_loop=target,
+                        replay_counters=replay,
+                    )
+                    replay = False
+                    if res.checkpoint is None:
+                        break
+                    checkpoint = res.checkpoint
+                    checkpoint.save(ckpt_file)
+                    if task.on_checkpoint is not None:
+                        task.on_checkpoint(start, checkpoint.loop)
+            samples[:, start - lo0 : stop - lo0, :] = res.samples
+            histories.append(np.asarray(res.acceptance_history))
+    registry.count("bedpost.voxels_fit", n_task_vox)
+    return {"voxel_start": lo0, "samples": samples, "histories": histories}
+
+
+def run_block_task(task: BlockTask) -> tuple[dict, dict]:
+    """Worker entry point: run one task under a fresh local registry.
+
+    Top-level (picklable under every start method) and free of parent
+    state; the local snapshot rides back with the payload so the parent
+    can merge shard metrics in task order — the same discipline that
+    keeps the posterior samples bit-identical.
+    """
+    local = MetricsRegistry()
+    with use_registry(local):
+        payload = run_blocks(task)
+    return payload, local.snapshot()
+
+
+# -- supervisor seams --------------------------------------------------------
+
+
+def _block_units(task: BlockTask) -> range:
+    """Global serial-block indices a task covers (``sN`` fault targets)."""
+    return range(task.first_block, task.first_block + len(task.blocks))
+
+
+def _split_block_task(task: BlockTask) -> list[BlockTask]:
+    """Re-shard: one single-block subtask per block, spans preserved."""
+    lo0 = task.blocks[0][0]
+    return [
+        replace(
+            task,
+            data=task.data[start - lo0 : stop - lo0],
+            blocks=((start, stop),),
+            first_block=task.first_block + i,
+        )
+        for i, (start, stop) in enumerate(task.blocks)
+    ]
+
+
+def _validate_block_payload(task: BlockTask, payload) -> None:
+    """Reject payloads that cannot be genuine :func:`run_block_task` output.
+
+    A real payload always passes (the checks restate ``run_blocks``'s
+    own postconditions) — validation only catches corrupted or truncated
+    results before they could poison the deterministic merge.
+    """
+
+    def _bad(msg: str) -> ShardResultError:
+        return ShardResultError(f"corrupt block payload: {msg}")
+
+    if not isinstance(payload, tuple) or len(payload) != 2:
+        raise _bad(
+            f"expected (result, metrics) tuple, got {type(payload).__name__}"
+        )
+    result, metrics = payload
+    if not isinstance(metrics, dict):
+        raise _bad(f"metrics snapshot must be a dict, got {type(metrics).__name__}")
+    if not isinstance(result, dict):
+        raise _bad(f"result must be a dict, got {type(result).__name__}")
+    n_vox = task.data.shape[0]
+    n_params = ParameterLayout(task.n_fibers).n_params
+    samples = result.get("samples")
+    shape = (task.mcmc.n_samples, n_vox, n_params)
+    if not isinstance(samples, np.ndarray) or samples.shape != shape:
+        raise _bad(
+            f"samples must be {shape}, got {getattr(samples, 'shape', None)}"
+        )
+    if not np.isfinite(samples).all():
+        raise _bad("non-finite posterior samples")
+    histories = result.get("histories")
+    if not isinstance(histories, list) or len(histories) != len(task.blocks):
+        raise _bad(
+            f"expected {len(task.blocks)} per-block histories, got "
+            f"{len(histories) if isinstance(histories, list) else type(histories).__name__}"
+        )
+    if result.get("voxel_start") != task.blocks[0][0]:
+        raise _bad(
+            f"voxel_start {result.get('voxel_start')} != task span "
+            f"{task.blocks[0][0]}"
+        )
+
+
+def _corrupt_block_payload(payload):
+    """Fault injection ``corrupt``: mangle a real payload detectably.
+
+    A truncated voxel column and a dropped history model bit-rot in the
+    result channel; ``_validate_block_payload`` must catch both.  The
+    metrics snapshot passes through untouched — a corrupt payload is
+    discarded wholesale, metrics included.
+    """
+    result, metrics = payload
+    result = dict(
+        result,
+        samples=result["samples"][:, :-1, :],
+        histories=result["histories"][:-1],
+    )
+    return result, metrics
+
+
+#: The bedpost MCMC stage expressed as an instance of the stage-generic
+#: sharding contract: contiguous runs of the serial voxel blocks,
+#: re-shardable to single blocks, with ``sN`` fault targets addressing
+#: global serial-block indices.
+BEDPOST_BLOCK_SHARD = StageShard(
+    stage="sampling",
+    unit="voxel block",
+    run=run_block_task,
+    validate=_validate_block_payload,
+    split=_split_block_task,
+    corrupt=_corrupt_block_payload,
+    units=_block_units,
+)
+
+
+def make_block_tasks(
+    data: np.ndarray,
+    blocks: list[tuple[int, int]],
+    n_shards: int,
+    *,
+    n_total_voxels: int,
+    mcmc: MCMCConfig,
+    n_fibers: int,
+    ard: bool,
+    noise_model: str,
+    gtab,
+    checkpoint_every: int = 0,
+    ckpt_dir: str | None = None,
+    on_checkpoint=None,
+) -> list[BlockTask]:
+    """Partition the serial block sequence into ``n_shards`` contiguous tasks.
+
+    ``data`` holds the full masked signal (row ``g`` = global voxel
+    ``g``); each task receives only its own blocks' rows.  The serial
+    decomposition itself is never altered — only grouped — which is what
+    keeps the deterministic per-block counters identical for any shard
+    count.
+    """
+    from repro.gpu.multigpu import partition_seeds
+
+    tasks = []
+    for sl in partition_seeds(len(blocks), n_shards):
+        span = blocks[sl.start : sl.stop]
+        lo, hi = span[0][0], span[-1][1]
+        tasks.append(
+            BlockTask(
+                data=data[lo:hi],
+                blocks=tuple(span),
+                first_block=sl.start,
+                n_total_voxels=n_total_voxels,
+                mcmc=mcmc,
+                n_fibers=n_fibers,
+                ard=ard,
+                noise_model=noise_model,
+                gtab=gtab,
+                checkpoint_every=checkpoint_every,
+                ckpt_dir=ckpt_dir,
+                on_checkpoint=on_checkpoint,
+            )
+        )
+    return tasks

@@ -31,10 +31,9 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 from repro.gpu.simulator import kernel_time
 from repro.io.gradients import GradientTable
 from repro.io.volume import Volume
-from repro.mcmc.sampler import MCMCConfig, MCMCResult, MCMCSampler
+from repro.mcmc.sampler import MCMCConfig, MCMCResult
 from repro.models.fields import FiberField
-from repro.models.posterior import LogPosterior, ParameterLayout
-from repro.models.priors import MultiFiberPriors
+from repro.models.posterior import ParameterLayout
 from repro.telemetry import get_registry
 
 __all__ = ["BedpostConfig", "BedpostResult", "bedpost", "modeled_mcmc_times"]
@@ -56,6 +55,24 @@ class BedpostConfig:
     block_voxels: int = 50_000
     device: DeviceSpec = RADEON_5870
     host: HostSpec = PHENOM_X4
+    #: Worker processes for the voxel-block loop (1 = serial).  The
+    #: sharded posterior is bit-identical to serial for any count (see
+    #: :mod:`repro.mcmc.shards`); maps to ``runtime.bedpost_workers``.
+    n_workers: int = 1
+    #: Supervised retries per failed block shard before re-sharding /
+    #: fallback (shared execution-policy field: ``runtime.max_retries``).
+    max_retries: int = 2
+    #: Per-shard attempt deadline in seconds; None disables the hang
+    #: watchdog (``runtime.shard_timeout_s``).
+    shard_timeout_s: float | None = None
+    #: After retries and re-sharding are exhausted, run the failing work
+    #: in-parent instead of raising
+    #: :class:`~repro.errors.PoolExhaustedError`.
+    fallback_to_serial: bool = True
+    #: Dev/test-only deterministic fault injection
+    #: (:class:`~repro.runtime.faults.FaultPlan`); keep None in
+    #: production.
+    fault_plan: object | None = None
 
     def __post_init__(self) -> None:
         if self.n_fibers < 1:
@@ -75,10 +92,25 @@ class BedpostConfig:
             raise ConfigurationError(
                 f"block_voxels must be >= 1, got {self.block_voxels}"
             )
+        if self.n_workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1, got {self.n_workers}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.shard_timeout_s is not None and self.shard_timeout_s <= 0:
+            raise ConfigurationError(
+                f"shard_timeout_s must be positive (or None), "
+                f"got {self.shard_timeout_s}"
+            )
 
     def to_spec_dict(self) -> dict:
-        """The run-spec form: the ``sampling`` section plus the machine
-        presets' share of ``runtime`` (device/host names)."""
+        """The run-spec form: the ``sampling`` section plus this stage's
+        share of ``runtime`` (machine presets and execution policy —
+        the latter is excluded from stage hashes, so adding it never
+        moves store keys)."""
         sampling = dict(self.mcmc.to_spec_dict())
         sampling.update(
             n_fibers=self.n_fibers,
@@ -87,11 +119,20 @@ class BedpostConfig:
             f_threshold=self.f_threshold,
             block_voxels=self.block_voxels,
         )
+        fault = self.fault_plan
         return {
             "sampling": sampling,
             "runtime": {
                 "device": device_preset_name(self.device),
                 "host": host_preset_name(self.host),
+                "bedpost_workers": self.n_workers,
+                "max_retries": self.max_retries,
+                "shard_timeout_s": self.shard_timeout_s,
+                "fallback_to_serial": self.fallback_to_serial,
+                "fault_plan": fault.to_spec() if fault is not None else None,
+                "hang_seconds": (
+                    fault.hang_seconds if fault is not None else None
+                ),
             },
         }
 
@@ -101,6 +142,18 @@ class BedpostConfig:
         sections of a full run-spec dict; extra keys are ignored)."""
         sampling = data.get("sampling", {})
         runtime = data.get("runtime", {})
+        fault_plan = None
+        fault_text = runtime.get("fault_plan")
+        if fault_text:
+            from repro.runtime.faults import FaultPlan
+
+            hang = runtime.get("hang_seconds")
+            timeout = runtime.get("shard_timeout_s")
+            if hang is None:
+                # Mirror the CLI's dev-safety bound: an injected hang
+                # never outlives a missing timeout by more than 30 s.
+                hang = timeout * 4 if timeout else 30.0
+            fault_plan = FaultPlan.parse(fault_text, hang_seconds=hang)
         return cls(
             mcmc=MCMCConfig.from_spec_dict(sampling),
             n_fibers=sampling.get("n_fibers", 2),
@@ -110,6 +163,11 @@ class BedpostConfig:
             block_voxels=sampling.get("block_voxels", 50_000),
             device=device_preset(runtime.get("device", "radeon_5870")),
             host=host_preset(runtime.get("host", "phenom_x4")),
+            n_workers=runtime.get("bedpost_workers", 1),
+            max_retries=runtime.get("max_retries", 2),
+            shard_timeout_s=runtime.get("shard_timeout_s"),
+            fallback_to_serial=runtime.get("fallback_to_serial", True),
+            fault_plan=fault_plan,
         )
 
     @classmethod
@@ -144,6 +202,10 @@ class BedpostResult:
         in play (``None`` otherwise).
     served_from_store:
         Whether this result was a cache hit (no MCMC was run).
+    supervision:
+        The :class:`~repro.runtime.supervisor.SupervisorReport` when the
+        voxel-block shards ran under supervision (``n_workers > 1``);
+        ``None`` for serial, inline, or cache-served runs.
     """
 
     fields: list[FiberField]
@@ -156,6 +218,7 @@ class BedpostResult:
     wall_seconds: float
     stage_key: str | None = None
     served_from_store: bool = False
+    supervision: object | None = None
 
     @property
     def n_voxels(self) -> int:
@@ -204,85 +267,107 @@ def _compute_samples(
     cfg: BedpostConfig,
     layout: ParameterLayout,
     checkpoint_every: int,
-    ckpt_file_for=None,
+    ckpt_dir=None,
     on_checkpoint=None,
 ):
-    """The actual MCMC sweep: ``(all_samples, acceptance_history)``.
+    """The actual MCMC sweep: ``(all_samples, history, supervision)``.
 
-    Runs under whatever registry is active.  When ``ckpt_file_for`` is
-    given (``callable(block_start) -> Path``), each block runs in chunks
-    of ``checkpoint_every`` loops with the chain state checkpointed
-    atomically after each chunk, and resumes from an existing on-disk
-    checkpoint (re-counting its completed loops, so the resumed run's
-    deterministic counters match an uninterrupted one).
+    Runs under whatever registry is active.  The serial block loop and
+    every worker process execute the same
+    :func:`~repro.mcmc.shards.run_blocks` code over the same serial
+    block decomposition, so the posterior samples, acceptance history,
+    and deterministic ``mcmc.*``/``bedpost.*`` counters are bit-identical
+    for any ``cfg.n_workers`` — with ``n_workers > 1``, contiguous runs
+    of blocks go through the supervised
+    :class:`~repro.runtime.stage.StageShardExecutor` and stream back in
+    task order.
+
+    When ``ckpt_dir`` is given, each block runs in chunks of
+    ``checkpoint_every`` loops with the chain state checkpointed
+    atomically after each chunk (files keyed by global voxel start, so
+    serial and sharded runs resume each other's work), resuming from an
+    existing on-disk checkpoint with its completed loops re-counted.
     """
-    from repro.mcmc.checkpoint import SamplerCheckpoint
-    from repro.rng.streams import seed_streams
-    from repro.rng.tausworthe import HybridTaus
+    from repro.mcmc.shards import (
+        BEDPOST_BLOCK_SHARD,
+        BlockTask,
+        make_block_tasks,
+        run_blocks,
+    )
+    from repro.runtime.stage import StageShardExecutor
 
     n_vox = sel_idx.size
-    priors = MultiFiberPriors(ard=cfg.ard)
-    sampler = MCMCSampler(cfg.mcmc)
+    registry = get_registry()
+    blocks = [
+        (start, min(start + cfg.block_voxels, n_vox))
+        for start in range(0, n_vox, cfg.block_voxels)
+    ]
     all_samples = np.empty((cfg.mcmc.n_samples, n_vox, layout.n_params))
     histories: list[np.ndarray] = []
-    registry = get_registry()
-    from repro.errors import SamplerError
+    task_kwargs = dict(
+        n_total_voxels=n_vox,
+        mcmc=cfg.mcmc,
+        n_fibers=cfg.n_fibers,
+        ard=cfg.ard,
+        noise_model=cfg.noise_model,
+        gtab=gtab,
+        checkpoint_every=checkpoint_every,
+        ckpt_dir=str(ckpt_dir) if ckpt_dir is not None else None,
+        on_checkpoint=on_checkpoint,
+    )
 
-    for start in range(0, n_vox, cfg.block_voxels):
-        stop = min(start + cfg.block_voxels, n_vox)
-        block = flat[sel_idx[start:stop]]
-        with registry.span("bedpost.block", start=start, n_voxels=stop - start):
-            post = LogPosterior(
-                gtab,
-                block,
-                priors=priors,
-                n_fibers=cfg.n_fibers,
-                noise_model=cfg.noise_model,
+    report = None
+    if cfg.n_workers <= 1:
+        # Serial: one single-block task at a time, directly under the
+        # active registry — peak memory stays one block's working set.
+        for i, (start, stop) in enumerate(blocks):
+            payload = run_blocks(
+                BlockTask(
+                    data=flat[sel_idx[start:stop]],
+                    blocks=((start, stop),),
+                    first_block=i,
+                    **task_kwargs,
+                )
             )
-            # Per-voxel streams: lane v of the full problem, regardless
-            # of blocking, so blocked and unblocked runs agree exactly.
-            full_rng = seed_streams(n_vox, seed=cfg.mcmc.seed)
-            block_rng = HybridTaus(full_rng.state[start:stop])
+            all_samples[:, start:stop, :] = payload["samples"]
+            histories.extend(payload["histories"])
+    else:
+        executor = StageShardExecutor(
+            cfg.n_workers,
+            max_retries=cfg.max_retries,
+            shard_timeout_s=cfg.shard_timeout_s,
+            fallback_to_serial=cfg.fallback_to_serial,
+            fault_plan=cfg.fault_plan,
+        )
+        n_shards = executor.plan_shards(BEDPOST_BLOCK_SHARD, len(blocks))
+        tasks = make_block_tasks(
+            flat[sel_idx], blocks, n_shards, **task_kwargs
+        )
+        # Streaming in-task-order merge: scatter each shard's samples
+        # into the preallocated posterior and fold its telemetry
+        # snapshot as it arrives — task order regardless of completion
+        # order, so counters and histories match serial bit for bit and
+        # completed payloads never pile up beyond the completion skew.
+        worker_slot = 0
 
-            ckpt_file = ckpt_file_for(start) if ckpt_file_for else None
-            checkpoint = None
-            if ckpt_file is not None and ckpt_file.exists():
-                try:
-                    checkpoint = SamplerCheckpoint.load(ckpt_file)
-                except SamplerError:
-                    # A corrupt checkpoint degrades to a clean restart.
-                    ckpt_file.unlink(missing_ok=True)
-            # Completed loops from a previous process must be re-counted
-            # so the resumed run's counters match an uninterrupted one.
-            replay = checkpoint is not None
+        def _absorb(index: int, outs: list) -> None:
+            nonlocal worker_slot
+            for result, metrics in outs:
+                lo = result["voxel_start"]
+                part = result["samples"]
+                all_samples[:, lo : lo + part.shape[1], :] = part
+                histories.extend(result["histories"])
+                registry.merge_snapshot(metrics, worker=worker_slot + 1)
+                worker_slot += 1
 
-            if ckpt_file is None or checkpoint_every <= 0:
-                res: MCMCResult = sampler.run(post, rng=block_rng)
-            else:
-                while True:
-                    done = checkpoint.loop if checkpoint is not None else 0
-                    target = min(done + checkpoint_every, cfg.mcmc.n_loops)
-                    res = sampler.run(
-                        post,
-                        rng=None if checkpoint is not None else block_rng,
-                        checkpoint=checkpoint,
-                        stop_after_loop=target,
-                        replay_counters=replay,
-                    )
-                    replay = False
-                    if res.checkpoint is None:
-                        break
-                    checkpoint = res.checkpoint
-                    checkpoint.save(ckpt_file)
-                    if on_checkpoint is not None:
-                        on_checkpoint(start, checkpoint.loop)
-            all_samples[:, start:stop, :] = res.samples
-            histories.append(np.asarray(res.acceptance_history))
-    registry.count("bedpost.voxels_fit", n_vox)
+        with registry.span(
+            "runtime.shards", n_shards=n_shards, stage="sampling"
+        ):
+            report = executor.run(BEDPOST_BLOCK_SHARD, tasks, _absorb)
     history = (
         [float(x) for x in np.mean(histories, axis=0)] if histories else []
     )
-    return all_samples, history
+    return all_samples, history, report
 
 
 def bedpost(
@@ -303,7 +388,11 @@ def bedpost(
     ``config.block_voxels`` to bound the working set; blocks use
     distinct RNG stream offsets, so results are identical regardless of
     blocking (each voxel's chain depends only on its own stream and
-    data).
+    data).  With ``config.n_workers > 1`` (``runtime.bedpost_workers``)
+    the blocks are sharded across supervised worker processes
+    (:mod:`repro.mcmc.shards`) — posterior samples, acceptance history,
+    and deterministic counters stay bit-identical for any worker count,
+    including under recovered shard failures.
 
     Parameters
     ----------
@@ -380,8 +469,9 @@ def bedpost(
             )
 
     if store is None:
-        all_samples, history = _compute_samples(
-            flat, sel_idx, gtab, cfg, layout, checkpoint_every or 0
+        all_samples, history, supervision = _compute_samples(
+            flat, sel_idx, gtab, cfg, layout, checkpoint_every or 0,
+            on_checkpoint=on_checkpoint,
         )
     else:
         # Compute under a child registry so the deterministic metrics of
@@ -394,16 +484,14 @@ def bedpost(
         )
         child = MetricsRegistry()
         with use_registry(child):
-            all_samples, history = _compute_samples(
+            all_samples, history, supervision = _compute_samples(
                 flat,
                 sel_idx,
                 gtab,
                 cfg,
                 layout,
                 cadence,
-                ckpt_file_for=lambda s: store.checkpoint_path(
-                    "sampling", stage_key, f"block_{s:08d}.npz"
-                ),
+                ckpt_dir=store.checkpoint_dir("sampling", stage_key),
                 on_checkpoint=on_checkpoint,
             )
         get_registry().merge(child)
@@ -446,6 +534,7 @@ def bedpost(
         wall_seconds=wall,
         stage_key=stage_key,
         served_from_store=False,
+        supervision=supervision,
     )
 
 

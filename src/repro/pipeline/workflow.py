@@ -60,9 +60,13 @@ class WorkflowResult:
             f"  modeled CPU     {p.cpu_seconds:10.2f} s",
             f"  modeled speedup {p.speedup:10.1f} x",
         ]
-        sup = p.supervision
-        if sup is not None:
-            lines.append("fault tolerance (supervised shards)")
+        for label, sup in (
+            ("sampling", getattr(b, "supervision", None)),
+            ("tracking", p.supervision),
+        ):
+            if sup is None:
+                continue
+            lines.append(f"fault tolerance ({label} shards)")
             lines.append(f"  shards          {sup.n_shards}")
             lines.append(f"  failed attempts {sup.n_failures}")
             lines.append(f"  retries         {sup.n_retries}")

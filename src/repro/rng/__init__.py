@@ -12,7 +12,7 @@ each "GPU thread" is one lane of a ``(n_threads, 4)`` uint32 state array.
 
 from repro.rng.tausworthe import HybridTaus, TAUS_PARAMS
 from repro.rng.boxmuller import box_muller, box_muller_pairs
-from repro.rng.streams import random_memory_bytes, seed_streams
+from repro.rng.streams import block_streams, random_memory_bytes, seed_streams
 
 __all__ = [
     "HybridTaus",
@@ -20,5 +20,6 @@ __all__ = [
     "box_muller",
     "box_muller_pairs",
     "seed_streams",
+    "block_streams",
     "random_memory_bytes",
 ]

@@ -24,7 +24,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.rng.tausworthe import MIN_STATE, HybridTaus
 
-__all__ = ["seed_streams", "splitmix64", "random_memory_bytes"]
+__all__ = ["seed_streams", "block_streams", "splitmix64", "random_memory_bytes"]
 
 _SM_GAMMA = np.uint64(0x9E3779B97F4A7C15)
 _SM_M1 = np.uint64(0xBF58476D1CE4E5B9)
@@ -41,6 +41,27 @@ def splitmix64(x: np.ndarray) -> np.ndarray:
         return z ^ (z >> np.uint64(31))
 
 
+def _lane_state(counter_lo: np.ndarray, counter_hi: np.ndarray) -> np.ndarray:
+    """Expand two counter words per lane into 4 uint32 state words."""
+    n = counter_lo.size
+    words_lo = splitmix64(counter_lo)
+    words_hi = splitmix64(counter_hi)
+    state = np.empty((n, 4), dtype=np.uint32)
+    state[:, 0] = (words_lo & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+    state[:, 1] = (words_lo >> np.uint64(32)).astype(np.uint32)
+    state[:, 2] = (words_hi & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+    state[:, 3] = (words_hi >> np.uint64(32)).astype(np.uint32)
+    # Enforce the Tausworthe minimum on words 0-2 (prob ~ 3e-8 per word).
+    low = state[:, :3] < MIN_STATE
+    state[:, :3][low] += np.uint32(MIN_STATE)
+    return state
+
+
+def _seed_offset(seed: int) -> np.uint64:
+    with np.errstate(over="ignore"):
+        return np.uint64(seed & 0xFFFFFFFFFFFFFFFF) * np.uint64(0x632BE59BD9B4E019)
+
+
 def seed_streams(n_threads: int, seed: int = 0) -> HybridTaus:
     """Construct a :class:`HybridTaus` with ``n_threads`` independent lanes.
 
@@ -55,17 +76,35 @@ def seed_streams(n_threads: int, seed: int = 0) -> HybridTaus:
         raise ConfigurationError(f"n_threads must be >= 1, got {n_threads}")
     counter = np.arange(2 * n_threads, dtype=np.uint64)
     with np.errstate(over="ignore"):
-        counter += np.uint64(seed & 0xFFFFFFFFFFFFFFFF) * np.uint64(0x632BE59BD9B4E019)
-    words64 = splitmix64(counter)
-    state = np.empty((n_threads, 4), dtype=np.uint32)
-    state[:, 0] = (words64[:n_threads] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
-    state[:, 1] = (words64[:n_threads] >> np.uint64(32)).astype(np.uint32)
-    state[:, 2] = (words64[n_threads:] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
-    state[:, 3] = (words64[n_threads:] >> np.uint64(32)).astype(np.uint32)
-    # Enforce the Tausworthe minimum on words 0-2 (prob ~ 3e-8 per word).
-    low = state[:, :3] < MIN_STATE
-    state[:, :3][low] += np.uint32(MIN_STATE)
-    return HybridTaus(state)
+        counter += _seed_offset(seed)
+    return HybridTaus(_lane_state(counter[:n_threads], counter[n_threads:]))
+
+
+def block_streams(
+    n_total: int, start: int, stop: int, seed: int = 0
+) -> HybridTaus:
+    """Lanes ``[start, stop)`` of ``seed_streams(n_total, seed)``, directly.
+
+    Bitwise-equal to ``HybridTaus(seed_streams(n_total, seed).state[start:stop])``
+    without materializing the full ``n_total``-lane state: lane ``v`` of
+    the full problem draws its counter words from positions ``v`` and
+    ``n_total + v``, both computable for any slice.  This is what lets a
+    bedpost voxel-block shard (:mod:`repro.mcmc.shards`) seed exactly
+    the serial run's per-voxel chains while holding only its own block.
+    """
+    if n_total < 1:
+        raise ConfigurationError(f"n_total must be >= 1, got {n_total}")
+    if not 0 <= start < stop <= n_total:
+        raise ConfigurationError(
+            f"need 0 <= start < stop <= n_total, got [{start}, {stop}) "
+            f"of {n_total}"
+        )
+    lanes = np.arange(start, stop, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        offset = _seed_offset(seed)
+        counter_lo = lanes + offset
+        counter_hi = lanes + np.uint64(n_total) + offset
+    return HybridTaus(_lane_state(counter_lo, counter_hi))
 
 
 def random_memory_bytes(

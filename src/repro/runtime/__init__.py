@@ -1,15 +1,20 @@
-"""Sample-parallel execution backends for the tracking stage.
+"""Stage-generic shard execution for both pipeline stages.
 
-See :mod:`repro.runtime.backend` for the determinism contract: the
-process backend's merged output is bit-identical to the serial path for
-any worker count — and, via :mod:`repro.runtime.supervisor`, under any
-recovered shard failure (crash, hang, corrupt result) as well.
-:mod:`repro.runtime.faults` provides the deterministic fault-injection
-plans the chaos tests and the dev-only ``repro-track --inject-fault``
-flag use to prove that.
+See :mod:`repro.runtime.stage` for the :class:`StageShard` contract and
+the streaming executor, and :mod:`repro.runtime.backend` for the
+determinism contract: the process backend's merged output is
+bit-identical to the serial path for any worker count — and, via
+:mod:`repro.runtime.supervisor`, under any recovered shard failure
+(crash, hang, corrupt result) as well.  :mod:`repro.runtime.faults`
+provides the deterministic fault-injection plans the chaos tests and
+the dev-only ``--inject-fault`` CLI flags use to prove that.  The
+tracking stage shards by posterior sample
+(:data:`~repro.runtime.backend.TRACKING_SHARD`); bedpost MCMC shards by
+voxel block (:mod:`repro.mcmc.shards`).
 """
 
 from repro.runtime.backend import (
+    TRACKING_SHARD,
     ExecutionBackend,
     ProcessBackend,
     SerialBackend,
@@ -18,6 +23,7 @@ from repro.runtime.backend import (
 )
 from repro.runtime.faults import FaultPlan, FaultSpec
 from repro.runtime.merge import merge_shard_results
+from repro.runtime.stage import StageShard, StageShardExecutor, default_workers
 from repro.runtime.supervisor import (
     InlineLauncher,
     ProcessLauncher,
@@ -33,6 +39,10 @@ __all__ = [
     "ProcessBackend",
     "SerialBackend",
     "ShardTask",
+    "StageShard",
+    "StageShardExecutor",
+    "TRACKING_SHARD",
+    "default_workers",
     "make_backend",
     "merge_shard_results",
     "FaultPlan",

@@ -45,13 +45,19 @@ fallback.  Because :func:`_run_shard` is a pure function of its task,
 *where* a shard finally succeeds cannot change its payload — so the
 recovered merge stays bit-identical to a clean run.  See
 :mod:`repro.runtime.supervisor` and :mod:`repro.runtime.faults`.
+
+Since PR 8 the sharding machinery itself is stage-generic
+(:mod:`repro.runtime.stage`): this module contributes the *tracking*
+instance of the :class:`~repro.runtime.stage.StageShard` contract
+(:data:`TRACKING_SHARD`), and :class:`ProcessBackend` drives it through
+a :class:`~repro.runtime.stage.StageShardExecutor` — the same executor
+that shards bedpost MCMC by voxel block (:mod:`repro.mcmc.shards`).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import logging
-import multiprocessing as mp
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
@@ -66,19 +72,15 @@ from repro.tracking.executor import SegmentedTracker, TrackingRunResult
 from repro.tracking.segmentation import SegmentationStrategy
 from repro.runtime.faults import FaultPlan
 from repro.runtime.merge import merge_shard_results
+from repro.runtime.stage import StageShard, StageShardExecutor
 from repro.telemetry import MetricsRegistry, get_registry, use_registry
-from repro.runtime.supervisor import (
-    ProcessLauncher,
-    RetryPolicy,
-    ShardRunner,
-    ShardSupervisor,
-)
 
 __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ProcessBackend",
     "ShardTask",
+    "TRACKING_SHARD",
     "make_backend",
 ]
 
@@ -191,13 +193,6 @@ def _run_shard(
     return result, pairs, local.snapshot()
 
 
-def _pool_context() -> mp.context.BaseContext:
-    """``fork`` where available (cheap, inherits loaded NumPy), else default."""
-    if "fork" in mp.get_all_start_methods():
-        return mp.get_context("fork")
-    return mp.get_context()
-
-
 # -- supervisor seams --------------------------------------------------------
 # Top-level (picklable) hooks the ShardSupervisor uses to run, check,
 # split, and (under fault injection only) corrupt shard payloads.
@@ -276,6 +271,21 @@ def _corrupt_payload(payload):
     return result, pairs, metrics
 
 
+#: The tracking stage expressed as an instance of the stage-generic
+#: sharding contract (:mod:`repro.runtime.stage`): contiguous sample
+#: shards, re-shardable to single samples, with ``sN`` fault targets
+#: addressing global sample indices.
+TRACKING_SHARD = StageShard(
+    stage="tracking",
+    unit="sample",
+    run=_run_shard,
+    validate=_validate_shard_payload,
+    split=_split_shard_task,
+    corrupt=_corrupt_payload,
+    units=_shard_samples,
+)
+
+
 class ProcessBackend(ExecutionBackend):
     """Shard sample volumes across worker processes, merge deterministically.
 
@@ -309,14 +319,19 @@ class ProcessBackend(ExecutionBackend):
         fault_plan: FaultPlan | None = None,
         retry_seed: int = 0,
     ) -> None:
-        if n_workers < 1:
-            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        self._executor = StageShardExecutor(
+            n_workers,
+            max_retries=max_retries,
+            shard_timeout_s=shard_timeout_s,
+            fallback_to_serial=fallback_to_serial,
+            fault_plan=fault_plan,
+            retry_seed=retry_seed,
+        )
         self.n_workers = n_workers
-        self.policy = RetryPolicy(max_retries=max_retries, seed=retry_seed)
+        self.policy = self._executor.policy
         self.shard_timeout_s = shard_timeout_s
         self.fallback_to_serial = fallback_to_serial
         self.fault_plan = fault_plan
-        self._clamp_logged = False
 
     def run(
         self,
@@ -374,16 +389,7 @@ class ProcessBackend(ExecutionBackend):
                 phase0.wall_seconds = time.perf_counter() - t0
                 return phase0
 
-        n_shards = min(self.n_workers, len(shard_fields))
-        if self.n_workers > len(shard_fields):
-            registry.count("runtime.worker_clamps", 1, deterministic=False)
-            if not self._clamp_logged:
-                log.info(
-                    "clamping n_workers=%d to %d shardable sample(s)",
-                    self.n_workers,
-                    len(shard_fields),
-                )
-                self._clamp_logged = True
+        n_shards = self._executor.plan_shards(TRACKING_SHARD, len(shard_fields))
         tasks = []
         for sl in partition_seeds(len(shard_fields), n_shards):
             tasks.append(
@@ -411,43 +417,29 @@ class ProcessBackend(ExecutionBackend):
                 )
             )
 
-        report = None
-        with registry.span("runtime.shards", n_shards=n_shards, order=order):
-            if n_shards == 1 and phase0 is None and self.fault_plan is None:
-                # One shard, nothing to fork for: run it here (bit-identical
-                # by construction, and the merge would be a no-op anyway).
-                shard_outputs = [_run_shard(tasks[0])]
-            else:
-                supervisor = ShardSupervisor(
-                    policy=self.policy,
-                    shard_timeout_s=self.shard_timeout_s,
-                    fallback_to_serial=self.fallback_to_serial,
-                    fault_plan=self.fault_plan,
-                    max_workers=n_shards,
-                    launcher=ProcessLauncher(_pool_context()),
-                )
-                runner = ShardRunner(
-                    run=_run_shard,
-                    validate=_validate_shard_payload,
-                    split=_split_shard_task,
-                    corrupt=_corrupt_payload,
-                    samples=_shard_samples,
-                )
-                per_task, report = supervisor.run_tasks(tasks, runner)
-                # Flatten in task order; re-sharded tasks contribute their
-                # subtask payloads in sample order, so global sample order —
-                # and therefore the deterministic merge — is preserved.
-                shard_outputs = [out for parts in per_task for out in parts]
-
-        # Fold shard telemetry into the parent registry *in task order*:
-        # integer counter/bucket addition in a fixed order is what keeps
-        # the manifest's deterministic section bit-identical to serial.
+        # Streaming in-task-order merge: each shard's result rows,
+        # connectivity pairs, and telemetry snapshot are folded into the
+        # parent as the stage executor delivers them — in task order
+        # regardless of completion order, re-sharded subtasks in sample
+        # order — so global sample order, and therefore the deterministic
+        # merge (integer counter/bucket addition in a fixed order), is
+        # preserved and peak parent memory stays bounded.
         parts = [phase0] if phase0 is not None else []
-        for slot, (result, pairs, metrics) in enumerate(shard_outputs):
-            parts.append(result)
-            if connectivity is not None:
-                connectivity.absorb(pairs)
-            registry.merge_snapshot(metrics, worker=slot + 1)
+        worker_slot = 0
+
+        def _absorb(index: int, outs: list) -> None:
+            nonlocal worker_slot
+            for result, pairs, metrics in outs:
+                parts.append(result)
+                if connectivity is not None:
+                    connectivity.absorb(pairs)
+                registry.merge_snapshot(metrics, worker=worker_slot + 1)
+                worker_slot += 1
+
+        with registry.span("runtime.shards", n_shards=n_shards, order=order):
+            report = self._executor.run(
+                TRACKING_SHARD, tasks, _absorb, inline_single=phase0 is None
+            )
 
         with registry.span("runtime.merge", n_parts=len(parts)):
             return merge_shard_results(
@@ -469,7 +461,7 @@ def make_backend(
     """Backend for a worker count: serial for <= 1, process pool above.
 
     ``0`` (and ``None``) mean "serial"; pass
-    :func:`repro.utils.parallel.default_workers` explicitly to size the
+    :func:`repro.runtime.stage.default_workers` explicitly to size the
     pool from the machine.  Negative counts are rejected rather than
     silently degraded — they are always a caller bug.  Worker counts
     exceeding the shardable sample count are clamped at run time (the

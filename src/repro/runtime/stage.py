@@ -1,0 +1,238 @@
+"""Stage-generic shard execution: one contract for every pipeline stage.
+
+PRs 1–2 built a supervised, fault-tolerant, deterministically-merging
+process pool — but hardwired to *tracking sample* shards.  Both paper
+stages are embarrassingly parallel (bedpost MCMC across voxels, tracking
+across sample volumes), so this module factors the stage-independent
+machinery out into two pieces:
+
+* :class:`StageShard` — a stage's sharding contract: the picklable pure
+  ``run`` function plus the supervisor seams (payload validation,
+  re-shard splitting, fault-injection corruption, and the global unit
+  range each task covers).  The tracking instance lives in
+  :mod:`repro.runtime.backend`; the bedpost voxel-block instance in
+  :mod:`repro.mcmc.shards`.
+* :class:`StageShardExecutor` — the execution policy (pool size, retry
+  policy, timeouts, fault plan) applied to any stage's task list, with
+  the shared worker-clamp warning and a **streaming in-task-order
+  merge**: completed task payloads are handed to the caller's
+  ``consume`` callback as soon as every earlier task has completed,
+  instead of gathering the whole result set first.  Out-of-order
+  completions are buffered only until the gap fills, so peak parent
+  memory is bounded by the completion skew, not the run size.
+
+Determinism is unchanged from the sample-sharding design: tasks are
+pure functions of their payloads, the supervisor reassembles re-sharded
+parts in unit order, and ``consume`` observes payloads in task order
+regardless of completion order — so any in-order fold (counter merge,
+array scatter, connectivity absorb) is bit-identical for every worker
+count and under every recovery path.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing as mp
+import os
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+from repro.runtime.faults import FaultPlan
+from repro.runtime.supervisor import (
+    ProcessLauncher,
+    RetryPolicy,
+    ShardRunner,
+    ShardSupervisor,
+    SupervisorReport,
+)
+from repro.telemetry import get_registry
+
+__all__ = ["StageShard", "StageShardExecutor", "default_workers"]
+
+log = logging.getLogger(__name__)
+
+
+def default_workers() -> int:
+    """A sensible pool size for this machine: ``cpu_count - 1``, min 1.
+
+    Leaving one core keeps the merging parent (and the user's shell)
+    responsive while the pool is saturated.
+    """
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def _pool_context() -> mp.context.BaseContext:
+    """``fork`` where available (cheap, inherits loaded NumPy), else default."""
+    if "fork" in mp.get_all_start_methods():
+        return mp.get_context("fork")
+    return mp.get_context()
+
+
+@dataclass(frozen=True)
+class StageShard:
+    """One pipeline stage's sharding contract.
+
+    Parameters
+    ----------
+    stage:
+        Stage name (``"tracking"``, ``"sampling"``) — used in log and
+        telemetry labels only, never in store keys.
+    unit:
+        Human label for the shardable unit (``"sample"``,
+        ``"voxel block"``), used by the shared clamp warning.
+    run:
+        **Top-level, picklable** pure function of one task returning its
+        payload.  Purity is the determinism argument: where the task
+        finally succeeds (pool / re-shard / in-parent fallback) cannot
+        change its payload.
+    validate:
+        ``(task, payload) -> None`` raising
+        :class:`~repro.errors.ShardResultError` on payloads that cannot
+        be genuine ``run`` outputs.  A real payload must always pass.
+    split:
+        ``task -> [subtasks]`` for re-shard escalation: one single-unit
+        subtask per unit, unit order preserved.
+    corrupt:
+        Fault-injection seam: detectably mangle a real payload (the
+        ``corrupt`` fault kind); ``validate`` must catch its output.
+    units:
+        ``task -> range`` of the *global* unit indices the task covers —
+        the coordinate system of ``sN`` fault targets.
+    """
+
+    stage: str
+    unit: str
+    run: Callable[[Any], Any]
+    validate: Callable[[Any, Any], None] | None = None
+    split: Callable[[Any], list[Any]] | None = None
+    corrupt: Callable[[Any], Any] | None = None
+    units: Callable[[Any], range] | None = None
+
+    def runner(self) -> ShardRunner:
+        """The supervisor-facing view of this contract."""
+        return ShardRunner(
+            run=self.run,
+            validate=self.validate,
+            split=self.split,
+            corrupt=self.corrupt,
+            samples=self.units,
+        )
+
+
+class StageShardExecutor:
+    """Execution policy for one stage's shard tasks.
+
+    Owns what used to be :class:`~repro.runtime.backend.ProcessBackend`
+    internals: pool sizing (with the once-per-executor clamp warning),
+    the supervised run, and the streaming in-task-order hand-off to the
+    caller's merge.
+
+    Parameters mirror the process backend's: ``n_workers`` is the pool
+    size, ``max_retries``/``shard_timeout_s``/``fallback_to_serial``
+    configure the :class:`~repro.runtime.supervisor.ShardSupervisor`
+    escalation ladder, ``fault_plan`` injects deterministic test faults,
+    and ``retry_seed`` seeds the backoff jitter.  ``launcher_factory``
+    is a test seam returning a launcher per run (defaults to a fresh
+    :class:`~repro.runtime.supervisor.ProcessLauncher`).
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        max_retries: int = 2,
+        shard_timeout_s: float | None = None,
+        fallback_to_serial: bool = True,
+        fault_plan: FaultPlan | None = None,
+        retry_seed: int = 0,
+        launcher_factory: Callable[[], Any] | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self.policy = RetryPolicy(max_retries=max_retries, seed=retry_seed)
+        self.shard_timeout_s = shard_timeout_s
+        self.fallback_to_serial = fallback_to_serial
+        self.fault_plan = fault_plan
+        self.launcher_factory = launcher_factory
+        self._clamp_logged = False
+
+    def plan_shards(self, shard: StageShard, n_units: int) -> int:
+        """Pool size for ``n_units`` shardable units, clamped to the work.
+
+        Shards never outnumber units; an oversized request is counted
+        (``runtime.worker_clamps`` ops counter) and logged once per
+        executor, with the stage's own unit label.
+        """
+        if n_units < 1:
+            raise ConfigurationError(
+                f"{shard.stage}: need at least one {shard.unit} to shard"
+            )
+        if self.n_workers <= n_units:
+            return self.n_workers
+        get_registry().count("runtime.worker_clamps", 1, deterministic=False)
+        if not self._clamp_logged:
+            log.info(
+                "clamping n_workers=%d to %d shardable %s(s)",
+                self.n_workers,
+                n_units,
+                shard.unit,
+            )
+            self._clamp_logged = True
+        return n_units
+
+    def run(
+        self,
+        shard: StageShard,
+        tasks: list[Any],
+        consume: Callable[[int, list[Any]], None],
+        inline_single: bool = True,
+    ) -> SupervisorReport | None:
+        """Run ``tasks`` under supervision, streaming payloads in order.
+
+        ``consume(task_index, parts)`` receives every task's ordered
+        payload parts (one element normally; one per unit after a
+        re-shard) **in task order** — task ``i`` is delivered only once
+        tasks ``0..i-1`` have been; later completions buffer until the
+        gap fills.  Exceptions raised by ``consume`` abort in-flight
+        work and propagate.
+
+        With a single task, no fault plan, and ``inline_single`` true,
+        the task runs in-parent (bit-identical by purity; nothing to
+        fork for) and no report is returned.
+        """
+        if not tasks:
+            raise ConfigurationError(f"{shard.stage}: no shard tasks to run")
+        if len(tasks) == 1 and inline_single and self.fault_plan is None:
+            consume(0, [shard.run(tasks[0])])
+            return None
+        launcher = (
+            self.launcher_factory()
+            if self.launcher_factory is not None
+            else ProcessLauncher(_pool_context())
+        )
+        supervisor = ShardSupervisor(
+            policy=self.policy,
+            shard_timeout_s=self.shard_timeout_s,
+            fallback_to_serial=self.fallback_to_serial,
+            fault_plan=self.fault_plan,
+            max_workers=min(self.n_workers, len(tasks)),
+            launcher=launcher,
+        )
+        pending: dict[int, list[Any]] = {}
+        next_flush = 0
+
+        def _on_task_done(index: int, parts: list[Any]) -> None:
+            nonlocal next_flush
+            pending[index] = parts
+            while next_flush in pending:
+                consume(next_flush, pending.pop(next_flush))
+                next_flush += 1
+
+        _, report = supervisor.run_tasks(
+            tasks, shard.runner(), on_task_done=_on_task_done
+        )
+        # Every task completed (run_tasks would have raised otherwise),
+        # and flushing is monotone — so nothing can still be buffered.
+        assert not pending and next_flush == len(tasks)
+        return report

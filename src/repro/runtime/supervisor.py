@@ -17,9 +17,10 @@ pool built for long sweeps:
   same seed always yields the same delay schedule, so chaos tests are
   reproducible;
 * a shard that exhausts its retries is **re-sharded**: split into
-  single-sample subtasks, each given one fresh process attempt on the
-  surviving pool (a fault pinned to one sample no longer poisons its
-  shard-mates);
+  single-unit subtasks (one tracking sample, or one bedpost voxel
+  block — see :mod:`repro.runtime.stage`), each given one fresh process
+  attempt on the surviving pool (a fault pinned to one unit no longer
+  poisons its shard-mates);
 * work that still fails degrades to an **in-parent serial run** of the
   very same task (the plain :class:`~repro.runtime.backend.SerialBackend`
   code path), unless ``fallback_to_serial=False``, in which case
@@ -195,11 +196,54 @@ class ShardRunner:
     validate: Callable[[Any, Any], None] | None = None
     split: Callable[[Any], list[Any]] | None = None
     corrupt: Callable[[Any], Any] | None = None
+    #: Global shardable-unit indices a task covers (tracking samples,
+    #: bedpost voxel blocks, ...) — the coordinate system ``sN`` fault
+    #: targets address.
     samples: Callable[[Any], range] | None = None
 
     def sample_range(self, task: Any) -> range:
-        """Global sample indices covered by ``task`` (empty if unknown)."""
+        """Global unit indices covered by ``task`` (empty if unknown)."""
         return self.samples(task) if self.samples is not None else range(0)
+
+
+class _OutputState:
+    """Per-run payload assembly, with optional streaming completion.
+
+    Payload parts land keyed by ``(task_index, part_index)`` slots.  When
+    a completion callback is set, a task whose expected part count is
+    reached is delivered immediately — its parts handed over in part
+    order and **released** (so a streaming caller bounds peak memory) —
+    otherwise parts accumulate for the gather at the end of the run.
+    """
+
+    def __init__(self, n_tasks: int, on_task_done=None) -> None:
+        self.parts: list[dict[int, Any]] = [{} for _ in range(n_tasks)]
+        self.expected = [1] * n_tasks
+        self.on_task_done = on_task_done
+
+    def store(self, slot: tuple[int, int], payload: Any) -> None:
+        """Record one part; fire the callback when its task completes."""
+        index, part = slot
+        self.parts[index][part] = payload
+        if (
+            self.on_task_done is not None
+            and len(self.parts[index]) == self.expected[index]
+        ):
+            ordered = [self.parts[index][k] for k in sorted(self.parts[index])]
+            self.parts[index] = {}
+            self.on_task_done(index, ordered)
+
+    def discard(self, slot: tuple[int, int]) -> None:
+        """Drop a part that is being re-sharded (idempotent)."""
+        self.parts[slot[0]].pop(slot[1], None)
+
+    def reshard(self, index: int, n_parts: int) -> None:
+        """A task now completes only once all ``n_parts`` subtasks land."""
+        self.expected[index] = n_parts
+
+    def gathered(self) -> list[list[Any]]:
+        """Per-task ordered parts (empty for tasks already streamed)."""
+        return [[p[k] for k in sorted(p)] for p in self.parts]
 
 
 class _Job:
@@ -308,6 +352,12 @@ class ProcessLauncher:
         for job in jobs:
             outcome = None
             payload = None
+            # Liveness is snapshotted BEFORE the pipe check: a worker
+            # that was already dead here had finished its final send, so
+            # its payload is visible to poll().  The reverse order races
+            # — pipe empty, send lands, sentinel fires — and misreads a
+            # clean exit as a crash, discarding a good payload.
+            dead = not job.process.is_alive()
             if job.conn.poll():
                 try:
                     tag, body = job.conn.recv()
@@ -317,7 +367,7 @@ class ProcessLauncher:
                     outcome, payload = "ok", body
                 else:
                     outcome, payload = "crash", body
-            elif not job.process.is_alive():
+            elif dead:
                 outcome, payload = "crash", f"worker exit code {job.process.exitcode}"
             elif job.deadline is not None and now >= job.deadline:
                 job.process.kill()
@@ -461,18 +511,29 @@ class ShardSupervisor:
     # -- public entry -------------------------------------------------------
 
     def run_tasks(
-        self, tasks: list[Any], runner: ShardRunner
+        self,
+        tasks: list[Any],
+        runner: ShardRunner,
+        on_task_done: Callable[[int, list[Any]], None] | None = None,
     ) -> tuple[list[list[Any]], SupervisorReport]:
         """Execute every task; return per-task payload parts + report.
 
         ``outputs[i]`` is the ordered list of payloads reassembling task
         ``i`` (one element normally; several if the task was re-sharded).
         Output order is task order regardless of completion order.
+
+        ``on_task_done(i, parts)`` — the streaming seam — fires as each
+        task *completes* (completion order, not task order; in-order
+        gating is the caller's concern, see
+        :class:`~repro.runtime.stage.StageShardExecutor`), after which
+        the task's payloads are released and its ``outputs[i]`` entry
+        comes back empty.  A callback exception aborts in-flight work
+        and propagates, like any supervisor failure.
         """
         if self.launcher is None:
             raise ConfigurationError("ShardSupervisor needs a launcher")
         report = SupervisorReport(n_shards=len(tasks))
-        outputs: list[dict[int, Any]] = [{} for _ in tasks]
+        outputs = _OutputState(len(tasks), on_task_done=on_task_done)
         queue: deque[_Job] = deque(
             _Job(
                 shard=i,
@@ -510,9 +571,7 @@ class ShardSupervisor:
             self.launcher.abort(running)
             raise
         self._record_telemetry(report)
-        return [
-            [parts[k] for k in sorted(parts)] for parts in outputs
-        ], report
+        return outputs.gathered(), report
 
     @staticmethod
     def _record_telemetry(report: SupervisorReport) -> None:
@@ -589,7 +648,7 @@ class ShardSupervisor:
                     shard=job.shard, attempt=job.attempt, outcome="ok",
                     seconds=seconds, via=job.stage, backoff_s=job.backoff_s,
                 ))
-                outputs[job.slot[0]][job.slot[1]] = payload
+                outputs.store(job.slot, payload)
                 return
             outcome, payload = "corrupt", str(error)
         report.attempts.append(ShardAttempt(
@@ -633,7 +692,8 @@ class ShardSupervisor:
             # one single-sample subtask each, one fresh attempt apiece.
             subtasks = runner.split(job.task)
             report.reshards.append(job.shard)
-            outputs[job.slot[0]].pop(job.slot[1], None)
+            outputs.discard(job.slot)
+            outputs.reshard(job.slot[0], len(subtasks))
             for k, sub in enumerate(subtasks):
                 queue.append(_Job(
                     shard=job.shard, task=sub,
@@ -657,7 +717,7 @@ class ShardSupervisor:
             seconds=max(0.0, self.launcher.now() - t0), via="serial",
         ))
         report.fallbacks.append(job.shard)
-        outputs[job.slot[0]][job.slot[1]] = payload
+        outputs.store(job.slot, payload)
 
 
 def classify_outcome(outcome: str, shard: int, attempt: int,

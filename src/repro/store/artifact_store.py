@@ -220,6 +220,18 @@ class ArtifactStore:
         d.mkdir(parents=True, exist_ok=True)
         return d / name
 
+    def checkpoint_dir(self, stage: str, key: str) -> Path:
+        """The ``(stage, key)`` checkpoint directory itself, created.
+
+        Sharded stages hand this to worker processes (as a plain path —
+        the store object never crosses the process boundary) so every
+        shard reads and writes the same per-block checkpoint files the
+        serial path would.
+        """
+        d = self.root / "checkpoints" / stage / _key_hex(key)
+        d.mkdir(parents=True, exist_ok=True)
+        return d
+
     def clear_checkpoints(self, stage: str, key: str) -> None:
         """Delete every checkpoint recorded for ``(stage, key)``."""
         d = self.root / "checkpoints" / stage / _key_hex(key)

@@ -1,4 +1,9 @@
-"""Shared utilities: geometry, validation, timing, and parallel helpers."""
+"""Shared utilities: geometry, validation, and timing helpers.
+
+Process-level parallelism lives in :mod:`repro.runtime` (stage-generic
+shards with supervision); the old ``utils.parallel`` chunked-map
+helpers it superseded are gone.
+"""
 
 from repro.utils.geometry import (
     angle_between,
@@ -19,7 +24,6 @@ from repro.utils.validation import (
     check_unit_vector,
 )
 from repro.utils.profiling import Stopwatch, TimingAccumulator
-from repro.utils.parallel import chunked, chunked_map
 
 __all__ = [
     "angle_between",
@@ -38,6 +42,4 @@ __all__ = [
     "check_unit_vector",
     "Stopwatch",
     "TimingAccumulator",
-    "chunked",
-    "chunked_map",
 ]

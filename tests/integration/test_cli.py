@@ -77,6 +77,34 @@ class TestBedpostCommand:
         assert rc == 0
         assert (workdir / "bp_rician" / "samples.npz").exists()
 
+    def test_inject_fault_recovers_bit_identical(self, workdir, capsys):
+        """``--inject-fault crash:0`` exits 0, reports the recovery, and
+        writes posterior samples identical to the clean run."""
+        common = [
+            str(workdir / "data"),
+            "--burnin", "20",
+            "--samples", "2",
+            "--interval", "1",
+            "--set", "sampling.block_voxels=40",
+        ]
+        rc = bedpost_main(common + ["--output-dir", str(workdir / "bp_clean")])
+        assert rc == 0
+        rc = bedpost_main(
+            common
+            + [
+                "--output-dir", str(workdir / "bp_fault"),
+                "--workers", "2",
+                "--inject-fault", "crash:0",
+            ]
+        )
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "fault tolerance:" in printed
+        assert "1 crash" in printed and "1 retries" in printed
+        clean = np.load(workdir / "bp_clean" / "samples.npz")
+        faulted = np.load(workdir / "bp_fault" / "samples.npz")
+        assert np.array_equal(clean["samples"], faulted["samples"])
+
 
 class TestTrackCommand:
     def test_tracks_and_exports(self, workdir):

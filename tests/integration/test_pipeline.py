@@ -149,7 +149,7 @@ class TestWorkflow:
             ),
         )
         report = WorkflowResult(bedpost=bp, probtrack=pt).report()
-        assert "fault tolerance (supervised shards)" in report
+        assert "fault tolerance (tracking shards)" in report
         assert "retries         1" in report
         assert "shard 0 attempt 0: crash" in report
 

@@ -97,7 +97,7 @@ def test_workers_exceeding_samples_clamped_and_logged(fields, caplog):
     import logging
 
     serial = run(fields[:3], 1)
-    with caplog.at_level(logging.INFO, logger="repro.runtime.backend"):
+    with caplog.at_level(logging.INFO, logger="repro.runtime.stage"):
         parallel = run(fields[:3], 8)
     clamp_logs = [m for m in caplog.messages if "clamping n_workers" in m]
     assert len(clamp_logs) == 1

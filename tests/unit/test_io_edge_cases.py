@@ -1,4 +1,4 @@
-"""Edge-case I/O tests: big-endian NIfTI, trk with scalars, parallel map."""
+"""Edge-case I/O tests: big-endian NIfTI, trk with scalars."""
 
 import struct
 
@@ -7,12 +7,6 @@ import pytest
 
 from repro.errors import IOFormatError
 from repro.io import read_nifti, read_trk
-from repro.utils.parallel import chunked_map, default_workers
-
-
-def _double_chunk(chunk):
-    """Module-level so ProcessPoolExecutor can pickle it."""
-    return [x * 2 for x in chunk]
 
 
 class TestBigEndianNifti:
@@ -109,14 +103,3 @@ class TestTrkWithScalarsProperties:
         path.write_bytes(bytes(raw))
         lines, meta = read_trk(path)  # falls back to unit scaling
         assert len(lines) == 1
-
-
-class TestParallelWorkers:
-    def test_process_pool_matches_serial(self):
-        items = list(range(200))
-        serial = chunked_map(_double_chunk, items, chunk_size=16, workers=1)
-        parallel = chunked_map(_double_chunk, items, chunk_size=16, workers=2)
-        assert serial == parallel == [x * 2 for x in items]
-
-    def test_default_workers_positive(self):
-        assert default_workers() >= 1

@@ -143,3 +143,36 @@ class TestSeedingAndSizing:
     def test_memory_sizing_rejects_negative(self):
         with pytest.raises(ConfigurationError):
             random_memory_bytes(-1)
+
+
+class TestBlockStreams:
+    """block_streams(n, a, b) == seed_streams(n).state[a:b] bit for bit —
+    the sliceable-seeding property bedpost's voxel-block sharding rests on."""
+
+    @pytest.mark.parametrize(
+        "n_total,start,stop",
+        [(1, 0, 1), (137, 0, 137), (137, 0, 1), (137, 100, 137), (137, 64, 65)],
+    )
+    @pytest.mark.parametrize("seed", [0, 42])
+    def test_matches_full_state_slice(self, n_total, start, stop, seed):
+        from repro.rng import block_streams
+
+        full = seed_streams(n_total, seed=seed)
+        block = block_streams(n_total, start, stop, seed=seed)
+        np.testing.assert_array_equal(full.state[start:stop], block.state)
+
+    def test_draws_match_full_generator_lanes(self):
+        from repro.rng import block_streams
+
+        full = seed_streams(64, seed=9)
+        block = block_streams(64, 17, 40, seed=9)
+        np.testing.assert_array_equal(
+            full.uniforms(8)[:, 17:40], block.uniforms(8)
+        )
+
+    def test_rejects_bad_spans(self):
+        from repro.rng import block_streams
+
+        for n_total, start, stop in [(4, -1, 2), (4, 2, 2), (4, 3, 5), (0, 0, 1)]:
+            with pytest.raises(ConfigurationError):
+                block_streams(n_total, start, stop)

@@ -1,4 +1,4 @@
-"""Unit tests for repro.utils.validation, profiling, and parallel helpers."""
+"""Unit tests for repro.utils.validation and profiling helpers."""
 
 import numpy as np
 import pytest
@@ -13,8 +13,6 @@ from repro.utils import (
     check_probability,
     check_shape,
     check_unit_vector,
-    chunked,
-    chunked_map,
 )
 
 
@@ -107,20 +105,3 @@ class TestProfiling:
         assert "no sections" in acc.summary()
         acc.add("kernel", 1.25)
         assert "kernel" in acc.summary()
-
-
-class TestChunking:
-    def test_chunked_exact_and_ragged(self):
-        assert [list(c) for c in chunked(list(range(6)), 2)] == [[0, 1], [2, 3], [4, 5]]
-        assert [list(c) for c in chunked(list(range(5)), 2)] == [[0, 1], [2, 3], [4]]
-
-    def test_chunked_rejects_bad_size(self):
-        with pytest.raises(ValueError):
-            list(chunked([1], 0))
-
-    def test_chunked_map_serial(self):
-        out = chunked_map(lambda chunk: [x * 2 for x in chunk], list(range(10)), 3)
-        assert out == [0, 2, 4, 6, 8, 10, 12, 14, 16, 18]
-
-    def test_chunked_map_empty(self):
-        assert chunked_map(lambda c: c, [], 4) == []
