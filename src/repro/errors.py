@@ -22,6 +22,10 @@ __all__ = [
     "DeviceError",
     "IOFormatError",
     "TelemetryError",
+    "ServiceError",
+    "JobQueueFullError",
+    "UnknownJobError",
+    "JobStateError",
     "ShardError",
     "ShardCrashError",
     "ShardTimeoutError",
@@ -66,6 +70,45 @@ class IOFormatError(ReproError, ValueError):
 
 class TelemetryError(ReproError, ValueError):
     """The telemetry layer was misused (bad metric, invalid manifest)."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The tractography service was misused or refused a request.
+
+    Base of the service-layer taxonomy (see :mod:`repro.service`): queue
+    rejections and unknown-job lookups get concrete subclasses so the
+    HTTP front-end and the client can map them onto status codes.
+    """
+
+    #: HTTP status the front-end answers with for this error class.
+    http_status = 400
+
+
+class JobQueueFullError(ServiceError):
+    """The bounded job queue is at capacity; the submission was rejected.
+
+    Backpressure is explicit: the caller is told to retry later (the
+    HTTP front-end answers 429 with a ``Retry-After`` header) instead of
+    the request queueing silently without bound.
+    """
+
+    http_status = 429
+
+
+class UnknownJobError(ServiceError):
+    """No job with the requested id exists in the service's job store."""
+
+    http_status = 404
+
+
+class JobStateError(ServiceError):
+    """The requested operation is invalid for the job's current state.
+
+    E.g. fetching the result of a job that has not completed, or an
+    illegal lifecycle transition (a terminal job cannot start running).
+    """
+
+    http_status = 409
 
 
 class ShardError(ReproError, RuntimeError):

@@ -1,0 +1,61 @@
+"""Tractography-as-a-service: async job queue + RunSpec-keyed result cache.
+
+The :mod:`repro.service` package turns the batch pipeline into a
+long-running service.  A validated :class:`~repro.config.spec.RunSpec`
+is already a wire-format job description and its content hash already
+keys the artifact store's stage memoization — this package adds the
+missing operational layer on top:
+
+* :class:`TractographyService` — the facade: bounded-queue admission,
+  duplicate-submission coalescing, a scheduler packing concurrent jobs
+  onto child processes under a global worker budget, and a result cache
+  serving completed manifests straight from disk.
+* :class:`ServiceConfig` — the operator knobs (store root, slots,
+  worker budget, queue limit, default dataset).
+* :func:`serve_http` / :class:`ServiceHTTPServer` — the stdlib JSON
+  HTTP front-end (``repro-serve``).
+* :class:`ServiceClient` — the matching Python client
+  (``repro-submit``), raising the same error taxonomy the in-process
+  facade does.
+* :mod:`repro.service.jobs` — job identity (:func:`job_key`), the
+  explicit job state machine, and the restart-survivable
+  :class:`JobStore`.
+
+See ``docs/service.md`` for the operator guide and ``docs/api.md`` for
+the stable entry points.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.http import ServiceHTTPServer, serve_http
+from repro.service.jobs import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobRecord,
+    JobStore,
+    check_transition,
+    default_dataset,
+    job_key,
+    parse_job_request,
+    validate_dataset,
+)
+from repro.service.scheduler import BoundedJobQueue, WorkerBudget
+from repro.service.service import ServiceConfig, TractographyService
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobRecord",
+    "JobStore",
+    "check_transition",
+    "default_dataset",
+    "job_key",
+    "parse_job_request",
+    "validate_dataset",
+    "BoundedJobQueue",
+    "WorkerBudget",
+    "ServiceConfig",
+    "TractographyService",
+    "ServiceHTTPServer",
+    "serve_http",
+    "ServiceClient",
+]

@@ -1,0 +1,346 @@
+"""Job records, the lifecycle state machine, and their on-disk store.
+
+A *job* is one submitted tractography request: a validated
+:class:`~repro.config.spec.RunSpec` (the wire-format job description the
+PR-5 config layer was built to be) plus the dataset it runs against.
+Every job walks a small explicit state machine::
+
+    queued ──> running ──> done
+       │          ├──────> failed
+       └──────────┴──────> cancelled
+
+and nothing else — :func:`check_transition` rejects every other edge, so
+a bug can never resurrect a terminal job or complete one that never ran.
+
+Jobs are *content-addressed*: :func:`job_key` hashes the dataset
+description together with the spec's telemetry-invariant content hash,
+so two requests that differ only in observability routing coalesce onto
+one job, and a completed job's manifest can be served to any identical
+later request (the service result cache).
+
+Records persist as one JSON file per job under
+``<store root>/service/jobs/<job id>/job.json`` — written atomically
+(tmp + ``os.replace``) on every transition, which is what makes the
+queue survivable across a service restart: on startup the service
+rescans the directory, requeues interrupted work, and keeps terminal
+records as the result-cache index.
+
+Examples
+--------
+>>> rec = JobRecord.new("sha256:abcd", {"name": "dataset1"}, {})
+>>> rec.state
+'queued'
+>>> check_transition("queued", "running")
+>>> check_transition("done", "running")  # doctest: +ELLIPSIS
+Traceback (most recent call last):
+    ...
+repro.errors.JobStateError: illegal job transition done -> running...
+>>> from repro.config import RunSpec
+>>> a = job_key({"name": "dataset1"}, RunSpec())
+>>> b = job_key({"name": "dataset1"},
+...             RunSpec.from_dict({"telemetry": {"metrics_out": "x.json"}}))
+>>> a == b      # telemetry routing never splits the result cache
+True
+>>> a == job_key({"name": "dataset2"}, RunSpec())
+False
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.config import RunSpec
+from repro.errors import ConfigurationError, JobStateError, UnknownJobError
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "DATASET_NAMES",
+    "check_transition",
+    "job_key",
+    "default_dataset",
+    "validate_dataset",
+    "parse_job_request",
+    "JobRecord",
+    "JobStore",
+]
+
+#: Every job lifecycle state, in rough lifecycle order.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a job can never leave.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: The allowed state-machine edges (``queued -> queued`` re-persists a
+#: requeued record; every terminal state is absorbing).
+_ALLOWED = {
+    "queued": ("queued", "running", "cancelled"),
+    "running": ("done", "failed", "cancelled", "queued"),
+}
+
+#: Dataset replicas a service can be anchored to (see ``repro.data``).
+DATASET_NAMES = ("dataset1", "dataset2")
+
+#: Dataset-description fields and their coercions.
+_DATASET_FIELDS = {"name": str, "scale": float, "snr": float, "seed": int}
+
+
+def check_transition(old: str, new: str) -> None:
+    """Raise :class:`~repro.errors.JobStateError` on an illegal edge.
+
+    ``running -> queued`` is deliberately legal: it is how a service
+    restart requeues jobs whose worker process died with the previous
+    service instance.
+    """
+    if new not in JOB_STATES:
+        raise JobStateError(f"unknown job state {new!r} (known: {JOB_STATES})")
+    if new not in _ALLOWED.get(old, ()):
+        raise JobStateError(
+            f"illegal job transition {old} -> {new} "
+            f"(allowed from {old}: {list(_ALLOWED.get(old, ()))})"
+        )
+
+
+def default_dataset() -> dict:
+    """The dataset description a service uses when the operator sets none."""
+    return {"name": "dataset1", "scale": 0.15, "snr": 40.0, "seed": 0}
+
+
+def validate_dataset(doc: dict) -> dict:
+    """Validate + normalize a dataset description dict.
+
+    Unknown keys and unknown dataset names raise
+    :class:`~repro.errors.ConfigurationError`; missing keys take the
+    :func:`default_dataset` values, so the normalized form is total and
+    hashes stably.
+    """
+    if not isinstance(doc, dict):
+        raise ConfigurationError(
+            f"dataset description must be a dict, got {type(doc).__name__}"
+        )
+    unknown = sorted(set(doc) - set(_DATASET_FIELDS))
+    if unknown:
+        raise ConfigurationError(
+            f"dataset.{unknown[0]}: unknown field "
+            f"(known: {sorted(_DATASET_FIELDS)})"
+        )
+    out = dict(default_dataset())
+    for name, kind in _DATASET_FIELDS.items():
+        if name in doc:
+            try:
+                out[name] = kind(doc[name])
+            except (TypeError, ValueError) as exc:
+                raise ConfigurationError(
+                    f"dataset.{name}: expected {kind.__name__}, got {doc[name]!r}"
+                ) from exc
+    if out["name"] not in DATASET_NAMES:
+        raise ConfigurationError(
+            f"dataset.name: unknown dataset {out['name']!r} "
+            f"(known: {list(DATASET_NAMES)})"
+        )
+    if out["scale"] <= 0:
+        raise ConfigurationError(
+            f"dataset.scale: must be positive, got {out['scale']}"
+        )
+    return out
+
+
+def job_key(dataset: dict, spec: RunSpec) -> str:
+    """The content-addressed identity of one job (its cache key).
+
+    SHA-256 over canonical JSON of the normalized dataset description
+    and the spec's telemetry-invariant
+    :meth:`~repro.config.spec.RunSpec.content_hash` — so identical
+    requests always land on the same job, regardless of where each asked
+    its manifest to be written.
+    """
+    blob = json.dumps(
+        {"dataset": validate_dataset(dataset), "config_hash": spec.content_hash()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return "sha256:" + hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def parse_job_request(doc: dict, dataset: dict | None = None) -> tuple[dict, RunSpec]:
+    """Validate one wire-format job request into ``(dataset, spec)``.
+
+    The request is ``{"spec": {...RunSpec dict...}}`` with an optional
+    ``"dataset"`` override; unknown top-level keys raise
+    :class:`~repro.errors.ConfigurationError` (a misspelled section must
+    never be silently dropped).  ``dataset`` is the service's default
+    dataset description.
+    """
+    if not isinstance(doc, dict):
+        raise ConfigurationError(
+            f"job request must be a dict, got {type(doc).__name__}"
+        )
+    unknown = sorted(set(doc) - {"spec", "dataset"})
+    if unknown:
+        raise ConfigurationError(
+            f"job request key {unknown[0]!r} unknown (known: ['dataset', 'spec'])"
+        )
+    spec = RunSpec.from_dict(doc.get("spec") or {})
+    merged = dict(dataset or default_dataset())
+    merged.update(doc.get("dataset") or {})
+    return validate_dataset(merged), spec
+
+
+@dataclass
+class JobRecord:
+    """One job's full persisted state (the ``job.json`` document).
+
+    Attributes
+    ----------
+    job_id:
+        Stable id derived from :func:`job_key` (``j-`` + 16 hex chars).
+    key:
+        The full ``sha256:`` job key (the result-cache key).
+    state:
+        Current lifecycle state (one of :data:`JOB_STATES`).
+    dataset / spec:
+        The normalized request: dataset description and the plain
+        :meth:`~repro.config.spec.RunSpec.to_dict` form.
+    runs:
+        How many times a worker process was launched for this job — the
+        acceptance suite's "exactly one compute" witness.
+    cache_hits / coalesced:
+        How many later submissions were served from the completed
+        manifest / attached to the in-flight run instead of computing.
+    requeues:
+        Times the job was requeued (resubmission after failure, or
+        recovery after a service restart).
+    error:
+        Failure description for ``failed`` jobs, else ``None``.
+    cancel_requested:
+        Set when a cancel arrived while the job was running.
+    created_s / started_s / finished_s:
+        Wall-clock POSIX timestamps (operational only — never part of
+        any deterministic or cache-keyed surface).
+    """
+
+    job_id: str
+    key: str
+    state: str
+    dataset: dict
+    spec: dict
+    runs: int = 0
+    cache_hits: int = 0
+    coalesced: int = 0
+    requeues: int = 0
+    error: str | None = None
+    cancel_requested: bool = False
+    created_s: float = 0.0
+    started_s: float | None = None
+    finished_s: float | None = None
+    meta: dict = field(default_factory=dict)
+
+    @classmethod
+    def new(cls, key: str, dataset: dict, spec_doc: dict) -> "JobRecord":
+        """A fresh ``queued`` record for one (dataset, spec) request."""
+        return cls(
+            job_id="j-" + key.split(":", 1)[1][:16],
+            key=key,
+            state="queued",
+            dataset=dict(dataset),
+            spec=dict(spec_doc),
+            created_s=time.time(),
+        )
+
+    def transition(self, new_state: str) -> None:
+        """Move to ``new_state``, enforcing the state machine + timestamps."""
+        check_transition(self.state, new_state)
+        self.state = new_state
+        if new_state == "running":
+            self.started_s = time.time()
+            self.runs += 1
+        elif new_state in TERMINAL_STATES:
+            self.finished_s = time.time()
+        elif new_state == "queued":
+            self.requeues += 1
+            self.error = None
+            self.cancel_requested = False
+
+    def to_dict(self) -> dict:
+        """The JSON-safe ``job.json`` document."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "JobRecord":
+        """Rebuild a record from its persisted document."""
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in doc.items() if k in known})
+
+
+class JobStore:
+    """The on-disk job directory: one folder per job under a service root.
+
+    Layout (under the artifact-store root, beside the stage entries)::
+
+        <root>/service/jobs/<job id>/
+            job.json        the persisted :class:`JobRecord`
+            manifest.json   the per-job telemetry manifest (done jobs)
+            error.json      worker failure report (failed jobs)
+
+    Writes are atomic (tmp file + ``os.replace`` in the same directory),
+    so a crash mid-transition leaves the previous consistent record.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root) / "service" / "jobs"
+
+    def job_dir(self, job_id: str) -> Path:
+        """This job's directory (created on demand)."""
+        d = self.root / job_id
+        d.mkdir(parents=True, exist_ok=True)
+        return d
+
+    def manifest_path(self, job_id: str) -> Path:
+        """Where this job's telemetry manifest lands when it completes."""
+        return self.root / job_id / "manifest.json"
+
+    def save(self, record: JobRecord) -> None:
+        """Atomically persist one record as ``job.json``."""
+        d = self.job_dir(record.job_id)
+        fd, tmp = tempfile.mkstemp(dir=d, prefix=".job-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(record.to_dict(), fh, sort_keys=True, indent=2)
+                fh.write("\n")
+            os.replace(tmp, d / "job.json")
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def load(self, job_id: str) -> JobRecord:
+        """Load one record; :class:`~repro.errors.UnknownJobError` if absent."""
+        path = self.root / job_id / "job.json"
+        try:
+            with open(path, encoding="utf-8") as fh:
+                return JobRecord.from_dict(json.load(fh))
+        except (OSError, json.JSONDecodeError, TypeError) as exc:
+            raise UnknownJobError(f"no job {job_id!r} under {self.root}") from exc
+
+    def scan(self) -> list[JobRecord]:
+        """Every readable persisted record, sorted by creation time."""
+        records = []
+        if not self.root.is_dir():
+            return records
+        for d in sorted(self.root.iterdir()):
+            if not (d / "job.json").is_file():
+                continue
+            try:
+                records.append(self.load(d.name))
+            except UnknownJobError:
+                continue
+        records.sort(key=lambda r: (r.created_s, r.job_id))
+        return records

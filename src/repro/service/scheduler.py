@@ -1,0 +1,92 @@
+"""Scheduling primitives: the bounded job queue and the worker budget.
+
+Two small, separately-testable pieces the service composes:
+
+* :class:`BoundedJobQueue` — FIFO admission with **explicit
+  backpressure**: once ``limit`` jobs are waiting, further submissions
+  raise :class:`~repro.errors.JobQueueFullError` (the HTTP front-end
+  maps it to 429 + ``Retry-After``).  Nothing ever queues silently —
+  under overload the caller is told, immediately, to come back later.
+* :class:`WorkerBudget` — the global process budget packed across
+  concurrent scheduler slots.  Each running job may use at most
+  ``budget // slots`` worker processes (floor 1), so ``slots`` jobs
+  running at once never oversubscribe the machine however many workers
+  each submitted spec asked for.  Worker counts are execution policy
+  (excluded from every stage hash), so clamping never changes results
+  or cache keys.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.errors import ConfigurationError, JobQueueFullError
+
+__all__ = ["BoundedJobQueue", "WorkerBudget"]
+
+
+class BoundedJobQueue:
+    """A thread-safe FIFO of job ids with a hard admission limit."""
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ConfigurationError(f"queue limit must be >= 1, got {limit}")
+        self.limit = int(limit)
+        self._items: deque[str] = deque()
+        self._lock = threading.Lock()
+
+    def put(self, job_id: str) -> None:
+        """Admit one job id; raise :class:`JobQueueFullError` at capacity."""
+        with self._lock:
+            if len(self._items) >= self.limit:
+                raise JobQueueFullError(
+                    f"job queue is full ({self.limit} waiting); retry later"
+                )
+            self._items.append(job_id)
+
+    def pop(self) -> str | None:
+        """The oldest waiting job id, or ``None`` when the queue is empty."""
+        with self._lock:
+            return self._items.popleft() if self._items else None
+
+    def remove(self, job_id: str) -> bool:
+        """Withdraw a waiting job (cancellation); ``True`` if it was queued."""
+        with self._lock:
+            try:
+                self._items.remove(job_id)
+            except ValueError:
+                return False
+            return True
+
+    def __len__(self) -> int:
+        """Number of jobs currently waiting."""
+        with self._lock:
+            return len(self._items)
+
+    def snapshot(self) -> list[str]:
+        """The waiting job ids, oldest first (for status endpoints)."""
+        with self._lock:
+            return list(self._items)
+
+
+class WorkerBudget:
+    """The global worker-process budget, packed over scheduler slots."""
+
+    def __init__(self, budget: int, slots: int) -> None:
+        if slots < 1:
+            raise ConfigurationError(f"slots must be >= 1, got {slots}")
+        if budget < 1:
+            raise ConfigurationError(f"worker budget must be >= 1, got {budget}")
+        self.budget = int(budget)
+        self.slots = int(slots)
+
+    def per_job_cap(self) -> int:
+        """Worker processes one running job may use (floor 1).
+
+        With ``slots`` jobs running concurrently, total worker processes
+        stay ``<= max(budget, slots)``: each job gets an equal share of
+        the budget, and a budget smaller than the slot count degrades to
+        one (serial) worker per job rather than refusing to run.
+        """
+        return max(1, self.budget // self.slots)

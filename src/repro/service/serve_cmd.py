@@ -1,0 +1,144 @@
+"""``repro-serve`` — run the tractography service over HTTP.
+
+Binds a :class:`~repro.service.TractographyService` to a store root and
+serves the JSON API until interrupted (Ctrl-C) or told to stop
+(``POST /shutdown``).  The store root is the service's only persistent
+state: job records, manifests, and stage artifacts all live beneath it,
+so restarting the command against the same root resumes interrupted
+jobs and keeps serving completed ones from the result cache.
+
+Example::
+
+    repro-serve runs/store --port 8790 --slots 2 --queue-limit 16
+
+See ``docs/service.md`` for the full operator guide.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.errors import ReproError
+from repro.service.http import serve_http
+from repro.service.jobs import DATASET_NAMES, default_dataset
+from repro.service.service import ServiceConfig, TractographyService
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-serve`` argument parser."""
+    p = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Serve tractography jobs over HTTP: bounded async queue, "
+            "RunSpec-keyed result cache, restart-survivable job records."
+        ),
+    )
+    p.add_argument(
+        "store_root",
+        help="artifact-store root (created if missing); all service state "
+        "persists beneath it",
+    )
+    net = p.add_argument_group("network")
+    net.add_argument("--host", default="127.0.0.1", help="bind address")
+    net.add_argument(
+        "--port", type=int, default=8790, help="bind port (0 = ephemeral)"
+    )
+    sched = p.add_argument_group("scheduling")
+    sched.add_argument(
+        "--slots", type=int, default=2, help="concurrent jobs (scheduler slots)"
+    )
+    sched.add_argument(
+        "--worker-budget",
+        type=int,
+        default=0,
+        help="global worker-process budget packed across slots "
+        "(0 = cpu_count - 1); each job gets budget // slots workers",
+    )
+    sched.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        help="waiting jobs admitted before submissions are rejected (429)",
+    )
+    data = p.add_argument_group("dataset")
+    data.add_argument(
+        "--dataset",
+        choices=DATASET_NAMES,
+        default=None,
+        help="default phantom jobs run against",
+    )
+    data.add_argument(
+        "--scale", type=float, default=None, help="phantom grid scale (0..1]"
+    )
+    data.add_argument(
+        "--snr", type=float, default=None, help="phantom signal-to-noise ratio"
+    )
+    data.add_argument(
+        "--data-seed", type=int, default=None, help="phantom noise seed"
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="log each HTTP request"
+    )
+    return p
+
+
+def _dataset_from_args(args: argparse.Namespace) -> dict:
+    """The service's default dataset description from CLI flags."""
+    dataset = default_dataset()
+    for flag, key in (
+        ("dataset", "name"),
+        ("scale", "scale"),
+        ("snr", "snr"),
+        ("data_seed", "seed"),
+    ):
+        value = getattr(args, flag)
+        if value is not None:
+            dataset[key] = value
+    return dataset
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        config = ServiceConfig(
+            store_root=args.store_root,
+            dataset=_dataset_from_args(args),
+            slots=args.slots,
+            worker_budget=args.worker_budget,
+            queue_limit=args.queue_limit,
+        )
+        service = TractographyService(config)
+    except ReproError as exc:
+        print(f"repro-serve: error: {exc}", file=sys.stderr)
+        return 2
+    server = serve_http(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    banner = {
+        "url": server.url,
+        "store_root": str(service.store.root),
+        "slots": config.slots,
+        "worker_budget": service.budget.budget,
+        "worker_cap_per_job": service.budget.per_job_cap(),
+        "queue_limit": config.queue_limit,
+        "dataset": dict(config.dataset),
+        "recovered_jobs": sum(service.stats()["jobs"].values()),
+    }
+    print(json.dumps(banner, sort_keys=True))
+    with service:
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

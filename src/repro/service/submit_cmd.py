@@ -1,0 +1,166 @@
+"""``repro-submit`` — client for a running ``repro-serve`` instance.
+
+Subcommands::
+
+    repro-submit submit  [--config FILE] [--set k=v ...] [--wait]
+                         [--output MANIFEST.json]
+    repro-submit status  JOB_ID
+    repro-submit result  JOB_ID [--output MANIFEST.json]
+    repro-submit cancel  JOB_ID
+    repro-submit stats
+
+``submit`` builds the run spec exactly like the batch CLIs do
+(``defaults < --config FILE < --set dotted.key=value``) and posts it as
+a job.  Responses print as JSON on stdout; a queue-full rejection exits
+with code 3 so scripts can distinguish backpressure from errors.
+
+Example::
+
+    repro-submit --url http://127.0.0.1:8790 submit \\
+        --set sampling.n_samples=8 --set tracking.max_steps=100 --wait
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.config import resolve_run_spec
+from repro.errors import JobQueueFullError, ReproError
+from repro.service.client import ServiceClient
+
+__all__ = ["build_parser", "main"]
+
+#: Exit code for a 429 queue-full rejection (vs 2 for other errors).
+EXIT_QUEUE_FULL = 3
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-submit`` argument parser."""
+    p = argparse.ArgumentParser(
+        prog="repro-submit",
+        description="Submit and manage jobs on a repro-serve instance.",
+    )
+    p.add_argument(
+        "--url",
+        default="http://127.0.0.1:8790",
+        help="service base URL (default: %(default)s)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request timeout in seconds",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    submit = sub.add_parser("submit", help="submit one job")
+    submit.add_argument(
+        "--config", default=None, help="TOML/JSON run-spec file"
+    )
+    submit.add_argument(
+        "--set",
+        dest="set_overrides",
+        action="append",
+        default=[],
+        metavar="dotted.key=value",
+        help="override one spec field (repeatable)",
+    )
+    submit.add_argument(
+        "--dataset-json",
+        default=None,
+        metavar="JSON",
+        help='override the service dataset, e.g. \'{"snr": 25.0}\'',
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job reaches a terminal state",
+    )
+    submit.add_argument(
+        "--wait-timeout",
+        type=float,
+        default=600.0,
+        help="seconds to wait with --wait before giving up",
+    )
+    submit.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="with --wait: write the job's manifest JSON here",
+    )
+
+    status = sub.add_parser("status", help="one job's status view")
+    status.add_argument("job_id")
+
+    result = sub.add_parser("result", help="a done job's telemetry manifest")
+    result.add_argument("job_id")
+    result.add_argument(
+        "--output", default=None, metavar="PATH", help="write manifest here"
+    )
+
+    cancel = sub.add_parser("cancel", help="cancel a queued or running job")
+    cancel.add_argument("job_id")
+
+    sub.add_parser("stats", help="service stats snapshot")
+    return p
+
+
+def _emit(doc: dict, output: str | None = None) -> None:
+    """Print ``doc`` as JSON; optionally also write it to ``output``."""
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    if output:
+        with open(output, "w") as fh:
+            fh.write(text + "\n")
+    print(text)
+
+
+def _run_submit(client: ServiceClient, args: argparse.Namespace) -> int:
+    """The ``submit`` subcommand."""
+    spec = resolve_run_spec(
+        config_file=args.config, set_overrides=args.set_overrides
+    )
+    dataset = json.loads(args.dataset_json) if args.dataset_json else None
+    view = client.submit(spec.to_dict(), dataset=dataset)
+    if not args.wait:
+        _emit(view)
+        return 0
+    view = client.wait(view["job_id"], timeout_s=args.wait_timeout)
+    if view["state"] == "done":
+        manifest = client.result(view["job_id"])
+        _emit(manifest, output=args.output)
+        return 0
+    _emit(view)
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    client = ServiceClient(args.url, timeout_s=args.timeout)
+    try:
+        if args.command == "submit":
+            return _run_submit(client, args)
+        if args.command == "status":
+            _emit(client.status(args.job_id))
+        elif args.command == "result":
+            _emit(client.result(args.job_id), output=args.output)
+        elif args.command == "cancel":
+            _emit(client.cancel(args.job_id))
+        elif args.command == "stats":
+            _emit(client.stats())
+        return 0
+    except JobQueueFullError as exc:
+        print(f"repro-submit: queue full: {exc}", file=sys.stderr)
+        return EXIT_QUEUE_FULL
+    except ReproError as exc:
+        print(f"repro-submit: error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped into `head`) -- not an error
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,164 @@
+"""The job worker: one service job executed in a dedicated child process.
+
+The scheduler launches :func:`run_job_process` via ``multiprocessing``
+(non-daemonic, so the workflow's own shard pool can fork beneath it) and
+communicates exclusively through the job directory:
+
+* success — ``manifest.json`` (the per-job telemetry manifest, with the
+  resolved spec and the run's ``cache`` section embedded) plus a small
+  ``result.json`` summary, both written atomically; exit code 0;
+* failure — ``error.json`` naming the exception; non-zero exit code.
+
+Because all result hand-off is files-on-disk, a terminated worker
+(cancel, crash, service restart) leaves nothing ambiguous: either the
+manifest exists and is complete, or the job did not finish.  The
+artifact store below has the same property (atomic publish), so killing
+a worker mid-run can never corrupt stored stage entries.
+
+The worker never trusts the caller's telemetry routing: the executed
+spec is rewritten to publish into the *service's* store with caching on,
+and manifest/trace paths cleared — per-job manifests always live in the
+job directory, keyed and served by the service.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import traceback
+from pathlib import Path
+
+from repro.config import RunSpec
+
+__all__ = ["effective_spec", "build_phantom", "run_job_process"]
+
+
+def effective_spec(
+    spec: RunSpec, store_root: str, worker_cap: int | None = None
+) -> RunSpec:
+    """The spec a worker actually executes for a submitted ``spec``.
+
+    Rewrites only fields outside the job's content hash (telemetry
+    routing) or excluded from stage hashes (worker counts), so the
+    executed run produces exactly the artifacts the submitted spec keys:
+
+    * ``telemetry.store`` -> the service's store; ``telemetry.cache`` on
+      (the whole point of the service is to reuse stage artifacts);
+    * ``telemetry.metrics_out`` / ``trace_out`` cleared — the service
+      owns manifest placement;
+    * ``runtime.n_workers`` / ``runtime.bedpost_workers`` clamped to
+      ``worker_cap`` (the scheduler's per-slot share of the global
+      worker budget).  Results are bit-identical for any worker count,
+      so clamping is pure execution policy.
+    """
+    overrides: dict = {
+        "telemetry.store": str(store_root),
+        "telemetry.cache": True,
+        "telemetry.metrics_out": None,
+        "telemetry.trace_out": None,
+    }
+    if worker_cap is not None and worker_cap >= 1:
+        overrides["runtime.n_workers"] = min(spec.runtime.n_workers, worker_cap)
+        overrides["runtime.bedpost_workers"] = min(
+            spec.runtime.bedpost_workers, worker_cap
+        )
+    return spec.with_overrides(overrides)
+
+
+def build_phantom(dataset: dict):
+    """Synthesize the phantom acquisition a dataset description names."""
+    from repro.data import dataset1, dataset2
+
+    maker = {"dataset1": dataset1, "dataset2": dataset2}[dataset["name"]]
+    return maker(
+        scale=float(dataset["scale"]),
+        snr=float(dataset["snr"]),
+        seed=int(dataset["seed"]),
+    )
+
+
+def _write_json_atomic(path: Path, doc: dict) -> None:
+    """Write ``doc`` as JSON via tmp + ``os.replace`` (crash-consistent)."""
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".out-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def run_job_process(
+    job_dir: str,
+    job_id: str,
+    key: str,
+    dataset: dict,
+    spec_doc: dict,
+    store_root: str,
+    worker_cap: int | None = None,
+) -> None:
+    """Child-process entry point: run one job end to end and exit.
+
+    Must stay a **top-level picklable function** — the scheduler ships
+    it through ``multiprocessing.Process``.  Exits 0 after writing
+    ``manifest.json`` + ``result.json``; on any exception writes
+    ``error.json`` and exits 1.
+    """
+    job_path = Path(job_dir)
+    try:
+        from repro.pipeline import run_workflow
+        from repro.telemetry import MetricsRegistry, use_registry, write_manifest
+
+        spec = effective_spec(RunSpec.from_dict(spec_doc), store_root, worker_cap)
+        phantom = build_phantom(dataset)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            result = run_workflow(phantom, spec=spec)
+        manifest_tmp = job_path / ".manifest.tmp"
+        write_manifest(
+            manifest_tmp,
+            registry,
+            meta={
+                "command": "repro-serve",
+                "job_id": job_id,
+                "job_key": key,
+                "dataset": dict(dataset),
+                "worker_cap": worker_cap,
+            },
+            config=RunSpec.from_dict(spec_doc).to_dict(),
+            cache=result.cache,
+        )
+        os.replace(manifest_tmp, job_path / "manifest.json")
+        run = result.probtrack.run
+        _write_json_atomic(
+            job_path / "result.json",
+            {
+                "job_id": job_id,
+                "n_seeds": int(run.n_seeds),
+                "n_samples": int(run.n_samples),
+                "total_steps": int(run.total_steps),
+                "longest_fiber": int(run.longest_fiber),
+                "sampling_hit": bool(result.cache["sampling_hit"]),
+                "tracking_hit": bool(result.cache["tracking_hit"]),
+            },
+        )
+    except BaseException as exc:  # noqa: BLE001 - the report IS the handler
+        try:
+            _write_json_atomic(
+                job_path / "error.json",
+                {
+                    "job_id": job_id,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "traceback": traceback.format_exc(),
+                },
+            )
+        finally:
+            sys.exit(1)
+    sys.exit(0)

@@ -10,13 +10,17 @@ suite proves it end to end on :func:`~repro.pipeline.run_workflow`:
 * a run that edits only tracking parameters *reuses* the sampling
   artifact (hash hit) while a sampling edit misses;
 * the acceptance scenario: a tracking sweep of three specs over one
-  sampling configuration runs MCMC exactly once.
+  sampling configuration runs MCMC exactly once;
+* the service path (ISSUE 9): a manifest served by
+  ``repro.service.TractographyService`` — computed or result-cached —
+  matches a direct run of the same spec bit for bit.
 
 Stage-hash algebra (which edits move which keys) is checked exhaustively
 by Hypothesis over the spec's tracking/runtime fields.
 """
 
 import json
+import time
 
 import numpy as np
 import pytest
@@ -267,3 +271,40 @@ def test_inputs_always_participate(tag):
     assert stage_hash({}, "sampling", inputs={"data": tag}) != stage_hash(
         {}, "sampling"
     )
+
+
+class TestServiceParity:
+    """ISSUE 9: the parity contract extended through the service path.
+
+    A manifest served by :class:`~repro.service.TractographyService`
+    (whose default dataset is exactly this suite's phantom) must be
+    bit-identical on the deterministic sections to a direct
+    ``run_workflow`` of the same spec — both when the job computes and
+    when a resubmission is served from the result cache.
+    """
+
+    def test_served_manifest_matches_direct_run(self, phantom, store_root):
+        from repro.service import ServiceConfig, TractographyService
+
+        _, direct = run_once(phantom, make_spec(store_root))
+
+        cfg = ServiceConfig(
+            store_root=str(store_root), slots=1, queue_limit=4
+        )
+        with TractographyService(cfg) as svc:
+            view = svc.submit({"spec": BASE_DOC})
+            deadline = time.monotonic() + 180.0
+            while time.monotonic() < deadline:
+                view = svc.status(view["job_id"])
+                if view["state"] in ("done", "failed", "cancelled"):
+                    break
+                time.sleep(0.05)
+            assert view["state"] == "done", view
+            served = svc.result(view["job_id"])
+
+            again = svc.submit({"spec": BASE_DOC})
+            assert again["cache_hit"] is True
+            resubmitted = svc.result(again["job_id"])
+
+        assert det_blob(served) == det_blob(direct)
+        assert resubmitted == served

@@ -1,0 +1,300 @@
+"""Unit tests for the service primitives (ISSUE 9).
+
+Covers, with no phantom synthesis and no worker processes:
+
+* the job state machine (every legal edge, every illegal edge);
+* :func:`job_key` content addressing — telemetry-invariant, dataset- and
+  spec-sensitive;
+* dataset / wire-request validation;
+* :class:`JobStore` round-trips, atomicity, and scan ordering;
+* :class:`BoundedJobQueue` backpressure and cancellation removal;
+* :class:`WorkerBudget` packing math.
+"""
+
+import itertools
+import json
+import threading
+
+import pytest
+
+from repro.config import RunSpec
+from repro.errors import (
+    ConfigurationError,
+    JobQueueFullError,
+    JobStateError,
+    ServiceError,
+    UnknownJobError,
+)
+from repro.service import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    BoundedJobQueue,
+    JobRecord,
+    JobStore,
+    WorkerBudget,
+    check_transition,
+    default_dataset,
+    job_key,
+    parse_job_request,
+    validate_dataset,
+)
+
+SPEC_DOC = {"sampling": {"n_samples": 4}, "tracking": {"max_steps": 48}}
+
+LEGAL_EDGES = [
+    ("queued", "running"),
+    ("queued", "cancelled"),
+    ("queued", "queued"),
+    ("running", "done"),
+    ("running", "failed"),
+    ("running", "cancelled"),
+    ("running", "queued"),  # restart recovery
+]
+
+
+class TestStateMachine:
+    @pytest.mark.parametrize("old,new", LEGAL_EDGES)
+    def test_legal_edges(self, old, new):
+        check_transition(old, new)
+
+    @pytest.mark.parametrize(
+        "old,new",
+        [
+            e
+            for e in itertools.product(JOB_STATES, JOB_STATES)
+            if e not in LEGAL_EDGES
+        ],
+    )
+    def test_illegal_edges(self, old, new):
+        with pytest.raises(JobStateError):
+            check_transition(old, new)
+
+    def test_terminal_states_absorb(self):
+        for term in TERMINAL_STATES:
+            for new in JOB_STATES:
+                with pytest.raises(JobStateError):
+                    check_transition(term, new)
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(JobStateError):
+            check_transition("queued", "paused")
+
+    def test_transition_bookkeeping(self):
+        rec = JobRecord.new("sha256:ab", default_dataset(), SPEC_DOC)
+        assert rec.state == "queued" and rec.runs == 0
+        rec.transition("running")
+        assert rec.runs == 1 and rec.started_s is not None
+        rec.transition("failed")
+        assert rec.finished_s is not None
+        rec.error = "boom"
+        # requeue-after-failure resets the failure bookkeeping
+        rec.state = "queued"
+        rec.transition("queued")
+        assert rec.requeues == 1 and rec.error is None
+
+    def test_error_taxonomy(self):
+        assert issubclass(JobStateError, ServiceError)
+        assert issubclass(JobQueueFullError, ServiceError)
+        assert issubclass(UnknownJobError, ServiceError)
+        assert JobQueueFullError.http_status == 429
+        assert UnknownJobError.http_status == 404
+        assert JobStateError.http_status == 409
+
+
+class TestJobKey:
+    def test_telemetry_invariant(self):
+        plain = RunSpec.from_dict(SPEC_DOC)
+        routed = RunSpec.from_dict(
+            {**SPEC_DOC, "telemetry": {"metrics_out": "m.json", "cache": False}}
+        )
+        assert job_key(default_dataset(), plain) == job_key(
+            default_dataset(), routed
+        )
+
+    def test_spec_sensitive(self):
+        a = RunSpec.from_dict(SPEC_DOC)
+        b = RunSpec.from_dict({**SPEC_DOC, "tracking": {"max_steps": 64}})
+        assert job_key(default_dataset(), a) != job_key(default_dataset(), b)
+
+    def test_dataset_sensitive(self):
+        spec = RunSpec.from_dict(SPEC_DOC)
+        assert job_key({"name": "dataset1"}, spec) != job_key(
+            {"name": "dataset2"}, spec
+        )
+        assert job_key({"snr": 40.0}, spec) != job_key({"snr": 25.0}, spec)
+
+    def test_dataset_normalization_stable(self):
+        spec = RunSpec.from_dict(SPEC_DOC)
+        # defaults spelled out == defaults omitted
+        assert job_key({}, spec) == job_key(default_dataset(), spec)
+
+    def test_worker_count_splits_jobs_but_not_stages(self):
+        """Two-level cache semantics: a spec differing only in worker
+        count is a distinct *job* (the result cache is an exact
+        content-hash match), but its *stage* hashes are identical, so
+        the second job runs warm against the first one's artifacts."""
+        a = RunSpec.from_dict({**SPEC_DOC, "runtime": {"n_workers": 1}})
+        b = RunSpec.from_dict({**SPEC_DOC, "runtime": {"n_workers": 4}})
+        assert job_key(default_dataset(), a) != job_key(default_dataset(), b)
+        for stage in ("sampling", "tracking"):
+            assert a.stage_hash(stage) == b.stage_hash(stage)
+
+
+class TestValidation:
+    def test_unknown_dataset_field(self):
+        with pytest.raises(ConfigurationError, match="unknown field"):
+            validate_dataset({"nmae": "dataset1"})
+
+    def test_unknown_dataset_name(self):
+        with pytest.raises(ConfigurationError, match="unknown dataset"):
+            validate_dataset({"name": "dataset9"})
+
+    def test_bad_scale(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            validate_dataset({"scale": 0})
+        with pytest.raises(ConfigurationError, match="expected float"):
+            validate_dataset({"scale": "big"})
+
+    def test_request_shape(self):
+        dataset, spec = parse_job_request({"spec": SPEC_DOC})
+        assert dataset == default_dataset()
+        assert spec.tracking.max_steps == 48
+
+    def test_request_dataset_override_merges(self):
+        dataset, _ = parse_job_request(
+            {"spec": SPEC_DOC, "dataset": {"snr": 25.0}},
+            {"name": "dataset2", "scale": 0.2},
+        )
+        assert dataset["name"] == "dataset2"
+        assert dataset["scale"] == 0.2
+        assert dataset["snr"] == 25.0
+
+    def test_request_unknown_key(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            parse_job_request({"spec": SPEC_DOC, "sepc": {}})
+
+    def test_request_bad_spec_section(self):
+        with pytest.raises(ConfigurationError):
+            parse_job_request({"spec": {"smapling": {}}})
+
+
+class TestJobStore:
+    def test_roundtrip(self, tmp_path):
+        store = JobStore(tmp_path)
+        rec = JobRecord.new("sha256:" + "ab" * 32, default_dataset(), SPEC_DOC)
+        store.save(rec)
+        back = store.load(rec.job_id)
+        assert back.to_dict() == rec.to_dict()
+
+    def test_unknown_job(self, tmp_path):
+        with pytest.raises(UnknownJobError):
+            JobStore(tmp_path).load("j-missing")
+
+    def test_save_is_atomic(self, tmp_path):
+        store = JobStore(tmp_path)
+        rec = JobRecord.new("sha256:" + "cd" * 32, default_dataset(), SPEC_DOC)
+        store.save(rec)
+        rec.transition("running")
+        store.save(rec)
+        # no stray tmp files; exactly the one consistent document
+        files = sorted(p.name for p in store.job_dir(rec.job_id).iterdir())
+        assert files == ["job.json"]
+        assert store.load(rec.job_id).state == "running"
+
+    def test_scan_orders_and_skips_garbage(self, tmp_path):
+        store = JobStore(tmp_path)
+        recs = []
+        for i, key in enumerate(["aa" * 32, "bb" * 32]):
+            rec = JobRecord.new("sha256:" + key, default_dataset(), SPEC_DOC)
+            rec.created_s = float(i)
+            store.save(rec)
+            recs.append(rec)
+        # a corrupt record must not break recovery
+        bad = store.job_dir("j-corrupt")
+        (bad / "job.json").write_text("{not json")
+        scanned = store.scan()
+        assert [r.job_id for r in scanned] == [r.job_id for r in recs]
+
+    def test_job_json_is_plain_json(self, tmp_path):
+        store = JobStore(tmp_path)
+        rec = JobRecord.new("sha256:" + "ee" * 32, default_dataset(), SPEC_DOC)
+        store.save(rec)
+        doc = json.loads((store.job_dir(rec.job_id) / "job.json").read_text())
+        assert doc["state"] == "queued"
+        assert doc["spec"] == SPEC_DOC
+
+
+class TestBoundedJobQueue:
+    def test_fifo(self):
+        q = BoundedJobQueue(4)
+        for jid in ("a", "b", "c"):
+            q.put(jid)
+        assert q.pop() == "a" and q.pop() == "b"
+        assert len(q) == 1
+
+    def test_backpressure_is_explicit(self):
+        q = BoundedJobQueue(2)
+        q.put("a")
+        q.put("b")
+        with pytest.raises(JobQueueFullError, match="retry later"):
+            q.put("c")
+        # rejection does not corrupt the queue
+        assert q.snapshot() == ["a", "b"]
+        # draining reopens admission
+        assert q.pop() == "a"
+        q.put("c")
+        assert q.snapshot() == ["b", "c"]
+
+    def test_remove_for_cancel(self):
+        q = BoundedJobQueue(4)
+        q.put("a")
+        q.put("b")
+        assert q.remove("a") is True
+        assert q.remove("a") is False
+        assert q.snapshot() == ["b"]
+
+    def test_empty_pop(self):
+        assert BoundedJobQueue(1).pop() is None
+
+    def test_bad_limit_is_config_error(self):
+        with pytest.raises(ConfigurationError):
+            BoundedJobQueue(0)
+
+    def test_thread_safety_under_contention(self):
+        q = BoundedJobQueue(1000)
+        errors = []
+
+        def producer(tag):
+            try:
+                for i in range(100):
+                    q.put(f"{tag}-{i}")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=producer, args=(t,)) for t in range(5)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(q) == 500
+
+
+class TestWorkerBudget:
+    @pytest.mark.parametrize(
+        "budget,slots,cap",
+        [(8, 2, 4), (8, 3, 2), (3, 4, 1), (1, 1, 1), (16, 1, 16)],
+    )
+    def test_packing(self, budget, slots, cap):
+        assert WorkerBudget(budget, slots).per_job_cap() == cap
+
+    def test_never_zero(self):
+        assert WorkerBudget(1, 8).per_job_cap() == 1
+
+    def test_bad_args_are_config_errors(self):
+        with pytest.raises(ConfigurationError):
+            WorkerBudget(0, 1)
+        with pytest.raises(ConfigurationError):
+            WorkerBudget(4, 0)

@@ -8,7 +8,8 @@ unit test keeps it honest locally):
   exist on disk (external ``http(s)``/``mailto`` targets and pure
   ``#anchors`` are skipped);
 * the doctest-bearing modules (``repro.telemetry.*``,
-  ``repro.config.*``, ``repro.utils.profiling``) must pass
+  ``repro.config.*``, ``repro.store.fingerprint``,
+  ``repro.service.jobs``, ``repro.utils.profiling``) must pass
   ``doctest.testmod``;
 * every example run spec in ``examples/specs/`` must resolve to a valid
   ``RunSpec`` (the CI job additionally resolves each through
@@ -39,6 +40,9 @@ MARKDOWN = (
     "docs/parallelism.md",
     "docs/configuration.md",
     "docs/storage.md",
+    "docs/service.md",
+    "docs/operations.md",
+    "docs/api.md",
 )
 
 #: Modules whose doctests the docs job executes.
@@ -49,6 +53,7 @@ DOCTEST_MODULES = (
     "repro.config.layering",
     "repro.config.stages",
     "repro.store.fingerprint",
+    "repro.service.jobs",
     "repro.utils.profiling",
 )
 
