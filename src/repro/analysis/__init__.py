@@ -32,6 +32,12 @@ from repro.analysis.compare import (
     compare_manifests,
     dice_overlap,
 )
+from repro.analysis.convergence import (
+    ConvergenceReport,
+    bhattacharyya_coefficient,
+    convergence_report,
+    visit_map_correlation,
+)
 from repro.analysis.gantt import render_gantt
 from repro.analysis.sweeps import SweepPoint, criteria_sweep, strategy_sweep
 
@@ -59,6 +65,10 @@ __all__ = [
     "compare_lengths",
     "compare_manifests",
     "dice_overlap",
+    "ConvergenceReport",
+    "bhattacharyya_coefficient",
+    "convergence_report",
+    "visit_map_correlation",
     "render_gantt",
     "SweepPoint",
     "criteria_sweep",

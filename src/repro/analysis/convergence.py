@@ -1,0 +1,160 @@
+"""Sampling-convergence diagnostics over track-density (visit) maps.
+
+Probabilistic tractography quantifies its own convergence by comparing
+the visit maps of independent runs (or of one run at different sample
+counts): when the posterior is well sampled, two maps agree both in
+shape (voxel-wise correlation) and as distributions (Bhattacharyya
+coefficient and support overlap) — the criteria Moyer et al. use to
+show GPU and CPU tractograms are statistically indistinguishable.
+
+This layers on the manifest tooling in :mod:`repro.analysis.compare`:
+:func:`convergence_report` optionally folds a
+:func:`~repro.analysis.compare.compare_manifests` diff of the two runs'
+manifests into the report, so a single object answers both "are the
+deterministic counters identical?" and "how close are the densities?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.compare import ManifestDiff, compare_manifests, dice_overlap
+from repro.errors import DataError
+
+__all__ = [
+    "ConvergenceReport",
+    "bhattacharyya_coefficient",
+    "convergence_report",
+    "visit_map_correlation",
+]
+
+
+def _as_maps(map_a, map_b) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and flatten a pair of same-shape visit maps."""
+    a = np.asarray(map_a, dtype=np.float64)
+    b = np.asarray(map_b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise DataError(
+            f"visit maps must share a shape, got {a.shape} vs {b.shape}"
+        )
+    if a.size == 0:
+        raise DataError("visit maps must be non-empty")
+    return a.ravel(), b.ravel()
+
+
+def visit_map_correlation(map_a, map_b) -> float:
+    """Pearson correlation of two visit maps, voxel for voxel.
+
+    1.0 means the runs visited space in proportionally identical ways.
+    A constant map has no variance to correlate; two constant maps
+    count as perfectly correlated (1.0) when equal and uncorrelated
+    (0.0) otherwise, and a constant map against a varying one is 0.0.
+    """
+    a, b = _as_maps(map_a, map_b)
+    da, db = a - a.mean(), b - b.mean()
+    na, nb = float(np.linalg.norm(da)), float(np.linalg.norm(db))
+    if na == 0.0 or nb == 0.0:
+        if na == 0.0 and nb == 0.0:
+            return 1.0 if np.array_equal(a, b) else 0.0
+        return 0.0
+    return float(np.dot(da, db) / (na * nb))
+
+
+def bhattacharyya_coefficient(map_a, map_b) -> float:
+    """Bhattacharyya coefficient of two visit maps as distributions.
+
+    Each non-negative map is normalized to sum 1 and the coefficient
+    ``sum(sqrt(p * q))`` is returned: 1.0 for identical distributions,
+    0.0 for disjoint support.  Two all-zero maps are identically empty
+    (1.0); an empty map against a non-empty one shares nothing (0.0).
+    """
+    a, b = _as_maps(map_a, map_b)
+    if np.any(a < 0) or np.any(b < 0):
+        raise DataError("visit maps must be non-negative")
+    sa, sb = float(a.sum()), float(b.sum())
+    if sa == 0.0 or sb == 0.0:
+        return 1.0 if sa == sb else 0.0
+    return float(np.sqrt((a / sa) * (b / sb)).sum())
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """How closely two runs' visit maps agree.
+
+    Attributes
+    ----------
+    correlation:
+        Voxel-wise Pearson correlation (:func:`visit_map_correlation`).
+    bhattacharyya:
+        Distribution similarity (:func:`bhattacharyya_coefficient`).
+    dice:
+        Support overlap (:func:`~repro.analysis.compare.dice_overlap`
+        of the thresholded maps).
+    n_support_a / n_support_b:
+        Voxels above threshold in each map.
+    manifest:
+        The two runs' deterministic-manifest diff, when manifests were
+        supplied; ``None`` otherwise.
+    """
+
+    correlation: float
+    bhattacharyya: float
+    dice: float
+    n_support_a: int
+    n_support_b: int
+    manifest: ManifestDiff | None = None
+
+    def converged(
+        self,
+        min_correlation: float = 0.95,
+        min_bhattacharyya: float = 0.95,
+    ) -> bool:
+        """Whether both similarity scores clear their thresholds."""
+        return (
+            self.correlation >= min_correlation
+            and self.bhattacharyya >= min_bhattacharyya
+        )
+
+    def summary(self) -> str:
+        """One line per score, aligned like the workflow report."""
+        lines = [
+            f"  correlation     {self.correlation:8.4f}",
+            f"  bhattacharyya   {self.bhattacharyya:8.4f}",
+            f"  dice overlap    {self.dice:8.4f}",
+            f"  support voxels  {self.n_support_a} vs {self.n_support_b}",
+        ]
+        if self.manifest is not None:
+            verdict = "identical" if self.manifest.identical else "differ"
+            lines.append(f"  manifests       {verdict}")
+        return "\n".join(lines)
+
+
+def convergence_report(
+    map_a,
+    map_b,
+    threshold: float = 0.0,
+    manifest_a: dict | None = None,
+    manifest_b: dict | None = None,
+) -> ConvergenceReport:
+    """Score two runs' visit maps (and optionally diff their manifests).
+
+    ``threshold`` binarizes the maps for the Dice/support terms (a
+    voxel counts as visited when strictly above it).  Passing both
+    runs' telemetry manifests folds their
+    :func:`~repro.analysis.compare.compare_manifests` diff into the
+    report.
+    """
+    a, b = _as_maps(map_a, map_b)
+    manifest = None
+    if manifest_a is not None and manifest_b is not None:
+        manifest = compare_manifests(manifest_a, manifest_b)
+    return ConvergenceReport(
+        correlation=visit_map_correlation(a, b),
+        bhattacharyya=bhattacharyya_coefficient(a, b),
+        dice=dice_overlap(a, b, threshold=threshold),
+        n_support_a=int((a > threshold).sum()),
+        n_support_b=int((b > threshold).sum()),
+        manifest=manifest,
+    )

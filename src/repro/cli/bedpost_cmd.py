@@ -36,6 +36,7 @@ from repro.cli.common import (
     print_resolved_config,
     resolve_spec_from_args,
 )
+from repro.config.stages import SAMPLING
 from repro.errors import ReproError
 from repro.io import Volume, read_bvals_bvecs, read_nifti, write_nifti
 from repro.pipeline import BedpostConfig, bedpost
@@ -159,8 +160,8 @@ def main(argv: list[str] | None = None) -> int:
     cache_section = None
     if store is not None:
         cache_section = {
-            "sampling_hit": result.served_from_store,
-            "stage_keys": {"sampling": result.stage_key},
+            f"{SAMPLING.name}_hit": result.served_from_store,
+            "stage_keys": {SAMPLING.name: result.stage_key},
             "store": str(store.root),
             **store.stats.to_dict(),
         }

@@ -1,0 +1,269 @@
+"""``repro-connectome`` — stage 3: ROI connectome over saved samples.
+
+Reads ``samples.npz`` from ``repro-bedpost``, reconstructs the
+per-sample fiber fields, seeds every surviving voxel (the stage-2
+default), tracks each seed with the CPU reference tracker, and folds
+streamline endpoints into a symmetric ROI-pair count matrix over the
+named parcellation.  Writes:
+
+* ``connectome.npz`` — the ``(n_rois, n_rois)`` int64 count matrix and
+  the int32 ROI label volume;
+* ``graph.json`` — the weighted graph (nodes, edges) in stable JSON;
+* ``fibers.trk`` — sample-0 streamline geometry in TrackVis format,
+  filtered to ``tracking.min_export_steps``.
+
+The run is driven by one resolved :class:`~repro.config.spec.RunSpec`
+(``defaults < --config FILE < explicit flags < --set``); the atlas
+comes from ``--atlas`` / ``connectome.atlas``.  With ``--store`` the
+stage is memoized under its own stage hash — keyed identically to
+``repro-track --connectome``, so either command serves the other's
+published entry — and an atlas sweep recomputes only this stage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.cli.common import (
+    STORE_FLAG_MAP,
+    TELEMETRY_FLAG_MAP,
+    add_config_group,
+    add_store_group,
+    add_telemetry_group,
+    print_resolved_config,
+    resolve_spec_from_args,
+)
+from repro.config import stage_hash
+from repro.config.stages import CONNECTOME
+from repro.errors import ReproError
+from repro.io import write_trk
+from repro.telemetry import MetricsRegistry, use_registry, write_manifest
+from repro.tracking import ProbtrackConfig
+from repro.tracking.seeds import seeds_from_mask
+
+__all__ = ["build_parser", "main"]
+
+#: ``args`` attribute -> run-spec dotted path for this command's flags.
+#: ``--workers`` steers ``runtime.connectome_workers`` (the seed-block
+#: shard count) — an execution policy, never part of the stage hash.
+_CONNECTOME_FLAG_MAP = {
+    "atlas": "connectome.atlas",
+    "min_steps": "connectome.min_steps",
+    "normalize": "connectome.normalize",
+    "workers": "runtime.connectome_workers",
+    "max_retries": "runtime.max_retries",
+    "shard_timeout": "runtime.shard_timeout_s",
+    "inject_fault": "runtime.fault_plan",
+    **TELEMETRY_FLAG_MAP,
+    **STORE_FLAG_MAP,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-connectome`` parser (exposed for docs and tests)."""
+    p = argparse.ArgumentParser(
+        prog="repro-connectome",
+        description="ROI endpoint connectome over bedpost samples (stage 3).",
+    )
+    p.add_argument("bedpost_dir", type=Path, nargs="?", default=None,
+                   help="directory holding samples.npz (unused with "
+                        "--print-config)")
+    p.add_argument("--output-dir", type=Path, default=None,
+                   help="output directory "
+                        "(default: <bedpost_dir>/connectome)")
+    p.add_argument("--atlas", default=None, metavar="NAME",
+                   help="ROI parcellation: octant (2x2x2), slabs<k> "
+                        "(k slabs along x), or grid<k> (k^3 blocks); "
+                        "defaults to connectome.atlas from the spec")
+    p.add_argument("--min-steps", type=int, default=None,
+                   help="only count streamlines with at least this many "
+                        "steps (default 0)")
+    p.add_argument("--normalize", choices=("count", "fraction"), default=None,
+                   help="edge weights: raw pair counts, or fractions of "
+                        "all counted streamlines (default count)")
+    g = p.add_argument_group("runtime")
+    g.add_argument("--workers", type=int, default=None,
+                   help="worker processes for the seed-block loop "
+                        "(default 1; results are bit-identical for any "
+                        "count)")
+    g.add_argument("--max-retries", type=int, default=None,
+                   help="supervised retries per failed shard before "
+                        "re-sharding / serial fallback (default 2)")
+    g.add_argument("--shard-timeout", type=float, default=None, metavar="S",
+                   help="per-shard attempt deadline in seconds "
+                        "(default: no hang watchdog)")
+    g.add_argument("--inject-fault", default=None, metavar="SPEC",
+                   help="DEV ONLY: deterministic fault injection, e.g. "
+                        "'crash:0', 'hang:1:*', 'corrupt:s2' (the third "
+                        "global seed block); recovery keeps output "
+                        "bit-identical to a clean run")
+    add_store_group(p)
+    add_telemetry_group(p, trace=False)
+    add_config_group(p)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: build the connectome, write outputs, return 0."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        spec = resolve_spec_from_args(args, _CONNECTOME_FLAG_MAP)
+    except ReproError as exc:
+        parser.error(str(exc))
+    if args.print_config:
+        print_resolved_config(spec)
+        return 0
+    if spec.connectome.atlas == "none":
+        parser.error("no atlas configured: pass --atlas NAME "
+                     "(or set connectome.atlas)")
+    if args.bedpost_dir is None:
+        parser.error("bedpost_dir is required")
+
+    from repro.io.samples import load_samples
+
+    archive = load_samples(args.bedpost_dir / "samples.npz")
+    affine = archive.affine
+    fields = archive.to_fields()
+
+    cfg = ProbtrackConfig.from_run_spec(spec)
+    # The stage-2 default seeding: every masked voxel with a surviving
+    # fiber population, seeded at its center in flat-index order.
+    seed_mask = fields[0].mask & (fields[0].f[..., 0] > 0)
+    seeds = seeds_from_mask(np.asarray(seed_mask, dtype=bool))
+
+    store = None
+    if spec.telemetry.store:
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(spec.telemetry.store)
+
+    fault_plan = None
+    if spec.runtime.fault_plan:
+        from repro.runtime.faults import FaultPlan
+
+        hang = spec.runtime.hang_seconds
+        if hang is None:
+            # Dev-safety bound: an injected hang never outlives a
+            # missing timeout by more than 30 s.
+            timeout = spec.runtime.shard_timeout_s
+            hang = timeout * 4 if timeout else 30.0
+        fault_plan = FaultPlan.parse(spec.runtime.fault_plan, hang_seconds=hang)
+    conn_kwargs = dict(
+        criteria=cfg.criteria,
+        interpolation=spec.tracking.interpolation.removesuffix("-reference"),
+        min_steps=spec.connectome.min_steps,
+        normalize=spec.connectome.normalize,
+        n_workers=spec.runtime.connectome_workers,
+        max_retries=spec.runtime.max_retries,
+        shard_timeout_s=spec.runtime.shard_timeout_s,
+        fallback_to_serial=spec.runtime.fallback_to_serial,
+        fault_plan=fault_plan,
+    )
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        from repro.pipeline.connectome import (
+            compute_connectome,
+            memoized_connectome,
+        )
+
+        if store is None:
+            conn, hit, stage_key = (
+                compute_connectome(
+                    fields, seeds, spec.connectome.atlas, **conn_kwargs
+                ),
+                False,
+                None,
+            )
+        else:
+            from repro.store import fingerprint_arrays
+
+            # Keyed like repro-track --connectome: archive contents +
+            # seed positions, so the two commands share store entries.
+            fp = fingerprint_arrays(
+                samples=archive.samples,
+                mask=archive.mask,
+                affine=archive.affine,
+                n_fibers=archive.layout.n_fibers,
+                f_threshold=archive.f_threshold,
+            )
+            stage_key = stage_hash(
+                spec.to_dict(),
+                CONNECTOME.name,
+                inputs={
+                    "archive": fp,
+                    "seeds": fingerprint_arrays(seeds=seeds),
+                },
+            )
+            conn, hit, _entry = memoized_connectome(
+                fields,
+                seeds,
+                stage_key,
+                store,
+                spec.connectome.atlas,
+                use_cache=spec.telemetry.cache,
+                **conn_kwargs,
+            )
+
+    out = args.output_dir or (args.bedpost_dir / "connectome")
+    out.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        out / "connectome.npz", counts=conn.counts, labels=conn.atlas.labels
+    )
+    (out / "graph.json").write_text(json.dumps(conn.graph, sort_keys=True))
+    min_export = spec.tracking.min_export_steps
+    long_lines = [
+        pts for pts in conn.lines if pts.shape[0] - 1 >= min_export
+    ]
+    voxel_sizes = tuple(np.linalg.norm(affine[:3, :3], axis=0))
+    write_trk(
+        out / "fibers.trk",
+        long_lines,
+        voxel_sizes=voxel_sizes,
+        dims=fields[0].shape3,
+        affine=affine,
+    )
+
+    cache_section = None
+    if store is not None:
+        cache_section = {
+            f"{CONNECTOME.name}_hit": hit,
+            "stage_keys": {CONNECTOME.name: stage_key},
+            "store": str(store.root),
+            **store.stats.to_dict(),
+        }
+    if spec.telemetry.metrics_out is not None:
+        metrics_out = Path(spec.telemetry.metrics_out)
+        write_manifest(
+            metrics_out,
+            registry,
+            meta={
+                "command": "repro-connectome",
+                "atlas": spec.connectome.atlas,
+                "n_workers": spec.runtime.connectome_workers,
+                "bedpost_dir": str(args.bedpost_dir.resolve()),
+            },
+            config=spec.to_dict(),
+            cache=cache_section,
+        )
+        print(f"wrote telemetry manifest to {metrics_out}")
+
+    served = " (served from store)" if hit else ""
+    print(
+        f"connectome ({conn.atlas.name}){served}: {conn.atlas.n_rois} ROIs, "
+        f"{conn.n_streamlines} streamlines counted, "
+        f"{len(conn.graph['edges'])} edges; wrote {len(long_lines)} fibers "
+        f">= {min_export} steps to {out / 'fibers.trk'}"
+    )
+    if conn.supervision is not None and conn.supervision.n_failures:
+        print(f"fault tolerance: {conn.supervision.summary()}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -9,6 +9,9 @@ fiber fields, tracks every seed, and writes:
 * ``lengths.txt`` — per-(sample, seed) step counts;
 * a timing report with the modeled kernel/reduction/transfer split and
   speedup;
+* with ``--connectome ATLAS``, the stage-3 endpoint connectome over the
+  named ROI parcellation (``connectome.npz`` + ``graph.json``),
+  memoized under its own stage hash when ``--store`` is in play;
 * optionally a telemetry run manifest with the resolved config embedded
   (``--metrics-out``) and a Chrome trace with modeled + measured rows
   (``--trace-out``).
@@ -40,6 +43,8 @@ from repro.cli.common import (
     print_resolved_config,
     resolve_spec_from_args,
 )
+from repro.config import stage_hash
+from repro.config.stages import CONNECTOME, TRACKING
 from repro.errors import ReproError
 from repro.io import Volume, write_nifti, write_trk
 from repro.telemetry import (
@@ -72,6 +77,7 @@ _TRACK_FLAG_MAP = {
     "compact_threshold": "tracking.compact_threshold",
     "bidirectional": "tracking.bidirectional",
     "min_export_steps": "tracking.min_export_steps",
+    "connectome": "connectome.atlas",
     **RUNTIME_FLAG_MAP,
     **TELEMETRY_FLAG_MAP,
     **STORE_FLAG_MAP,
@@ -116,6 +122,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="launch each seed in both senses")
     p.add_argument("--min-export-steps", type=int, default=None,
                    help="length floor for exported .trk fibers (default 100)")
+    p.add_argument("--connectome", default=None, metavar="ATLAS",
+                   help="also run stage 3: build the named ROI parcellation "
+                        "(octant, slabs<k>, grid<k>) and write the "
+                        "endpoint connectome (connectome.npz, graph.json) "
+                        "next to the tracking outputs; with --store the "
+                        "stage is memoized under its own hash, so an atlas "
+                        "sweep reuses the tracked run")
     add_runtime_group(p)
     add_store_group(p)
     add_telemetry_group(p)
@@ -197,11 +210,11 @@ def main(argv: list[str] | None = None) -> int:
     # run (the process default would accumulate across library reuse).
     registry = MetricsRegistry()
     with use_registry(registry):
+        fp = None
         if store is None:
             pt = probabilistic_streamlining(fields, config=cfg)
             hit, entry = False, None
         else:
-            from repro.config import stage_hash
             from repro.pipeline.memo import memoized_streamlining
             from repro.store import fingerprint_arrays
 
@@ -216,7 +229,7 @@ def main(argv: list[str] | None = None) -> int:
                 f_threshold=archive.f_threshold,
             )
             stage_key = stage_hash(
-                spec.to_dict(), "tracking", inputs={"archive": fp}
+                spec.to_dict(), TRACKING.name, inputs={"archive": fp}
             )
             pt, hit, entry = memoized_streamlining(
                 fields,
@@ -226,6 +239,52 @@ def main(argv: list[str] | None = None) -> int:
                 extra_writer=_export_fibers,
                 use_cache=spec.telemetry.cache,
             )
+
+        conn = None
+        conn_hit = False
+        conn_key = None
+        if spec.connectome.atlas != "none":
+            from repro.pipeline.connectome import (
+                compute_connectome,
+                memoized_connectome,
+            )
+
+            conn_kwargs = dict(
+                criteria=cfg.criteria,
+                interpolation=spec.tracking.interpolation.removesuffix(
+                    "-reference"
+                ),
+                min_steps=spec.connectome.min_steps,
+                normalize=spec.connectome.normalize,
+                n_workers=spec.runtime.connectome_workers,
+                max_retries=spec.runtime.max_retries,
+                shard_timeout_s=spec.runtime.shard_timeout_s,
+                fallback_to_serial=spec.runtime.fallback_to_serial,
+            )
+            if store is None:
+                conn = compute_connectome(
+                    fields, pt.seeds, spec.connectome.atlas, **conn_kwargs
+                )
+            else:
+                from repro.store import fingerprint_arrays
+
+                conn_key = stage_hash(
+                    spec.to_dict(),
+                    CONNECTOME.name,
+                    inputs={
+                        "archive": fp,
+                        "seeds": fingerprint_arrays(seeds=pt.seeds),
+                    },
+                )
+                conn, conn_hit, _conn_entry = memoized_connectome(
+                    fields,
+                    pt.seeds,
+                    conn_key,
+                    store,
+                    spec.connectome.atlas,
+                    use_cache=spec.telemetry.cache,
+                    **conn_kwargs,
+                )
     run = pt.run
 
     out = args.output_dir or (bedpost_dir / "track")
@@ -261,11 +320,24 @@ def main(argv: list[str] | None = None) -> int:
         )
         n_exported = len(long_lines)
 
+    if conn is not None:
+        np.savez_compressed(
+            out / "connectome.npz",
+            counts=conn.counts,
+            labels=conn.atlas.labels,
+        )
+        (out / "graph.json").write_text(json.dumps(conn.graph, sort_keys=True))
+
     cache_section = None
     if store is not None:
+        hits = {f"{TRACKING.name}_hit": hit}
+        stage_keys = {TRACKING.name: stage_key}
+        if conn_key is not None:
+            hits[f"{CONNECTOME.name}_hit"] = conn_hit
+            stage_keys[CONNECTOME.name] = conn_key
         cache_section = {
-            "tracking_hit": hit,
-            "stage_keys": {"tracking": stage_key},
+            **hits,
+            "stage_keys": stage_keys,
             "store": str(store.root),
             **store.stats.to_dict(),
         }
@@ -306,6 +378,13 @@ def main(argv: list[str] | None = None) -> int:
         f"wrote {n_exported} fibers >= {min_export_steps} steps "
         f"to {out / 'fibers.trk'}"
     )
+    if conn is not None:
+        conn_served = " (served from store)" if conn_hit else ""
+        print(
+            f"connectome ({conn.atlas.name}){conn_served}: "
+            f"{conn.atlas.n_rois} ROIs, {conn.n_streamlines} streamlines, "
+            f"{len(conn.graph['edges'])} edges -> {out / 'graph.json'}"
+        )
     if run.supervision is not None and run.supervision.n_failures:
         print(f"fault tolerance: {run.supervision.summary()}")
     return 0

@@ -20,10 +20,13 @@ from repro.config.layering import (
     resolve_run_spec,
 )
 from repro.config.spec import (
+    ATLAS_NAME_RE,
+    CONNECTOME_NORMALIZATIONS,
     HASH_EXCLUDED_SECTIONS,
     INTERPOLATIONS,
     NOISE_MODELS,
     ORDER_POLICIES,
+    ConnectomeSpec,
     RunSpec,
     RuntimeSpec,
     SamplingSpec,
@@ -32,28 +35,55 @@ from repro.config.spec import (
     hash_spec_dict,
 )
 from repro.config.stages import (
+    CONNECTOME,
     RUNTIME_DETERMINISTIC_FIELDS,
-    STAGES,
+    SAMPLING,
+    TRACKING,
+    StageDef,
+    get_stage,
+    register_stage,
+    stage_defs,
     stage_hash,
+    stage_names,
     stage_subtree,
+    unregister_stage,
 )
 from repro.config.toml_io import HAVE_TOML, dumps_json, dumps_toml, load_spec_file
+
+
+def __getattr__(name: str):
+    """Back-compat: ``STAGES`` reads the live registry, not a snapshot."""
+    if name == "STAGES":
+        return stage_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "RunSpec",
     "SamplingSpec",
     "TrackingSpec",
+    "ConnectomeSpec",
     "RuntimeSpec",
     "TelemetrySpec",
     "hash_spec_dict",
     "stage_hash",
     "stage_subtree",
+    "StageDef",
+    "register_stage",
+    "unregister_stage",
+    "get_stage",
+    "stage_names",
+    "stage_defs",
+    "SAMPLING",
+    "TRACKING",
+    "CONNECTOME",
     "STAGES",
     "RUNTIME_DETERMINISTIC_FIELDS",
     "HASH_EXCLUDED_SECTIONS",
     "NOISE_MODELS",
     "INTERPOLATIONS",
     "ORDER_POLICIES",
+    "ATLAS_NAME_RE",
+    "CONNECTOME_NORMALIZATIONS",
     "resolve_run_spec",
     "apply_override",
     "deep_merge",

@@ -6,7 +6,8 @@ disjoint dataclasses plus strategy/device/host selections, wired together
 differently by every entry point.  ``RunSpec`` is the single source of
 truth instead:
 
-* four sections — ``sampling`` (stage 1), ``tracking`` (stage 2),
+* five sections — ``sampling`` (stage 1), ``tracking`` (stage 2),
+  ``connectome`` (stage 3, disabled unless an atlas is named),
   ``runtime`` (workers, supervision, machine presets), ``telemetry``
   (where observability artifacts go);
 * every field is validated on construction, and every violation raises
@@ -53,9 +54,12 @@ from repro.gpu.presets import DEVICE_PRESETS, HOST_PRESETS
 __all__ = [
     "SamplingSpec",
     "TrackingSpec",
+    "ConnectomeSpec",
     "RuntimeSpec",
     "TelemetrySpec",
     "RunSpec",
+    "ATLAS_NAME_RE",
+    "CONNECTOME_NORMALIZATIONS",
     "hash_spec_dict",
     "HASH_EXCLUDED_SECTIONS",
     "NOISE_MODELS",
@@ -81,6 +85,14 @@ ENGINES = ("per-sample", "fused")
 #: Named segmentation strategies: the paper's arrays plus ``a<k>`` uniform
 #: ladders; ``custom`` requires ``tracking.strategy_array``.
 STRATEGY_NAME_RE = re.compile(r"^(increasing|b|c|single|a[1-9][0-9]*)$")
+
+#: Named parcellations the connectome stage can build over the phantom
+#: grid: ``none`` (stage disabled), ``octant`` (2x2x2 midpoint split,
+#: 8 ROIs), ``slabs<k>`` (k slabs along x), ``grid<k>`` (k^3 cells).
+ATLAS_NAME_RE = re.compile(r"^(none|octant|slabs[1-9][0-9]*|grid[1-9][0-9]*)$")
+
+#: Valid ``connectome.normalize`` values (mirrors ``connectome_graph``).
+CONNECTOME_NORMALIZATIONS = ("count", "fraction")
 
 #: Sections excluded from :func:`hash_spec_dict`: they say where a run is
 #: *observed* (manifest / trace paths), not what it computes, so a replay
@@ -256,11 +268,53 @@ class TrackingSpec:
         _check(TrackingSpec, self)
 
 
+def _atlas_name(path: str, v) -> None:
+    if not isinstance(v, str) or not ATLAS_NAME_RE.match(v):
+        raise _err(
+            path,
+            "must be 'none', 'octant', 'slabs<k>' (e.g. 'slabs4'), or "
+            f"'grid<k>' (e.g. 'grid2'), got {v!r}",
+        )
+
+
+@dataclass(frozen=True)
+class ConnectomeSpec:
+    """Stage-3 section: ROI parcellation and connectivity-matrix policy.
+
+    ``atlas = "none"`` (the default) disables the stage entirely, so
+    existing two-stage runs are untouched.  Only *what* is computed
+    lives here — seed-block sizing and worker counts are execution
+    policy (``runtime.connectome_workers``) and never touch the stage
+    hash.
+    """
+
+    atlas: str = "none"
+    #: Streamlines shorter than this many steps are excluded from the
+    #: endpoint matrix (0 = keep everything).
+    min_steps: int = 0
+    #: Edge-weight normalization in the exported graph: raw endpoint
+    #: ``count`` or ``fraction`` of counted streamlines.
+    normalize: str = "count"
+
+    _PREFIX = "connectome"
+    _VALIDATORS = {
+        "atlas": _atlas_name,
+        "min_steps": _int_min(0),
+        "normalize": _enum(CONNECTOME_NORMALIZATIONS),
+    }
+
+    def __post_init__(self) -> None:
+        _check(ConnectomeSpec, self)
+
+
 @dataclass(frozen=True)
 class RuntimeSpec:
     """Execution section: workers, supervision policy, machine presets."""
 
     n_workers: int = 1
+    #: Worker processes for the connectome stage's seed-block loop
+    #: (1 = serial).  Pure execution policy, excluded from stage hashes.
+    connectome_workers: int = 1
     #: Worker processes for the sampling stage's voxel-block loop
     #: (1 = serial).  Separate from the tracking pool size so the two
     #: stages scale independently; pure execution policy, excluded from
@@ -283,6 +337,7 @@ class RuntimeSpec:
     _PREFIX = "runtime"
     _VALIDATORS = {
         "n_workers": _int_min(1),
+        "connectome_workers": _int_min(1),
         "bedpost_workers": _int_min(1),
         "max_retries": _int_min(0),
         "shard_timeout_s": _opt_positive,
@@ -345,8 +400,12 @@ _FIELD_KINDS: dict[type, dict[str, str]] = {
         "accumulate_connectivity": "bool", "min_export_steps": "int",
         "engine": "str", "compact_threshold": "float",
     },
+    ConnectomeSpec: {
+        "atlas": "str", "min_steps": "int", "normalize": "str",
+    },
     RuntimeSpec: {
-        "n_workers": "int", "bedpost_workers": "int", "max_retries": "int",
+        "n_workers": "int", "connectome_workers": "int",
+        "bedpost_workers": "int", "max_retries": "int",
         "shard_timeout_s": "opt_float", "fallback_to_serial": "bool",
         "fault_plan": "opt_str", "hang_seconds": "opt_float",
         "device": "str", "host": "str", "array_backend": "str",
@@ -413,7 +472,7 @@ def _section_from_dict(cls: type, data: dict, prefix: str):
 
 @dataclass(frozen=True)
 class RunSpec:
-    """The whole-run specification: four sections, one hash.
+    """The whole-run specification: five sections, one hash.
 
     Construct directly, or from a plain dict (spec file, manifest
     ``config`` section, CLI layering) via :meth:`from_dict`; missing
@@ -422,12 +481,14 @@ class RunSpec:
 
     sampling: SamplingSpec = field(default_factory=SamplingSpec)
     tracking: TrackingSpec = field(default_factory=TrackingSpec)
+    connectome: ConnectomeSpec = field(default_factory=ConnectomeSpec)
     runtime: RuntimeSpec = field(default_factory=RuntimeSpec)
     telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
 
     _SECTIONS = {
         "sampling": SamplingSpec,
         "tracking": TrackingSpec,
+        "connectome": ConnectomeSpec,
         "runtime": RuntimeSpec,
         "telemetry": TelemetrySpec,
     }

@@ -1,0 +1,270 @@
+"""Seed-block sharding of the connectome stage.
+
+The connectome stage is embarrassingly parallel across seeds: every
+streamline is a pure function of (field, seed), so a contiguous block of
+seeds can be tracked and endpoint-counted anywhere.  This module
+expresses that as an instance of the stage-generic
+:class:`~repro.runtime.stage.StageShard` contract — the same supervised
+pool, retry ladder, fault grammar, and streaming in-task-order merge the
+sampling and tracking stages run on.
+
+Determinism
+-----------
+Sharded connectomes are bit-identical to serial because:
+
+* the serial seed-block decomposition is preserved exactly — a shard is
+  a contiguous run of the serial ``range(0, n_seeds, block)`` blocks;
+* :func:`run_connectome_task` is a pure function of its
+  :class:`ConnectomeTask` (the CPU reference tracker is deterministic
+  per (field, seed), and endpoint counting is integer arithmetic);
+* the parent folds payloads in task order: integer count matrices sum
+  exactly, and the exported sample-0 streamlines concatenate in global
+  seed order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.baselines.cpu_reference import cpu_probabilistic_tracking
+from repro.connectome.atlas import build_atlas
+from repro.connectome.matrix import endpoint_connectome
+from repro.errors import ShardResultError
+from repro.runtime.stage import StageShard
+from repro.telemetry import MetricsRegistry, get_registry, use_registry
+
+__all__ = [
+    "CONNECTOME_SEED_BLOCK",
+    "CONNECTOME_SEED_SHARD",
+    "ConnectomeTask",
+    "make_seed_tasks",
+    "run_connectome_task",
+    "run_seed_blocks",
+    "seed_blocks",
+]
+
+#: Serial seed-block size (seeds per block).  Pure execution detail: the
+#: merge is exact, so the value never appears in any stage hash — it
+#: only bounds re-shard granularity and merge buffering.
+CONNECTOME_SEED_BLOCK = 64
+
+
+@dataclass
+class ConnectomeTask:
+    """One shard's picklable work unit: contiguous serial seed blocks.
+
+    ``blocks`` are *global* ``[start, stop)`` seed spans taken verbatim
+    from the serial decomposition; ``seeds`` holds exactly those rows
+    (``seeds[g - blocks[0][0]]`` is global seed ``g``).  ``first_block``
+    is the global index of ``blocks[0]`` in the serial block sequence —
+    the coordinate ``sN`` fault targets address.  The atlas rides as
+    (name, grid shape): :func:`~repro.connectome.atlas.build_atlas` is
+    pure, so rebuilding in the worker is cheaper than pickling labels.
+    """
+
+    fields: list
+    seeds: np.ndarray
+    blocks: tuple[tuple[int, int], ...]
+    first_block: int
+    criteria: object
+    interpolation: str
+    atlas_name: str
+    grid_shape: tuple[int, int, int]
+    min_steps: int = 0
+
+
+def seed_blocks(n_seeds: int, block: int = CONNECTOME_SEED_BLOCK) -> list[tuple[int, int]]:
+    """The serial seed-block decomposition: ``[start, stop)`` spans."""
+    return [(lo, min(lo + block, n_seeds)) for lo in range(0, n_seeds, block)]
+
+
+def run_seed_blocks(task: ConnectomeTask) -> dict:
+    """Track and endpoint-count every block of one task.
+
+    This is *the* connectome block loop — the serial path and every
+    worker run exactly this code, under whatever registry is active.
+    The payload carries the task's partial count matrix, the number of
+    streamlines that passed the length filter, and sample-0 streamline
+    points (seed order) for ``.trk`` export.
+    """
+    registry = get_registry()
+    atlas = build_atlas(task.atlas_name, task.grid_shape)
+    counts = np.zeros((atlas.n_rois, atlas.n_rois), dtype=np.int64)
+    n_counted = 0
+    lines: list[np.ndarray] = []
+    lo0 = task.blocks[0][0]
+    for start, stop in task.blocks:
+        with registry.span("connectome.block", start=start, n_seeds=stop - start):
+            res = cpu_probabilistic_tracking(
+                task.fields,
+                task.seeds[start - lo0 : stop - lo0],
+                task.criteria,
+                interpolation=task.interpolation,
+                keep_streamlines=True,
+            )
+            for sample_lines in res.streamlines:
+                block_counts, block_n = endpoint_connectome(
+                    sample_lines, atlas, min_steps=task.min_steps
+                )
+                counts += block_counts
+                n_counted += block_n
+            lines.extend(line.points for line in res.streamlines[0])
+    registry.count("connectome.streamlines_counted", n_counted)
+    registry.count("connectome.seeds_tracked", task.seeds.shape[0])
+    return {
+        "seed_start": lo0,
+        "counts": counts,
+        "n_counted": n_counted,
+        "lines": lines,
+    }
+
+
+def run_connectome_task(task: ConnectomeTask) -> tuple[dict, dict]:
+    """Worker entry point: run one task under a fresh local registry.
+
+    Top-level (picklable under every start method) and free of parent
+    state; the local snapshot rides back with the payload so the parent
+    merges shard metrics in task order.
+    """
+    local = MetricsRegistry()
+    with use_registry(local):
+        payload = run_seed_blocks(task)
+    return payload, local.snapshot()
+
+
+# -- supervisor seams --------------------------------------------------------
+
+
+def _seed_units(task: ConnectomeTask) -> range:
+    """Global serial-block indices a task covers (``sN`` fault targets)."""
+    return range(task.first_block, task.first_block + len(task.blocks))
+
+
+def _split_seed_task(task: ConnectomeTask) -> list[ConnectomeTask]:
+    """Re-shard: one single-block subtask per block, spans preserved."""
+    lo0 = task.blocks[0][0]
+    return [
+        replace(
+            task,
+            seeds=task.seeds[start - lo0 : stop - lo0],
+            blocks=((start, stop),),
+            first_block=task.first_block + i,
+        )
+        for i, (start, stop) in enumerate(task.blocks)
+    ]
+
+
+def _validate_seed_payload(task: ConnectomeTask, payload) -> None:
+    """Reject payloads that cannot be genuine :func:`run_connectome_task` output.
+
+    A real payload always passes (the checks restate ``run_seed_blocks``'s
+    own postconditions: a symmetric count matrix whose upper triangle
+    sums to the counted-streamline tally, and one sample-0 line per seed).
+    """
+
+    def _bad(msg: str) -> ShardResultError:
+        return ShardResultError(f"corrupt connectome payload: {msg}")
+
+    if not isinstance(payload, tuple) or len(payload) != 2:
+        raise _bad(f"expected (result, metrics) tuple, got {type(payload).__name__}")
+    result, metrics = payload
+    if not isinstance(metrics, dict):
+        raise _bad(f"metrics snapshot must be a dict, got {type(metrics).__name__}")
+    if not isinstance(result, dict):
+        raise _bad(f"result must be a dict, got {type(result).__name__}")
+    atlas = build_atlas(task.atlas_name, task.grid_shape)
+    counts = result.get("counts")
+    shape = (atlas.n_rois, atlas.n_rois)
+    if not isinstance(counts, np.ndarray) or counts.shape != shape:
+        raise _bad(f"counts must be {shape}, got {getattr(counts, 'shape', None)}")
+    if counts.dtype != np.int64 or (counts < 0).any():
+        raise _bad("counts must be non-negative int64")
+    if not np.array_equal(counts, counts.T):
+        raise _bad("counts matrix must be symmetric")
+    n_counted = result.get("n_counted")
+    if n_counted != int(np.triu(counts).sum()):
+        raise _bad(
+            f"n_counted {n_counted} != upper-triangle count sum "
+            f"{int(np.triu(counts).sum())}"
+        )
+    lines = result.get("lines")
+    if not isinstance(lines, list) or len(lines) != task.seeds.shape[0]:
+        raise _bad(
+            f"expected {task.seeds.shape[0]} sample-0 lines, got "
+            f"{len(lines) if isinstance(lines, list) else type(lines).__name__}"
+        )
+    if result.get("seed_start") != task.blocks[0][0]:
+        raise _bad(
+            f"seed_start {result.get('seed_start')} != task span {task.blocks[0][0]}"
+        )
+
+
+def _corrupt_seed_payload(payload):
+    """Fault injection ``corrupt``: mangle a real payload detectably.
+
+    An asymmetric count bump and a dropped export line model bit-rot in
+    the result channel; ``_validate_seed_payload`` must catch both.
+    """
+    result, metrics = payload
+    counts = result["counts"].copy()
+    counts[0, -1] += 1
+    result = dict(result, counts=counts, lines=result["lines"][:-1])
+    return result, metrics
+
+
+#: The connectome stage expressed as an instance of the stage-generic
+#: sharding contract: contiguous runs of the serial seed blocks,
+#: re-shardable to single blocks, with ``sN`` fault targets addressing
+#: global serial-block indices.
+CONNECTOME_SEED_SHARD = StageShard(
+    stage="connectome",
+    unit="seed block",
+    run=run_connectome_task,
+    validate=_validate_seed_payload,
+    split=_split_seed_task,
+    corrupt=_corrupt_seed_payload,
+    units=_seed_units,
+)
+
+
+def make_seed_tasks(
+    fields,
+    seeds: np.ndarray,
+    n_shards: int,
+    *,
+    criteria,
+    interpolation: str,
+    atlas_name: str,
+    grid_shape: tuple[int, int, int],
+    min_steps: int = 0,
+    block: int = CONNECTOME_SEED_BLOCK,
+) -> list[ConnectomeTask]:
+    """Partition the serial seed blocks into ``n_shards`` contiguous tasks.
+
+    The serial decomposition itself is never altered — only grouped — so
+    the merge (and every deterministic counter) is identical for any
+    shard count.
+    """
+    from repro.gpu.multigpu import partition_seeds
+
+    blocks = seed_blocks(seeds.shape[0], block)
+    tasks = []
+    for sl in partition_seeds(len(blocks), n_shards):
+        span = blocks[sl.start : sl.stop]
+        lo, hi = span[0][0], span[-1][1]
+        tasks.append(
+            ConnectomeTask(
+                fields=fields,
+                seeds=seeds[lo:hi],
+                blocks=tuple(span),
+                first_block=sl.start,
+                criteria=criteria,
+                interpolation=interpolation,
+                atlas_name=atlas_name,
+                grid_shape=tuple(grid_shape),
+                min_steps=min_steps,
+            )
+        )
+    return tasks

@@ -5,8 +5,12 @@
   volumes (the analogue of FSL's ``bedpostx``);
 * :func:`~repro.pipeline.tracto.tracto` — stage 2: probabilistic
   streamlining over those fields (the analogue of ``probtrackx``);
-* :func:`~repro.pipeline.workflow.run_workflow` — both stages plus the
-  modeled speedup accounting for each.
+* :func:`~repro.pipeline.connectome.compute_connectome` — stage 3: the
+  ROI endpoint connectome over tracked streamlines (the analogue of a
+  ``probtrackx`` network run);
+* :func:`~repro.pipeline.workflow.run_workflow` — every registered
+  stage (see :mod:`repro.config.stages`) plus the modeled speedup
+  accounting for each.
 
 Both drivers memoize through the :mod:`repro.store` artifact store when
 given one (``store=`` / ``telemetry.store``); see
@@ -14,7 +18,17 @@ given one (``store=`` / ``telemetry.store``); see
 """
 
 from repro.pipeline.bedpost import BedpostConfig, BedpostResult, bedpost
-from repro.pipeline.memo import fields_fingerprint, memoized_streamlining
+from repro.pipeline.connectome import (
+    ConnectomeResult,
+    compute_connectome,
+    memoized_connectome,
+)
+from repro.pipeline.memo import (
+    fields_fingerprint,
+    memoized_streamlining,
+    run_memoized,
+)
+from repro.pipeline.runners import StageContext, StageOutcome
 from repro.pipeline.tracto import tracto
 from repro.pipeline.workflow import WorkflowResult, run_workflow
 
@@ -23,8 +37,14 @@ __all__ = [
     "BedpostResult",
     "bedpost",
     "tracto",
+    "ConnectomeResult",
+    "compute_connectome",
+    "memoized_connectome",
+    "StageContext",
+    "StageOutcome",
     "WorkflowResult",
     "run_workflow",
     "fields_fingerprint",
     "memoized_streamlining",
+    "run_memoized",
 ]

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.config.stages import SAMPLING
 from repro.errors import ConfigurationError, DataError
 from repro.gpu.device import DeviceSpec, HostSpec
 from repro.gpu.presets import (
@@ -121,7 +122,7 @@ class BedpostConfig:
         )
         fault = self.fault_plan
         return {
-            "sampling": sampling,
+            SAMPLING.name: sampling,
             "runtime": {
                 "device": device_preset_name(self.device),
                 "host": host_preset_name(self.host),
@@ -140,7 +141,7 @@ class BedpostConfig:
     def from_spec_dict(cls, data: dict) -> "BedpostConfig":
         """Rebuild from :meth:`to_spec_dict` output (or the matching
         sections of a full run-spec dict; extra keys are ignored)."""
-        sampling = data.get("sampling", {})
+        sampling = data.get(SAMPLING.name, {})
         runtime = data.get("runtime", {})
         fault_plan = None
         fault_text = runtime.get("fault_plan")
@@ -361,7 +362,7 @@ def _compute_samples(
                 worker_slot += 1
 
         with registry.span(
-            "runtime.shards", n_shards=n_shards, stage="sampling"
+            "runtime.shards", n_shards=n_shards, stage=SAMPLING.name
         ):
             report = executor.run(BEDPOST_BLOCK_SHARD, tasks, _absorb)
     history = (
@@ -462,7 +463,7 @@ def bedpost(
         stage_key = _sampling_stage_key(cfg, dwi, gtab, mask, fingerprint_arrays)
 
     if store is not None and use_cache:
-        entry = store.lookup("sampling", stage_key)
+        entry = store.lookup(SAMPLING.name, stage_key)
         if entry is not None:
             return _result_from_entry(
                 entry, cfg, mask, layout, n_vox, stage_key, t0
@@ -491,7 +492,7 @@ def bedpost(
                 cfg,
                 layout,
                 cadence,
-                ckpt_dir=store.checkpoint_dir("sampling", stage_key),
+                ckpt_dir=store.checkpoint_dir(SAMPLING.name, stage_key),
                 on_checkpoint=on_checkpoint,
             )
         get_registry().merge(child)
@@ -508,7 +509,7 @@ def bedpost(
             {"counters": snap["counters"], "histograms": snap["histograms"]},
             n_vox,
         )
-        store.clear_checkpoints("sampling", stage_key)
+        store.clear_checkpoints(SAMPLING.name, stage_key)
     wall = time.perf_counter() - t0
 
     pooled = MCMCResult(
@@ -554,7 +555,7 @@ def _sampling_stage_key(cfg, dwi, gtab, mask, fingerprint_arrays) -> str:
     )
     from repro.config import stage_hash
 
-    return stage_hash(cfg.to_spec_dict(), "sampling", inputs={"data": fp})
+    return stage_hash(cfg.to_spec_dict(), SAMPLING.name, inputs={"data": fp})
 
 
 def _publish_sampling_entry(
@@ -597,7 +598,7 @@ def _publish_sampling_entry(
         )
 
     store.publish(
-        "sampling",
+        SAMPLING.name,
         stage_key,
         _write,
         meta={"n_voxels": n_vox, "n_samples": int(all_samples.shape[0])},

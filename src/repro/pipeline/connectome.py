@@ -1,0 +1,225 @@
+"""Stage 3 driver: ROI-atlas connectome over tracked streamlines.
+
+Builds the named parcellation, tracks every (sample, seed) streamline
+with the CPU reference tracker, folds endpoint pairs into a symmetric
+ROI count matrix, and exports the JSON graph — serial or sharded by
+seed block through the stage-generic supervised executor, bit-identical
+either way.  :func:`memoized_connectome` runs the whole thing through
+the artifact store under the connectome stage hash, so an atlas sweep
+over one tracked dataset reuses stages 1-2 and recomputes only this.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config.stages import CONNECTOME
+from repro.connectome.atlas import Atlas, build_atlas
+from repro.connectome.matrix import connectome_graph
+from repro.connectome.shards import (
+    CONNECTOME_SEED_SHARD,
+    make_seed_tasks,
+    run_seed_blocks,
+)
+from repro.pipeline.memo import run_memoized
+from repro.telemetry import get_registry
+from repro.tracking.criteria import TerminationCriteria
+
+__all__ = ["ConnectomeResult", "compute_connectome", "memoized_connectome"]
+
+
+@dataclass
+class ConnectomeResult:
+    """Stage-3 output.
+
+    Attributes
+    ----------
+    atlas:
+        The parcellation the matrix is defined over.
+    counts:
+        ``(n_rois, n_rois)`` symmetric int64 endpoint-pair counts.
+    n_streamlines:
+        Streamlines that passed the ``min_steps`` filter (all samples).
+    graph:
+        The JSON-safe graph document (nodes, weighted edges).
+    lines:
+        Sample-0 streamline point arrays in seed order, for ``.trk``
+        export.
+    supervision:
+        The :class:`~repro.runtime.supervisor.SupervisorReport` when the
+        seed blocks ran under supervision; ``None`` for serial, inline,
+        or cache-served runs.
+    """
+
+    atlas: Atlas
+    counts: np.ndarray
+    n_streamlines: int
+    graph: dict
+    lines: list[np.ndarray]
+    supervision: object | None = None
+
+
+def compute_connectome(
+    fields,
+    seeds: np.ndarray,
+    atlas_name: str,
+    criteria: TerminationCriteria | None = None,
+    interpolation: str = "trilinear",
+    min_steps: int = 0,
+    normalize: str = "count",
+    n_workers: int = 1,
+    max_retries: int = 2,
+    shard_timeout_s: float | None = None,
+    fallback_to_serial: bool = True,
+    fault_plan=None,
+) -> ConnectomeResult:
+    """Track, endpoint-count, and graph-export one connectome.
+
+    Deterministic for any ``n_workers`` (``runtime.connectome_workers``):
+    the serial seed-block decomposition is only grouped into shards, the
+    tracker is pure per (field, seed), and the parent folds integer
+    count matrices and sample-0 lines in task order.
+    """
+    from repro.runtime.stage import StageShardExecutor
+
+    registry = get_registry()
+    seeds = np.asarray(seeds, dtype=np.float64)
+    criteria = criteria if criteria is not None else TerminationCriteria()
+    grid_shape = tuple(int(s) for s in fields[0].f.shape[:3])
+    atlas = build_atlas(atlas_name, grid_shape)
+    counts = np.zeros((atlas.n_rois, atlas.n_rois), dtype=np.int64)
+    n_counted = 0
+    lines: list[np.ndarray] = []
+    report = None
+
+    task_kwargs = dict(
+        criteria=criteria,
+        interpolation=interpolation,
+        atlas_name=atlas_name,
+        grid_shape=grid_shape,
+        min_steps=min_steps,
+    )
+    if n_workers <= 1 and fault_plan is None:
+        # Serial: the same block loop the workers run, directly under
+        # the active registry.
+        (task,) = make_seed_tasks(fields, seeds, 1, **task_kwargs)
+        payload = run_seed_blocks(task)
+        counts += payload["counts"]
+        n_counted += payload["n_counted"]
+        lines.extend(payload["lines"])
+    else:
+        executor = StageShardExecutor(
+            n_workers,
+            max_retries=max_retries,
+            shard_timeout_s=shard_timeout_s,
+            fallback_to_serial=fallback_to_serial,
+            fault_plan=fault_plan,
+        )
+        from repro.connectome.shards import seed_blocks
+
+        n_blocks = len(seed_blocks(seeds.shape[0]))
+        n_shards = executor.plan_shards(CONNECTOME_SEED_SHARD, n_blocks)
+        tasks = make_seed_tasks(fields, seeds, n_shards, **task_kwargs)
+        worker_slot = 0
+
+        def _absorb(index: int, outs: list) -> None:
+            nonlocal n_counted, worker_slot
+            for result, metrics in outs:
+                counts[...] += result["counts"]
+                n_counted += result["n_counted"]
+                lines.extend(result["lines"])
+                registry.merge_snapshot(metrics, worker=worker_slot + 1)
+                worker_slot += 1
+
+        with registry.span(
+            "runtime.shards", n_shards=n_shards, stage=CONNECTOME.name
+        ):
+            report = executor.run(CONNECTOME_SEED_SHARD, tasks, _absorb)
+
+    graph = connectome_graph(
+        counts, atlas, normalize=normalize, n_streamlines=n_counted
+    )
+    return ConnectomeResult(
+        atlas=atlas,
+        counts=counts,
+        n_streamlines=n_counted,
+        graph=graph,
+        lines=lines,
+        supervision=report,
+    )
+
+
+def _serialize(tmp_dir, result: ConnectomeResult) -> None:
+    """Write one connectome result's payload files into ``tmp_dir``."""
+    line_arrays = {
+        f"line{i:06d}": np.asarray(pts, dtype=np.float64)
+        for i, pts in enumerate(result.lines)
+    }
+    np.savez_compressed(
+        tmp_dir / "connectome.npz",
+        counts=result.counts,
+        labels=result.atlas.labels,
+        n_lines=np.int64(len(result.lines)),
+        **line_arrays,
+    )
+    (tmp_dir / "graph.json").write_text(
+        json.dumps(result.graph, sort_keys=True)
+    )
+
+
+def _rehydrate(entry) -> ConnectomeResult:
+    """Rebuild a bit-identical :class:`ConnectomeResult` from an entry."""
+    blob = np.load(entry.file("connectome.npz"))
+    graph = json.loads(entry.file("graph.json").read_text())
+    atlas = Atlas(
+        name=graph["atlas"],
+        labels=np.ascontiguousarray(blob["labels"]),
+        n_rois=int(graph["n_rois"]),
+    )
+    lines = [blob[f"line{i:06d}"] for i in range(int(blob["n_lines"]))]
+    return ConnectomeResult(
+        atlas=atlas,
+        counts=blob["counts"],
+        n_streamlines=int(graph["n_streamlines"]),
+        graph=graph,
+        lines=lines,
+    )
+
+
+def memoized_connectome(
+    fields,
+    seeds: np.ndarray,
+    key: str,
+    store,
+    atlas_name: str,
+    use_cache: bool = True,
+    extra_writer=None,
+    **compute_kwargs,
+) -> tuple[ConnectomeResult, bool, object]:
+    """Run (or serve) the connectome stage through the artifact store.
+
+    ``key`` is the connectome stage hash (spec subtree + input
+    fingerprints); remaining keyword arguments go to
+    :func:`compute_connectome`.  Returns ``(result, hit, entry)`` like
+    every stage memoizer.
+    """
+    return run_memoized(
+        store,
+        CONNECTOME.name,
+        key,
+        compute=lambda: compute_connectome(
+            fields, seeds, atlas_name, **compute_kwargs
+        ),
+        serialize=_serialize,
+        rehydrate=_rehydrate,
+        meta=lambda result: {
+            "atlas": atlas_name,
+            "n_rois": int(result.atlas.n_rois),
+            "n_streamlines": int(result.n_streamlines),
+        },
+        use_cache=use_cache,
+        extra_writer=extra_writer,
+    )

@@ -1,9 +1,12 @@
-"""Tracking-stage memoization: serialize, publish, and rehydrate runs.
+"""Stage memoization: serialize, publish, and rehydrate stage runs.
 
-The sampling stage memoizes naturally through ``samples.npz``; the
-tracking stage's output is richer — per-seed lengths and stop reasons,
-the modeled event timeline, and the sparse connectivity matrix — so this
-module owns its round-trip through the artifact store:
+:func:`run_memoized` is the one lookup-or-compute protocol every stage
+shares — stage-agnostic, driven by the registry's stage names, with the
+telemetry round-trip (child-registry compute, snapshot publish, replay
+on hit) built in.  The tracking stage's round-trip lives here too; its
+output is richer than the sampling stage's ``samples.npz`` — per-seed
+lengths and stop reasons, the modeled event timeline, and the sparse
+connectivity matrix:
 
 * on a **miss**, :func:`memoized_streamlining` runs
   :func:`~repro.tracking.probtrack.probabilistic_streamlining` under a
@@ -26,6 +29,7 @@ import json
 
 import numpy as np
 
+from repro.config.stages import TRACKING
 from repro.gpu.timeline import Timeline
 from repro.store.fingerprint import fingerprint_arrays
 from repro.telemetry import MetricsRegistry, get_registry, use_registry
@@ -34,7 +38,70 @@ from repro.tracking.executor import TrackingRunResult
 from repro.tracking.lengths import fit_exponential
 from repro.tracking.probtrack import ProbtrackResult, probabilistic_streamlining
 
-__all__ = ["fields_fingerprint", "memoized_streamlining"]
+__all__ = ["fields_fingerprint", "memoized_streamlining", "run_memoized"]
+
+
+def run_memoized(
+    store,
+    stage: str,
+    key: str,
+    compute,
+    serialize,
+    rehydrate,
+    meta=None,
+    use_cache: bool = True,
+    extra_writer=None,
+):
+    """Serve one stage from the store, or compute and publish it.
+
+    The shared memoization protocol every registered stage runs through:
+
+    * on a **hit** (``use_cache`` and the entry exists), replay the
+      entry's stored deterministic telemetry into the active registry
+      and return ``rehydrate(entry)``;
+    * on a **miss**, run ``compute()`` under a child registry, publish
+      ``serialize(tmp_dir, result)`` + the telemetry snapshot (+
+      ``extra_writer(tmp_dir, result)`` if given) atomically, and return
+      the live result;
+    * with ``store=None`` the stage just runs, unrecorded.
+
+    ``meta`` may be a dict or a ``result -> dict`` callable (for
+    metadata derived from the computed result).
+
+    Returns ``(result, hit, entry)`` — ``entry`` is ``None`` only when
+    ``store`` is ``None``.
+    """
+    if store is not None and use_cache:
+        entry = store.lookup(stage, key)
+        if entry is not None:
+            telemetry = json.loads(entry.file("telemetry.json").read_text())
+            get_registry().merge_snapshot(telemetry)
+            return rehydrate(entry), True, entry
+    if store is None:
+        return compute(), False, None
+    child = MetricsRegistry()
+    with use_registry(child):
+        result = compute()
+    get_registry().merge(child)
+    snap = child.snapshot()
+
+    def _write(tmp_dir):
+        serialize(tmp_dir, result)
+        (tmp_dir / "telemetry.json").write_text(
+            json.dumps(
+                {
+                    "counters": snap["counters"],
+                    "histograms": snap["histograms"],
+                },
+                sort_keys=True,
+            )
+        )
+        if extra_writer is not None:
+            extra_writer(tmp_dir, result)
+
+    resolved_meta = meta(result) if callable(meta) else dict(meta or {})
+    entry = store.publish(stage, key, _write, meta=resolved_meta)
+    return result, False, entry
 
 
 def fields_fingerprint(fields) -> str:
@@ -177,50 +244,20 @@ def memoized_streamlining(
         entry backing it (the hit entry, or the freshly published one;
         ``None`` only when ``store`` is ``None``).
     """
-    if store is not None and use_cache:
-        entry = store.lookup("tracking", key)
-        if entry is not None:
-            telemetry = json.loads(entry.file("telemetry.json").read_text())
-            get_registry().merge_snapshot(telemetry)
-            return _rehydrate(entry, cfg), True, entry
-    if store is None:
-        return (
-            probabilistic_streamlining(
-                fields, cfg, seed_mask=seed_mask, seeds=seeds
-            ),
-            False,
-            None,
-        )
-    child = MetricsRegistry()
-    with use_registry(child):
-        result = probabilistic_streamlining(
-            fields, cfg, seed_mask=seed_mask, seeds=seeds
-        )
-    get_registry().merge(child)
-    snap = child.snapshot()
-
-    def _write(tmp_dir):
-        _serialize(tmp_dir, result)
-        (tmp_dir / "telemetry.json").write_text(
-            json.dumps(
-                {
-                    "counters": snap["counters"],
-                    "histograms": snap["histograms"],
-                },
-                sort_keys=True,
-            )
-        )
-        if extra_writer is not None:
-            extra_writer(tmp_dir, result)
-
-    entry = store.publish(
-        "tracking",
+    return run_memoized(
+        store,
+        TRACKING.name,
         key,
-        _write,
-        meta={
+        compute=lambda: probabilistic_streamlining(
+            fields, cfg, seed_mask=seed_mask, seeds=seeds
+        ),
+        serialize=_serialize,
+        rehydrate=lambda entry: _rehydrate(entry, cfg),
+        meta=lambda result: {
             "n_samples": int(result.run.n_samples),
             "n_seeds": int(result.run.n_seeds),
             "engine": cfg.engine,
         },
+        use_cache=use_cache,
+        extra_writer=extra_writer,
     )
-    return result, False, entry

@@ -1,0 +1,246 @@
+"""Built-in stage runners: the registry's executable side.
+
+Each registered :class:`~repro.config.stages.StageDef` names one
+function here (lazily resolved, so the config layer never imports the
+pipeline).  A runner takes the shared :class:`StageContext`, produces
+its stage's result — memoized through the artifact store when one is in
+play — and returns a :class:`StageOutcome` the generic workflow walk
+folds into the run's cache section and report.  Returning ``None``
+skips the stage (e.g. the connectome stage with ``atlas = "none"``).
+
+A new stage needs exactly two things: a ``StageDef`` registration and a
+runner with this signature — the store, the walk, the cache section,
+and the report pick it up from the registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Any
+
+import numpy as np
+
+from repro.config.stages import CONNECTOME, SAMPLING, TRACKING, stage_hash
+from repro.pipeline.bedpost import BedpostConfig, bedpost
+from repro.pipeline.tracto import tracto
+from repro.telemetry import get_registry
+from repro.tracking.criteria import TerminationCriteria
+from repro.tracking.probtrack import ProbtrackConfig
+
+__all__ = [
+    "StageContext",
+    "StageOutcome",
+    "run_sampling_stage",
+    "run_tracking_stage",
+    "run_connectome_stage",
+]
+
+
+@dataclass
+class StageOutcome:
+    """What one stage run reports back to the workflow walk."""
+
+    #: Registered stage name.
+    stage: str
+    #: The stage's result object (``BedpostResult``, ``ProbtrackResult``,
+    #: ``ConnectomeResult``, or whatever a custom stage produces).
+    result: Any
+    #: The stage's store key (``sha256:<hex>``), when a store was in play.
+    key: str | None = None
+    #: Whether the result was served from the store.
+    hit: bool = False
+    #: The stage's SupervisorReport, when it ran sharded.
+    supervision: Any | None = None
+
+
+@dataclass
+class StageContext:
+    """Everything a stage runner may need, threaded through the walk.
+
+    Upstream results are reached through ``outcomes`` (keyed by stage
+    name, populated in topological order), so a runner never needs
+    positional knowledge of the pipeline's shape.
+    """
+
+    phantom: Any
+    bedpost_config: Any = None
+    probtrack_config: Any = None
+    spec: Any = None
+    #: The normalized plain spec dict (always present — derived from
+    #: ``spec`` or from the per-stage configs), the ``doc`` every stage
+    #: hash is computed over.
+    doc: dict = dc_field(default_factory=dict)
+    store: Any = None
+    use_cache: bool = True
+    seed_mask: Any = None
+    fit_mask: Any = None
+    n_workers: int | None = None
+    checkpoint_every: int | None = None
+    #: Completed stages' outcomes, in registration order.
+    outcomes: dict[str, StageOutcome] = dc_field(default_factory=dict)
+    _fields_fp: str | None = None
+
+    def resolved_spec(self):
+        """The run as a ``RunSpec`` (normalizes config-built docs too)."""
+        if self.spec is not None:
+            return self.spec
+        from repro.config import RunSpec
+
+        return RunSpec.from_dict(self.doc)
+
+    def fields_fp(self, fields) -> str:
+        """Fingerprint of the posterior fields, computed once per run."""
+        if self._fields_fp is None:
+            from repro.pipeline.memo import fields_fingerprint
+
+            self._fields_fp = fields_fingerprint(fields)
+        return self._fields_fp
+
+
+def run_sampling_stage(ctx: StageContext) -> StageOutcome:
+    """Stage 1: MCMC sampling (memoized inside :func:`bedpost`)."""
+    phantom = ctx.phantom
+    mask = (
+        phantom.mask
+        if ctx.fit_mask is None
+        else np.asarray(ctx.fit_mask, dtype=bool)
+    )
+    with get_registry().span(f"workflow.{SAMPLING.name}"):
+        bp = bedpost(
+            phantom.dwi,
+            phantom.gtab,
+            mask,
+            config=ctx.bedpost_config,
+            store=ctx.store,
+            use_cache=ctx.use_cache,
+            checkpoint_every=ctx.checkpoint_every,
+        )
+    return StageOutcome(
+        stage=SAMPLING.name,
+        result=bp,
+        key=bp.stage_key,
+        hit=bp.served_from_store,
+        supervision=bp.supervision,
+    )
+
+
+def run_tracking_stage(ctx: StageContext) -> StageOutcome:
+    """Stage 2: probabilistic streamlining, memoized when a store is live."""
+    bp = ctx.outcomes[SAMPLING.name].result
+    pt_cfg = ctx.probtrack_config
+    if ctx.n_workers is not None:
+        from dataclasses import replace
+
+        pt_cfg = replace(
+            pt_cfg if pt_cfg is not None else ProbtrackConfig(),
+            n_workers=ctx.n_workers,
+        )
+    registry = get_registry()
+    if ctx.store is None:
+        with registry.span(f"workflow.{TRACKING.name}"):
+            pt = tracto(bp, config=pt_cfg, seed_mask=ctx.seed_mask)
+        return StageOutcome(
+            stage=TRACKING.name,
+            result=pt,
+            supervision=pt.run.supervision,
+        )
+
+    from repro.pipeline.memo import memoized_streamlining
+    from repro.store import fingerprint_arrays
+
+    pt_cfg = pt_cfg if pt_cfg is not None else ProbtrackConfig()
+    eff_seed_mask = ctx.seed_mask
+    if eff_seed_mask is None:
+        eff_seed_mask = bp.mask & (bp.fields[0].f[..., 0] > 0)
+    eff_seed_mask = np.asarray(eff_seed_mask, dtype=bool)
+    key = stage_hash(
+        ctx.doc,
+        TRACKING.name,
+        inputs={
+            "fields": ctx.fields_fp(bp.fields),
+            "seed_mask": fingerprint_arrays(seed_mask=eff_seed_mask),
+        },
+    )
+    with registry.span(f"workflow.{TRACKING.name}"):
+        pt, hit, _entry = memoized_streamlining(
+            bp.fields,
+            pt_cfg,
+            ctx.store,
+            key,
+            seed_mask=eff_seed_mask,
+            use_cache=ctx.use_cache,
+        )
+    return StageOutcome(
+        stage=TRACKING.name,
+        result=pt,
+        key=key,
+        hit=hit,
+        supervision=pt.run.supervision,
+    )
+
+
+def run_connectome_stage(ctx: StageContext) -> StageOutcome | None:
+    """Stage 3: ROI connectome; skipped unless an atlas is configured."""
+    spec = ctx.resolved_spec()
+    if spec.connectome.atlas == "none":
+        return None
+    from repro.pipeline.connectome import compute_connectome, memoized_connectome
+    from repro.store import fingerprint_arrays
+
+    bp = ctx.outcomes[SAMPLING.name].result
+    pt = ctx.outcomes[TRACKING.name].result
+    criteria = TerminationCriteria(
+        max_steps=spec.tracking.max_steps,
+        min_dot=spec.tracking.min_dot,
+        step_length=spec.tracking.step_length,
+        f_threshold=spec.tracking.f_threshold,
+    )
+    # The scalar reference tracker implements the reference interpolation
+    # directly — the batch engines' "-reference" spelling maps onto it.
+    interp = spec.tracking.interpolation.removesuffix("-reference")
+    compute_kwargs = dict(
+        criteria=criteria,
+        interpolation=interp,
+        min_steps=spec.connectome.min_steps,
+        normalize=spec.connectome.normalize,
+        n_workers=spec.runtime.connectome_workers,
+        max_retries=spec.runtime.max_retries,
+        shard_timeout_s=spec.runtime.shard_timeout_s,
+        fallback_to_serial=spec.runtime.fallback_to_serial,
+    )
+    registry = get_registry()
+    if ctx.store is None:
+        with registry.span(f"workflow.{CONNECTOME.name}"):
+            result = compute_connectome(
+                bp.fields, pt.seeds, spec.connectome.atlas, **compute_kwargs
+            )
+        return StageOutcome(
+            stage=CONNECTOME.name,
+            result=result,
+            supervision=result.supervision,
+        )
+    key = stage_hash(
+        ctx.doc,
+        CONNECTOME.name,
+        inputs={
+            "fields": ctx.fields_fp(bp.fields),
+            "seeds": fingerprint_arrays(seeds=pt.seeds),
+        },
+    )
+    with registry.span(f"workflow.{CONNECTOME.name}"):
+        result, hit, _entry = memoized_connectome(
+            bp.fields,
+            pt.seeds,
+            key,
+            ctx.store,
+            spec.connectome.atlas,
+            use_cache=ctx.use_cache,
+            **compute_kwargs,
+        )
+    return StageOutcome(
+        stage=CONNECTOME.name,
+        result=result,
+        key=key,
+        hit=hit,
+        supervision=result.supervision,
+    )

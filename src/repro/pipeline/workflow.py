@@ -1,25 +1,31 @@
-"""The full Fig 1 workflow: DWI data -> MCMC sampling -> tracking.
+"""The full workflow: a generic walk of the stage registry.
 
-:func:`run_workflow` is the library's one-call entry point, used by the
-quickstart example: feed it a :class:`~repro.data.phantoms.Phantom` (or
-the equivalent raw pieces) and get back posterior fields, streamline
-lengths, the connectivity matrix, and both stages' modeled speedups.
+:func:`run_workflow` is the library's one-call entry point.  It no
+longer hardcodes the two-stage shape: every stage registered in
+:mod:`repro.config.stages` runs in topological order through its
+declared runner, each memoized under its own stage hash when an
+artifact store is in play.  The manifest ``cache`` section, the
+supervision report, and the text summary are all derived from the same
+registry — registering a new stage (see
+:data:`~repro.config.stages.CONNECTOME`) adds it to all three with zero
+edits here.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field as dc_field
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.config.stages import stage_defs, stage_names
 from repro.data.phantoms import Phantom
 from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.config import RunSpec
-from repro.pipeline.bedpost import BedpostConfig, BedpostResult, bedpost
-from repro.pipeline.tracto import tracto
+from repro.pipeline.bedpost import BedpostConfig, BedpostResult
+from repro.pipeline.runners import StageContext, StageOutcome
 from repro.telemetry import MetricsRegistry, get_registry
 from repro.tracking.probtrack import ProbtrackConfig, ProbtrackResult
 
@@ -28,7 +34,7 @@ __all__ = ["WorkflowResult", "run_workflow"]
 
 @dataclass
 class WorkflowResult:
-    """Both stages' outputs plus a compact text report."""
+    """Every stage's outcome plus a compact text report."""
 
     bedpost: BedpostResult
     probtrack: ProbtrackResult
@@ -36,12 +42,38 @@ class WorkflowResult:
     #: :meth:`report` and for building a run manifest).
     metrics: MetricsRegistry | None = None
     #: Artifact-store accounting when a store was in play: per-stage hit
-    #: flags, stage keys, and the store's hit/miss/byte stats — the
-    #: manifest's ``cache`` section.  ``None`` for store-less runs.
+    #: flags (``<stage>_hit``), stage keys, and the store's
+    #: hit/miss/byte stats — the manifest's ``cache`` section.  ``None``
+    #: for store-less runs.
     cache: dict | None = None
+    #: Per-stage outcomes keyed by registered stage name, in execution
+    #: order; stages that were skipped (e.g. connectome without an
+    #: atlas) are absent.
+    outcomes: dict[str, StageOutcome] = dc_field(default_factory=dict)
+
+    @property
+    def connectome(self):
+        """The connectome stage's result, or ``None`` if it did not run."""
+        from repro.config.stages import CONNECTOME
+
+        outcome = self.outcomes.get(CONNECTOME.name)
+        return outcome.result if outcome is not None else None
+
+    def _supervision_rows(self):
+        """(stage, report) pairs, registry-ordered, from the outcomes."""
+        if self.outcomes:
+            return [(name, o.supervision) for name, o in self.outcomes.items()]
+        # Hand-built results (no walk ran): fall back to the results'
+        # own supervision attributes, labeled from the registry.
+        from repro.config.stages import SAMPLING, TRACKING
+
+        return [
+            (SAMPLING.name, getattr(self.bedpost, "supervision", None)),
+            (TRACKING.name, self.probtrack.run.supervision),
+        ]
 
     def report(self) -> str:
-        """Human-readable two-stage summary (modeled times)."""
+        """Human-readable per-stage summary (modeled times)."""
         b, p = self.bedpost, self.probtrack.run
         lines = [
             "stage 1 (MCMC sampling)",
@@ -60,10 +92,16 @@ class WorkflowResult:
             f"  modeled CPU     {p.cpu_seconds:10.2f} s",
             f"  modeled speedup {p.speedup:10.1f} x",
         ]
-        for label, sup in (
-            ("sampling", getattr(b, "supervision", None)),
-            ("tracking", p.supervision),
-        ):
+        conn = self.connectome
+        if conn is not None:
+            lines += [
+                "stage 3 (connectome)",
+                f"  atlas           {conn.atlas.name}",
+                f"  ROIs            {conn.atlas.n_rois}",
+                f"  streamlines     {conn.n_streamlines}",
+                f"  edges           {len(conn.graph['edges'])}",
+            ]
+        for label, sup in self._supervision_rows():
             if sup is None:
                 continue
             lines.append(f"fault tolerance ({label} shards)")
@@ -79,14 +117,11 @@ class WorkflowResult:
                 )
         if self.cache is not None:
             lines.append("artifact store")
-            lines.append(
-                f"  sampling        "
-                f"{'hit' if self.cache.get('sampling_hit') else 'miss'}"
-            )
-            lines.append(
-                f"  tracking        "
-                f"{'hit' if self.cache.get('tracking_hit') else 'miss'}"
-            )
+            for name in stage_names():
+                flag = self.cache.get(f"{name}_hit")
+                if flag is None:
+                    continue
+                lines.append(f"  {name:<16}{'hit' if flag else 'miss'}")
         if self.metrics is not None:
             lines.append("telemetry (measured on this host)")
             for row in self.metrics.summary().splitlines():
@@ -105,7 +140,7 @@ def run_workflow(
     store=None,
     use_cache: bool = True,
 ) -> WorkflowResult:
-    """Run both stages on a phantom acquisition.
+    """Run every registered stage on a phantom acquisition.
 
     ``spec`` — a resolved :class:`~repro.config.spec.RunSpec` — is the
     declarative alternative to the per-stage configs: both
@@ -121,11 +156,19 @@ def run_workflow(
 
     ``store`` (an :class:`~repro.store.ArtifactStore` or its root path;
     defaults to ``spec.telemetry.store`` when a spec is given) memoizes
-    both stages by their stage hashes: a warm run serves each stage's
+    every stage by its stage hash: a warm run serves each stage's
     artifacts bit-identically instead of recomputing, and a run that
-    changes only tracking parameters reuses the sampling artifact.
-    ``use_cache=False`` (or ``telemetry.cache = false``) forces a full
-    recompute but still refreshes the store.
+    changes only one stage's parameters reuses every upstream artifact
+    (a tracking sweep reuses sampling; an atlas sweep reuses sampling
+    *and* tracking).  ``use_cache=False`` (or ``telemetry.cache =
+    false``) forces a full recompute but still refreshes the store.
+
+    The stages themselves come from the registry
+    (:func:`repro.config.stages.stage_defs`): each stage's declared
+    runner is invoked in topological order against a shared
+    :class:`~repro.pipeline.runners.StageContext`, and may skip itself
+    by returning ``None`` (the connectome stage does, unless
+    ``connectome.atlas`` names a parcellation).
     """
     if spec is not None:
         if bedpost_config is not None or probtrack_config is not None:
@@ -146,75 +189,64 @@ def run_workflow(
     checkpoint_every = None
     if spec is not None and spec.runtime.checkpoint_every_loops > 0:
         checkpoint_every = spec.runtime.checkpoint_every_loops
-    registry = get_registry()
-    mask = phantom.mask if fit_mask is None else np.asarray(fit_mask, dtype=bool)
-    with registry.span("workflow.bedpost"):
-        bp = bedpost(
-            phantom.dwi,
-            phantom.gtab,
-            mask,
-            config=bedpost_config,
-            store=store,
-            use_cache=use_cache,
-            checkpoint_every=checkpoint_every,
-        )
-    if n_workers is not None:
-        probtrack_config = replace(
-            probtrack_config
-            if probtrack_config is not None
-            else ProbtrackConfig(),
-            n_workers=n_workers,
-        )
-    if store is None:
-        with registry.span("workflow.tracto"):
-            pt = tracto(bp, config=probtrack_config, seed_mask=seed_mask)
-        return WorkflowResult(bedpost=bp, probtrack=pt, metrics=registry)
 
-    # Memoized tracking: key = tracking-stage spec subtree + fingerprints
-    # of everything the tracker consumes (sample fields + seeding).
-    from repro.config import deep_merge, stage_hash
-    from repro.pipeline.memo import fields_fingerprint, memoized_streamlining
-    from repro.store import fingerprint_arrays
+    from repro.config import deep_merge
 
-    pt_cfg = (
-        probtrack_config if probtrack_config is not None else ProbtrackConfig()
-    )
-    eff_seed_mask = seed_mask
-    if eff_seed_mask is None:
-        eff_seed_mask = bp.mask & (bp.fields[0].f[..., 0] > 0)
-    eff_seed_mask = np.asarray(eff_seed_mask, dtype=bool)
     doc = (
         spec.to_dict()
         if spec is not None
         else deep_merge(
             (bedpost_config or BedpostConfig()).to_spec_dict(),
-            pt_cfg.to_spec_dict(),
+            (
+                probtrack_config
+                if probtrack_config is not None
+                else ProbtrackConfig()
+            ).to_spec_dict(),
         )
     )
-    tracking_key = stage_hash(
-        doc,
-        "tracking",
-        inputs={
-            "fields": fields_fingerprint(bp.fields),
-            "seed_mask": fingerprint_arrays(seed_mask=eff_seed_mask),
-        },
+    ctx = StageContext(
+        phantom=phantom,
+        bedpost_config=bedpost_config,
+        probtrack_config=probtrack_config,
+        spec=spec,
+        doc=doc,
+        store=store,
+        use_cache=use_cache,
+        seed_mask=seed_mask,
+        fit_mask=fit_mask,
+        n_workers=n_workers,
+        checkpoint_every=checkpoint_every,
     )
-    with registry.span("workflow.tracto"):
-        pt, tracking_hit, _entry = memoized_streamlining(
-            bp.fields,
-            pt_cfg,
-            store,
-            tracking_key,
-            seed_mask=eff_seed_mask,
-            use_cache=use_cache,
-        )
-    cache = {
-        "sampling_hit": bp.served_from_store,
-        "tracking_hit": tracking_hit,
-        "stage_keys": {"sampling": bp.stage_key, "tracking": tracking_key},
-        "store": str(store.root),
-        **store.stats.to_dict(),
-    }
+    for sdef in stage_defs():
+        runner = sdef.resolve_runner()
+        if runner is None:
+            continue
+        outcome = runner(ctx)
+        if outcome is None:
+            continue
+        ctx.outcomes[sdef.name] = outcome
+
+    from repro.config.stages import SAMPLING, TRACKING
+
+    bp = ctx.outcomes[SAMPLING.name].result
+    pt = ctx.outcomes[TRACKING.name].result
+    cache = None
+    if store is not None:
+        cache = {
+            f"{name}_hit": outcome.hit
+            for name, outcome in ctx.outcomes.items()
+        }
+        cache["stage_keys"] = {
+            name: outcome.key
+            for name, outcome in ctx.outcomes.items()
+            if outcome.key is not None
+        }
+        cache["store"] = str(store.root)
+        cache.update(store.stats.to_dict())
     return WorkflowResult(
-        bedpost=bp, probtrack=pt, metrics=registry, cache=cache
+        bedpost=bp,
+        probtrack=pt,
+        metrics=get_registry(),
+        cache=cache,
+        outcomes=ctx.outcomes,
     )

@@ -48,7 +48,7 @@ import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.config.stages import STAGES
+from repro.config.stages import stage_names
 from repro.errors import IOFormatError
 from repro.telemetry.registry import get_registry
 
@@ -91,7 +91,8 @@ class StoreEntry:
     Attributes
     ----------
     stage:
-        Which pipeline stage produced it (``"sampling"``/``"tracking"``).
+        Which registered pipeline stage produced it (see
+        :func:`repro.config.stages.stage_names`).
     key:
         The full ``sha256:<hex>`` stage key.
     path:
@@ -203,9 +204,9 @@ class ArtifactStore:
 
     def entry_dir(self, stage: str, key: str) -> Path:
         """Final directory for ``(stage, key)`` (not necessarily existing)."""
-        if stage not in STAGES:
+        if stage not in stage_names():
             raise IOFormatError(
-                f"unknown store stage {stage!r} (known: {list(STAGES)})"
+                f"unknown store stage {stage!r} (known: {list(stage_names())})"
             )
         return self.root / stage / _key_hex(key)
 
@@ -394,7 +395,7 @@ class ArtifactStore:
         (``verify`` reports them).
         """
         out = []
-        for stage in STAGES:
+        for stage in stage_names():
             stage_dir = self.root / stage
             if not stage_dir.is_dir():
                 continue
@@ -436,7 +437,7 @@ class ArtifactStore:
         """
         checked = ok = 0
         corrupt: list[str] = []
-        for stage in STAGES:
+        for stage in stage_names():
             stage_dir = self.root / stage
             if not stage_dir.is_dir():
                 continue

@@ -1,0 +1,110 @@
+"""Property-based TrackVis ``.trk`` round-trip guarantees.
+
+The connectome stage and both tracking CLIs export geometry through
+:func:`repro.io.write_trk`; these properties pin the round-trip
+contract downstream viewers rely on: streamline *count* and *order*,
+per-line *lengths*, header metadata, and point coordinates to float32
+precision — for any input dtype the pipeline produces.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io import read_trk, write_trk
+
+voxel_sizes = st.tuples(
+    st.floats(0.25, 5.0), st.floats(0.25, 5.0), st.floats(0.25, 5.0)
+)
+
+
+def _random_lines(rng, n_lines, max_pts, dtype, span=60.0):
+    lines = []
+    for _ in range(n_lines):
+        n = int(rng.integers(1, max_pts + 1))
+        pts = rng.uniform(0.0, span, size=(n, 3))
+        if np.issubdtype(np.dtype(dtype), np.integer):
+            pts = np.floor(pts)
+        lines.append(pts.astype(dtype))
+    return lines
+
+
+class TestTrkRoundTrip:
+    @given(
+        n_lines=st.integers(0, 12),
+        max_pts=st.integers(1, 64),
+        seed=st.integers(0, 2**31 - 1),
+        vs=voxel_sizes,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_counts_and_lengths_survive(
+        self, tmp_path_factory, n_lines, max_pts, seed, vs
+    ):
+        tmp = tmp_path_factory.mktemp("trk")
+        rng = np.random.default_rng(seed)
+        lines = _random_lines(rng, n_lines, max_pts, np.float64)
+        path = tmp / "t.trk"
+        write_trk(path, lines, voxel_sizes=vs)
+        back, meta = read_trk(path)
+        assert meta["n_count"] == n_lines
+        assert len(back) == n_lines
+        # Per-line point counts survive exactly, in order.
+        assert [b.shape for b in back] == [(a.shape[0], 3) for a in lines]
+
+    @given(
+        dtype=st.sampled_from([np.float32, np.float64, np.int16, np.int32]),
+        seed=st.integers(0, 2**31 - 1),
+        vs=voxel_sizes,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_input_dtype_round_trips_to_f32_precision(
+        self, tmp_path_factory, dtype, seed, vs
+    ):
+        tmp = tmp_path_factory.mktemp("trk")
+        rng = np.random.default_rng(seed)
+        lines = _random_lines(rng, 5, 30, dtype)
+        path = tmp / "t.trk"
+        write_trk(path, lines, voxel_sizes=vs)
+        back, _ = read_trk(path)
+        # The format stores float32 voxel-mm; coming back through the
+        # stored voxel sizes costs at most f32 rounding of pts * vs.
+        for a, b in zip(lines, back):
+            assert b.dtype == np.float64
+            scaled = np.asarray(a, dtype=np.float64) * np.asarray(vs)
+            tol = np.abs(scaled) * 1e-6 + 1e-5
+            np.testing.assert_allclose(
+                b * np.asarray(vs), scaled, atol=float(tol.max())
+            )
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        vs=voxel_sizes,
+        dims=st.tuples(
+            st.integers(1, 256), st.integers(1, 256), st.integers(1, 256)
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_header_metadata_round_trips(
+        self, tmp_path_factory, seed, vs, dims
+    ):
+        tmp = tmp_path_factory.mktemp("trk")
+        rng = np.random.default_rng(seed)
+        lines = _random_lines(rng, 3, 10, np.float64)
+        path = tmp / "t.trk"
+        write_trk(path, lines, voxel_sizes=vs, dims=dims)
+        _, meta = read_trk(path)
+        assert meta["dims"] == dims
+        assert meta["n_scalars"] == 0
+        assert meta["n_properties"] == 0
+        np.testing.assert_allclose(meta["voxel_sizes"], vs, rtol=1e-6)
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_write_is_deterministic(self, tmp_path_factory, seed):
+        tmp = tmp_path_factory.mktemp("trk")
+        rng = np.random.default_rng(seed)
+        lines = _random_lines(rng, 4, 20, np.float64)
+        p1, p2 = tmp / "a.trk", tmp / "b.trk"
+        write_trk(p1, lines, voxel_sizes=(1.0, 1.5, 2.0))
+        write_trk(p2, lines, voxel_sizes=(1.0, 1.5, 2.0))
+        assert p1.read_bytes() == p2.read_bytes()

@@ -345,29 +345,38 @@ def hash_spec_dict_unchecked(doc):
 
 
 #: Table of (dotted override, which stage hashes it must move).
-#: "sampling"/"tracking" name the moved hash; () means execution policy
-#: or telemetry routing — no stage hash may move.
+#: Sampling edits cascade to every downstream stage; tracking edits to
+#: tracking + connectome; connectome edits move only their own stage.
+#: () means execution policy or telemetry routing — no stage hash may
+#: move.
 STAGE_HASH_CASES = [
-    ("sampling.seed", 9, ("sampling", "tracking")),
-    ("sampling.n_burnin", 99, ("sampling", "tracking")),
-    ("sampling.n_samples", 7, ("sampling", "tracking")),
-    ("sampling.sample_interval", 5, ("sampling", "tracking")),
-    ("sampling.adapt_every", 11, ("sampling", "tracking")),
-    ("sampling.n_fibers", 1, ("sampling", "tracking")),
-    ("sampling.ard", True, ("sampling", "tracking")),
-    ("sampling.noise_model", "rician", ("sampling", "tracking")),
-    ("sampling.f_threshold", 0.1, ("sampling", "tracking")),
-    ("tracking.max_steps", 7, ("tracking",)),
-    ("tracking.min_dot", 0.5, ("tracking",)),
-    ("tracking.step_length", 0.4, ("tracking",)),
-    ("tracking.strategy", "b", ("tracking",)),
-    ("tracking.engine", "fused", ("tracking",)),
-    ("tracking.bidirectional", True, ("tracking",)),
-    ("tracking.interpolation", "nearest", ("tracking",)),
+    ("sampling.seed", 9, ("sampling", "tracking", "connectome")),
+    ("sampling.n_burnin", 99, ("sampling", "tracking", "connectome")),
+    ("sampling.n_samples", 7, ("sampling", "tracking", "connectome")),
+    ("sampling.sample_interval", 5, ("sampling", "tracking", "connectome")),
+    ("sampling.adapt_every", 11, ("sampling", "tracking", "connectome")),
+    ("sampling.n_fibers", 1, ("sampling", "tracking", "connectome")),
+    ("sampling.ard", True, ("sampling", "tracking", "connectome")),
+    ("sampling.noise_model", "rician", ("sampling", "tracking", "connectome")),
+    ("sampling.f_threshold", 0.1, ("sampling", "tracking", "connectome")),
+    ("tracking.max_steps", 7, ("tracking", "connectome")),
+    ("tracking.min_dot", 0.5, ("tracking", "connectome")),
+    ("tracking.step_length", 0.4, ("tracking", "connectome")),
+    ("tracking.strategy", "b", ("tracking", "connectome")),
+    ("tracking.engine", "fused", ("tracking", "connectome")),
+    ("tracking.bidirectional", True, ("tracking", "connectome")),
+    ("tracking.interpolation", "nearest", ("tracking", "connectome")),
+    ("connectome.atlas", "octant", ("connectome",)),
+    ("connectome.min_steps", 25, ("connectome",)),
+    ("connectome.normalize", "fraction", ("connectome",)),
     # (runtime.host has a single preset, so it cannot be varied here;
-    # stage_subtree coverage below proves it participates.)
+    # stage_subtree coverage below proves it participates.)  The device
+    # preset steers the tracking stage's modeled schedule only — the
+    # connectome's CPU reference tracker is preset-independent, so its
+    # hash must *not* move (an atlas sweep survives a machine change).
     ("runtime.device", "nvidia_warp32", ("tracking",)),
     ("runtime.n_workers", 8, ()),
+    ("runtime.connectome_workers", 4, ()),
     ("runtime.max_retries", 9, ()),
     ("runtime.shard_timeout_s", 4.0, ()),
     ("runtime.fallback_to_serial", False, ()),
@@ -413,6 +422,8 @@ class TestStageHashes:
         sub = stage_subtree({}, "tracking")
         assert set(sub) == {"sampling", "tracking", "runtime"}
         assert set(sub["runtime"]) == set(RUNTIME_DETERMINISTIC_FIELDS)
+        sub = stage_subtree({}, "connectome")
+        assert set(sub) == {"sampling", "tracking", "connectome"}
 
     def test_inputs_participate(self):
         base = stage_hash({}, "sampling")

@@ -1,0 +1,129 @@
+"""Unit tests for the visit-map convergence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ConvergenceReport,
+    bhattacharyya_coefficient,
+    convergence_report,
+    visit_map_correlation,
+)
+from repro.errors import DataError
+
+
+def _ramp(shape=(4, 4, 4)):
+    return np.arange(np.prod(shape), dtype=np.float64).reshape(shape)
+
+
+class TestVisitMapCorrelation:
+    def test_identical_maps_correlate_perfectly(self):
+        m = _ramp()
+        assert visit_map_correlation(m, m) == pytest.approx(1.0)
+
+    def test_scaled_map_still_correlates_perfectly(self):
+        m = _ramp()
+        assert visit_map_correlation(m, 3.0 * m) == pytest.approx(1.0)
+
+    def test_anticorrelated_maps(self):
+        m = _ramp()
+        assert visit_map_correlation(m, -m) == pytest.approx(-1.0)
+
+    def test_constant_maps(self):
+        c = np.full((3, 3, 3), 2.0)
+        assert visit_map_correlation(c, c) == 1.0
+        assert visit_map_correlation(c, c + 1) == 0.0
+        assert visit_map_correlation(c, _ramp((3, 3, 3))) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(DataError):
+            visit_map_correlation(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_empty_raises(self):
+        with pytest.raises(DataError):
+            visit_map_correlation(np.zeros(0), np.zeros(0))
+
+
+class TestBhattacharyya:
+    def test_identical_distributions(self):
+        m = _ramp() + 1.0
+        assert bhattacharyya_coefficient(m, m) == pytest.approx(1.0)
+
+    def test_scale_invariant(self):
+        m = _ramp() + 1.0
+        assert bhattacharyya_coefficient(m, 7.0 * m) == pytest.approx(1.0)
+
+    def test_disjoint_support_is_zero(self):
+        a = np.array([1.0, 1.0, 0.0, 0.0])
+        b = np.array([0.0, 0.0, 1.0, 1.0])
+        assert bhattacharyya_coefficient(a, b) == 0.0
+
+    def test_partial_overlap_between_zero_and_one(self):
+        a = np.array([1.0, 1.0, 0.0])
+        b = np.array([0.0, 1.0, 1.0])
+        bc = bhattacharyya_coefficient(a, b)
+        assert 0.0 < bc < 1.0
+
+    def test_empty_maps(self):
+        z = np.zeros((2, 2))
+        assert bhattacharyya_coefficient(z, z) == 1.0
+        assert bhattacharyya_coefficient(z, np.ones((2, 2))) == 0.0
+
+    def test_negative_values_raise(self):
+        with pytest.raises(DataError):
+            bhattacharyya_coefficient(np.array([-1.0, 1.0]), np.ones(2))
+
+    def test_cauchy_schwarz_bound(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((5, 5, 5))
+        b = rng.random((5, 5, 5))
+        assert 0.0 <= bhattacharyya_coefficient(a, b) <= 1.0 + 1e-12
+
+
+class TestConvergenceReport:
+    def test_identical_runs_converge(self):
+        m = _ramp()
+        rep = convergence_report(m, m)
+        assert isinstance(rep, ConvergenceReport)
+        assert rep.correlation == pytest.approx(1.0)
+        assert rep.bhattacharyya == pytest.approx(1.0)
+        assert rep.dice == pytest.approx(1.0)
+        assert rep.n_support_a == rep.n_support_b == m.size - 1
+        assert rep.converged()
+        assert rep.manifest is None
+
+    def test_disjoint_runs_do_not_converge(self):
+        a = np.zeros((4, 4, 4))
+        b = np.zeros((4, 4, 4))
+        a[:2] = 1.0
+        b[2:] = 1.0
+        rep = convergence_report(a, b)
+        assert rep.bhattacharyya == 0.0
+        assert rep.dice == 0.0
+        assert not rep.converged()
+
+    def test_threshold_shrinks_support(self):
+        m = _ramp()
+        rep = convergence_report(m, m, threshold=m.max() / 2)
+        assert rep.n_support_a < m.size
+        assert rep.dice == pytest.approx(1.0)
+
+    def test_summary_lines(self):
+        rep = convergence_report(_ramp(), _ramp())
+        text = rep.summary()
+        assert "correlation" in text
+        assert "bhattacharyya" in text
+        assert "manifests" not in text
+
+    def test_manifest_diff_folded_in(self):
+        from repro.telemetry import MetricsRegistry, build_manifest
+
+        reg = MetricsRegistry()
+        reg.counter("tracking.steps").value = 5
+        doc = build_manifest(reg)
+        rep = convergence_report(
+            _ramp(), _ramp(), manifest_a=doc, manifest_b=doc
+        )
+        assert rep.manifest is not None
+        assert rep.manifest.identical
+        assert "manifests       identical" in rep.summary()

@@ -39,6 +39,7 @@ MARKDOWN = (
     "docs/fault-tolerance.md",
     "docs/parallelism.md",
     "docs/configuration.md",
+    "docs/connectome.md",
     "docs/storage.md",
     "docs/service.md",
     "docs/operations.md",
